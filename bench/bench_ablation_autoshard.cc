@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Section X future-work ablation: automatic sharding. Runs the profiling
+ * + search methodology for each model under SC-Small shard memory and a
+ * compute budget, printing every candidate's score and the selected plan —
+ * the "workflow that dynamically profiles models" the paper calls for.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/auto_shard.h"
+#include "stats/table_printer.h"
+
+int
+main()
+{
+    using namespace dri;
+    using stats::TablePrinter;
+
+    std::cout << stats::banner(
+        "Ablation: automatic capacity-driven sharding (Section X)");
+    for (const auto &spec : model::makeAllModels()) {
+        const auto pooling = bench::standardPooling(spec);
+        const auto requests = bench::standardRequests(spec, 300);
+
+        core::AutoShardConstraints constraints;
+        constraints.shard_memory_limit_bytes =
+            dc::scSmall().usableModelBytes();
+        constraints.max_compute_overhead = 0.25;
+        constraints.max_shards = 8;
+
+        const auto result = core::autoShard(
+            spec, requests, pooling, constraints,
+            bench::defaultServingConfig());
+
+        std::cout << "--- " << spec.name << " (shard memory limit "
+                  << TablePrinter::num(
+                         static_cast<double>(
+                             constraints.shard_memory_limit_bytes) /
+                             1e9,
+                         1)
+                  << " GB, compute budget "
+                  << TablePrinter::pct(constraints.max_compute_overhead)
+                  << ") ---\n";
+        TablePrinter table({"candidate", "fits mem", "lat P99 ovh",
+                            "cpu P50 ovh", "in budget"});
+        for (const auto &c : result.considered) {
+            table.addRow(
+                {c.plan.label(), c.memory_feasible ? "yes" : "NO",
+                 c.memory_feasible
+                     ? TablePrinter::pct(c.overhead.latency_overhead[2])
+                     : "-",
+                 c.memory_feasible
+                     ? TablePrinter::pct(c.overhead.compute_overhead[0])
+                     : "-",
+                 c.memory_feasible && c.meets_compute_budget ? "yes" : "no"});
+        }
+        std::cout << table.render();
+        if (result.found)
+            std::cout << "selected: " << result.best.label() << " (P99 "
+                      << TablePrinter::pct(
+                             result.best_score.overhead.latency_overhead[2])
+                      << ", CPU "
+                      << TablePrinter::pct(
+                             result.best_score.overhead.compute_overhead[0])
+                      << ")\n\n";
+        else
+            std::cout << "no feasible plan found\n\n";
+    }
+    return 0;
+}

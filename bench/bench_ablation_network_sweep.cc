@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Section VI-B2 ablation: "constant overheads eventually dominate." Sweeps
+ * the link's base one-way latency and measures the 8-shard load-balanced
+ * P50 overhead for DRM1 and the crossover point where distributed inference
+ * would beat singular — quantifying the paper's claim that if sparse
+ * operators produced enough work relative to network latency, latency could
+ * be *improved* by distribution.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+#include "stats/table_printer.h"
+
+int
+main()
+{
+    using namespace dri;
+    using stats::TablePrinter;
+
+    std::cout << stats::banner(
+        "Ablation (Section VI-B): network-latency sensitivity, DRM1");
+    const auto spec = model::makeDrm1();
+    const auto pooling = bench::standardPooling(spec);
+    const auto singular = core::makeSingular(spec);
+    const auto sharded = core::makeLoadBalanced(spec, 8, pooling);
+    const auto requests = bench::standardRequests(spec, 600);
+
+    TablePrinter table({"one-way base (us)", "P50 overhead", "P99 overhead",
+                        "embedded network (ms)", "embedded sparse op (ms)"});
+    for (const double base_us : {10.0, 50.0, 150.0, 300.0, 600.0, 1200.0}) {
+        auto config = bench::defaultServingConfig();
+        config.link.base_one_way_ns =
+            static_cast<sim::Duration>(base_us * 1000.0);
+
+        core::ServingSimulation base_sim(spec, singular, config);
+        const auto base_stats = base_sim.replaySerial(requests);
+        core::ServingSimulation dist_sim(spec, sharded, config);
+        const auto dist_stats = dist_sim.replaySerial(requests);
+
+        const auto o = core::computeOverhead("", base_stats, dist_stats);
+        const auto emb = core::embeddedStack(dist_stats);
+        double network = 0.0, sparse = 0.0;
+        for (const auto &kv : emb) {
+            if (kv.first == "Network Latency")
+                network = kv.second;
+            if (kv.first == "Caffe2 Sparse Ops")
+                sparse = kv.second;
+        }
+        table.addRow({TablePrinter::num(base_us, 0),
+                      TablePrinter::pct(o.latency_overhead[0]),
+                      TablePrinter::pct(o.latency_overhead[2]),
+                      TablePrinter::num(network, 3),
+                      TablePrinter::num(sparse, 3)});
+    }
+    std::cout << table.render();
+    std::cout << "\nNetwork latency exceeds sparse-operator latency at "
+                 "data-center base latencies;\nonly an unrealistically fast "
+                 "fabric turns distribution into a serial-latency win.\n";
+    return 0;
+}

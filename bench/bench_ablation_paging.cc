@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Design-space ablation (Sections I & X): paging-from-disk vs distributed
+ * inference for an over-capacity model. A singular server pages embedding
+ * rows from NVMe once the model exceeds DRAM; distribution keeps every
+ * lookup in DRAM at the cost of network hops. Sweeps the model scale
+ * factor and reports P50/P99 and the SLA miss rate of both designs.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+#include "dc/paging.h"
+#include "stats/table_printer.h"
+
+int
+main()
+{
+    using namespace dri;
+    using stats::TablePrinter;
+
+    std::cout << stats::banner(
+        "Ablation: paging-from-disk vs distributed inference (DRM1)");
+    const auto spec = model::makeDrm1();
+    const auto pooling = bench::standardPooling(spec);
+    const auto requests = bench::standardRequests(spec, 500);
+    const auto platform = dc::scLarge();
+    const double sla_ms = 40.0;
+
+    TablePrinter table({"model scale", "resident", "paged lookup (us)",
+                        "paged P50/P99 (ms)", "dist P50/P99 (ms)",
+                        "paged SLA miss", "dist SLA miss"});
+    for (const double scale : {1.0, 2.0, 4.0, 8.0}) {
+        const auto model_bytes = static_cast<std::int64_t>(
+            static_cast<double>(spec.totalCapacityBytes()) * scale);
+
+        // Paged singular: lookups cost the DRAM/SSD blend.
+        dc::PagingConfig paging;
+        paging.dram_lookup_ns = core::ServingConfig{}.lookup_base_ns;
+        const double lookup_ns =
+            dc::pagedLookupNs(model_bytes, platform, paging);
+        auto paged_config = bench::defaultServingConfig();
+        paged_config.lookup_base_ns = lookup_ns;
+        core::ServingSimulation paged_sim(spec, core::makeSingular(spec),
+                                          paged_config);
+        const auto paged = paged_sim.replaySerial(requests);
+
+        // Distributed: shard count grows with the scale so every shard
+        // stays within DRAM.
+        const int shards = std::max(
+            2, static_cast<int>(
+                   std::ceil(static_cast<double>(model_bytes) /
+                             static_cast<double>(
+                                 platform.usableModelBytes()))) *
+                   2);
+        const auto plan = core::makeLoadBalanced(
+            spec, std::min(shards, 16), pooling);
+        core::ServingSimulation dist_sim(spec, plan,
+                                         bench::defaultServingConfig());
+        const auto dist = dist_sim.replaySerial(requests);
+
+        const auto pq = core::latencyQuantiles(paged);
+        const auto dq = core::latencyQuantiles(dist);
+        table.addRow(
+            {TablePrinter::num(scale, 1) + "x",
+             TablePrinter::pct(dc::residentFraction(model_bytes, platform)),
+             TablePrinter::num(lookup_ns / 1000.0, 1),
+             TablePrinter::num(pq.p50_ms, 1) + " / " +
+                 TablePrinter::num(pq.p99_ms, 1),
+             TablePrinter::num(dq.p50_ms, 1) + " / " +
+                 TablePrinter::num(dq.p99_ms, 1),
+             TablePrinter::pct(core::slaViolationRate(paged, sla_ms)),
+             TablePrinter::pct(core::slaViolationRate(dist, sla_ms))});
+    }
+    std::cout << table.render();
+    std::cout << "\nOnce the model materially exceeds DRAM, SSD paging "
+                 "inflates lookup costs by\norders of magnitude and blows "
+                 "the SLA; distribution holds latency flat by\nkeeping "
+                 "lookups DRAM-resident behind constant network hops.\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+#include "bench_common.h"
+
+#include <functional>
+
+namespace dri::bench {
+
+core::ServingConfig
+defaultServingConfig()
+{
+    core::ServingConfig config;
+    config.seed = 0xd15c0;
+    return config;
+}
+
+std::vector<core::ShardingPlan>
+standardPlans(const model::ModelSpec &spec,
+              const std::vector<double> &pooling_estimates)
+{
+    std::vector<core::ShardingPlan> plans;
+    plans.push_back(core::makeSingular(spec));
+    plans.push_back(core::makeOneShard(spec));
+    for (int n : kShardCounts)
+        plans.push_back(core::makeLoadBalanced(spec, n, pooling_estimates));
+    for (int n : kShardCounts)
+        plans.push_back(core::makeCapacityBalanced(spec, n));
+    for (int n : kShardCounts)
+        plans.push_back(core::makeNsbp(
+            spec, n, dc::scLarge().usableModelBytes()));
+    return plans;
+}
+
+std::vector<core::ShardingPlan>
+drm3Plans(const model::ModelSpec &spec)
+{
+    // Huge-table technical constraints restrict DRM3 to NSBP (Section V-A).
+    std::vector<core::ShardingPlan> plans;
+    plans.push_back(core::makeSingular(spec));
+    plans.push_back(core::makeOneShard(spec));
+    for (int n : {4, 8})
+        plans.push_back(core::makeNsbp(
+            spec, n, dc::scLarge().usableModelBytes()));
+    return plans;
+}
+
+std::vector<core::ShardingPlan>
+plansForModel(const model::ModelSpec &spec,
+              const std::vector<double> &pooling_estimates)
+{
+    if (spec.nets.size() >= 2)
+        return standardPlans(spec, pooling_estimates);
+    return drm3Plans(spec);
+}
+
+std::vector<workload::Request>
+standardRequests(const model::ModelSpec &spec, std::size_t n)
+{
+    workload::GeneratorConfig gc;
+    // Stable per-model stream: same requests replayed across all configs.
+    gc.seed = 0xbeef ^ std::hash<std::string>{}(spec.name);
+    workload::RequestGenerator gen(spec, gc);
+    return gen.generate(n);
+}
+
+std::vector<double>
+standardPooling(const model::ModelSpec &spec)
+{
+    workload::GeneratorConfig gc;
+    gc.seed = 0xbeef ^ std::hash<std::string>{}(spec.name);
+    workload::RequestGenerator gen(spec, gc);
+    return gen.estimatePoolingFactors(1000);
+}
+
+std::vector<ConfigRun>
+runSerialSweep(const model::ModelSpec &spec,
+               const std::vector<core::ShardingPlan> &plans,
+               std::size_t n_requests, const core::ServingConfig &config)
+{
+    const auto requests = standardRequests(spec, n_requests);
+    std::vector<ConfigRun> runs;
+    runs.reserve(plans.size());
+    for (const auto &plan : plans) {
+        core::ServingSimulation sim(spec, plan, config);
+        ConfigRun run;
+        run.plan = plan;
+        run.stats = sim.replaySerial(requests);
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+} // namespace dri::bench

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared harness for the figure/table reproduction benches: standard
+ * sharding-configuration sets (Table I), default serving configuration, and
+ * a runner that replays one request stream through every configuration.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/serving.h"
+#include "core/strategies.h"
+#include "model/generators.h"
+#include "workload/request_generator.h"
+
+namespace dri::bench {
+
+/** One executed configuration. */
+struct ConfigRun
+{
+    core::ShardingPlan plan;
+    std::vector<core::RequestStats> stats;
+
+    std::string label() const { return plan.label(); }
+};
+
+/** Default request-stream length used by figure benches. */
+constexpr std::size_t kDefaultRequests = 1200;
+
+/** Shard counts evaluated by the paper. */
+inline const std::vector<int> kShardCounts{2, 4, 8};
+
+/** Serving config shared by all experiments (SC-Large everywhere). */
+core::ServingConfig defaultServingConfig();
+
+/**
+ * The paper's ten DRM1/DRM2 configurations: singular, 1-shard, then
+ * load-balanced / capacity-balanced / NSBP at 2, 4, 8 shards (Table I).
+ * Pooling estimates come from a 1000-request sample.
+ */
+std::vector<core::ShardingPlan>
+standardPlans(const model::ModelSpec &spec,
+              const std::vector<double> &pooling_estimates);
+
+/** DRM3's configurations: singular, 1-shard, NSBP at 4 and 8 shards. */
+std::vector<core::ShardingPlan> drm3Plans(const model::ModelSpec &spec);
+
+/** Sharding plans appropriate to the model (dispatch by net count). */
+std::vector<core::ShardingPlan>
+plansForModel(const model::ModelSpec &spec,
+              const std::vector<double> &pooling_estimates);
+
+/**
+ * Replay one deterministic request stream (seeded per model name) through
+ * every plan serially and return the per-config stats.
+ *
+ * @param n_requests stream length; @param config serving configuration.
+ */
+std::vector<ConfigRun>
+runSerialSweep(const model::ModelSpec &spec,
+               const std::vector<core::ShardingPlan> &plans,
+               std::size_t n_requests, const core::ServingConfig &config);
+
+/** Generate the standard request stream for a model. */
+std::vector<workload::Request>
+standardRequests(const model::ModelSpec &spec, std::size_t n);
+
+/** Pooling-factor estimates from the standard generator. */
+std::vector<double> standardPooling(const model::ModelSpec &spec);
+
+} // namespace dri::bench

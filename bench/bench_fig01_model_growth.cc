@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fig. 1 reproduction (substituted): historical recommendation-model growth.
+ * The paper plots a production model's feature count and total embedding
+ * capacity growing an order of magnitude over three years; no production
+ * history is available here, so the series is synthesized from the model
+ * generator's scaling knobs (see DESIGN.md substitution table).
+ */
+#include <iostream>
+
+#include "model/generators.h"
+#include "stats/table_printer.h"
+
+int
+main()
+{
+    using namespace dri;
+    using stats::TablePrinter;
+
+    std::cout << stats::banner(
+        "Fig. 1: historical model growth (synthetic trajectory)");
+    TablePrinter table({"quarter", "features (rel.)", "capacity (GB)",
+                        "features x", "capacity x"});
+    const auto series = model::modelGrowthSeries();
+    const double f0 = series.front().num_features;
+    const double c0 = series.front().capacity_gb;
+    for (const auto &p : series) {
+        table.addRow({std::to_string(p.year_quarter),
+                      TablePrinter::num(p.num_features, 2),
+                      TablePrinter::num(p.capacity_gb, 1),
+                      TablePrinter::num(p.num_features / f0, 2) + "x",
+                      TablePrinter::num(p.capacity_gb / c0, 2) + "x"});
+    }
+    std::cout << table.render();
+    std::cout << "\nBoth features and capacity grow ~an order of magnitude "
+                 "across the series;\ncapacity outpaces feature count "
+                 "(embedding dimensions and hash sizes grow too).\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 6 reproduction: P50/P90/P99 end-to-end latency and compute overheads
+ * versus the singular baseline for DRM1 and DRM2, serial blocking requests,
+ * across all ten sharding configurations of Table I.
+ *
+ * Expected shape (paper): every distributed config is slower than singular;
+ * 1-shard is worst; overhead falls as shards increase (DRM1 8-shard
+ * load-balanced ~1% at P99); NSBP-2 is the worst P99 (bounding-shard
+ * behaviour); compute overhead rises with shard count and NSBP has the
+ * least compute overhead.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+#include "stats/table_printer.h"
+
+int
+main()
+{
+    using namespace dri;
+    using stats::TablePrinter;
+
+    for (const auto &spec : {model::makeDrm1(), model::makeDrm2()}) {
+        std::cout << stats::banner(
+            "Fig. 6 (" + spec.name +
+            "): latency & compute overhead vs singular, serial requests");
+        const auto pooling = bench::standardPooling(spec);
+        const auto plans = bench::standardPlans(spec, pooling);
+        const auto runs = bench::runSerialSweep(
+            spec, plans, bench::kDefaultRequests,
+            bench::defaultServingConfig());
+
+        const auto &baseline = runs.front().stats;
+        const auto bq = core::latencyQuantiles(baseline);
+        std::cout << "singular E2E: P50 " << TablePrinter::num(bq.p50_ms)
+                  << " ms, P90 " << TablePrinter::num(bq.p90_ms)
+                  << " ms, P99 " << TablePrinter::num(bq.p99_ms) << " ms\n\n";
+
+        TablePrinter table({"config", "lat P50", "lat P90", "lat P99",
+                            "cpu P50", "cpu P90", "cpu P99", "RPCs/req"});
+        for (const auto &run : runs) {
+            const auto o =
+                core::computeOverhead(run.label(), baseline, run.stats);
+            table.addRow({run.label(),
+                          TablePrinter::pct(o.latency_overhead[0]),
+                          TablePrinter::pct(o.latency_overhead[1]),
+                          TablePrinter::pct(o.latency_overhead[2]),
+                          TablePrinter::pct(o.compute_overhead[0]),
+                          TablePrinter::pct(o.compute_overhead[1]),
+                          TablePrinter::pct(o.compute_overhead[2]),
+                          TablePrinter::num(core::meanRpcCount(run.stats),
+                                            1)});
+        }
+        std::cout << table.render() << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 8 reproduction: P50 latency attribution by sharding strategy for all
+ * three models. (a) the E2E latency stack measured at the main shard;
+ * (b) the embedded-portion stack of the bounding sparse shard.
+ *
+ * Expected shape (paper): only the embedded portion moves materially across
+ * strategies; network latency exceeds sparse-operator latency on every
+ * distributed configuration; DRM3's embedded portion barely changes with
+ * shard count.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+#include "stats/table_printer.h"
+
+namespace {
+
+void
+printStacks(const dri::model::ModelSpec &spec,
+            const std::vector<dri::bench::ConfigRun> &runs)
+{
+    using dri::stats::TablePrinter;
+
+    std::cout << "--- " << spec.name << " E2E latency stack (ms, P50) ---\n";
+    TablePrinter e2e({"config", "Dense Ops", "Embedded", "RPC Ser/De",
+                      "Service", "Net Overhead", "total"});
+    for (const auto &run : runs) {
+        const auto stack = dri::core::latencyStack(run.stats);
+        std::vector<std::string> row{run.label()};
+        for (const auto &kv : stack)
+            row.push_back(TablePrinter::num(kv.second));
+        row.push_back(TablePrinter::num(dri::core::stackTotal(stack)));
+        e2e.addRow(row);
+    }
+    std::cout << e2e.render() << "\n";
+
+    std::cout << "--- " << spec.name
+              << " embedded-portion stack, bounding shard (ms, P50) ---\n";
+    TablePrinter emb({"config", "Sparse Ops", "RPC Ser/De", "Service",
+                      "Net Overhead", "Network", "total"});
+    for (const auto &run : runs) {
+        const auto stack = dri::core::embeddedStack(run.stats);
+        std::vector<std::string> row{run.label()};
+        for (const auto &kv : stack)
+            row.push_back(TablePrinter::num(kv.second));
+        row.push_back(TablePrinter::num(dri::core::stackTotal(stack)));
+        emb.addRow(row);
+    }
+    std::cout << emb.render() << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace dri;
+
+    std::cout << stats::banner(
+        "Fig. 8: P50 latency attribution by sharding strategy");
+    for (const auto &spec :
+         {model::makeDrm1(), model::makeDrm2(), model::makeDrm3()}) {
+        const auto pooling = bench::standardPooling(spec);
+        const auto plans = bench::plansForModel(spec, pooling);
+        const auto runs = bench::runSerialSweep(
+            spec, plans, bench::kDefaultRequests,
+            bench::defaultServingConfig());
+        printStacks(spec, runs);
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 9 reproduction: P50 aggregate CPU-time stack (all shards) by
+ * sharding configuration for all three models: Caffe2 ops vs RPC ser/de vs
+ * service overhead.
+ *
+ * Expected shape (paper): distributed inference always increases CPU time;
+ * the increase is proportional to RPC ops issued; NSBP has the least
+ * compute overhead because it issues the fewest RPCs.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+#include "stats/table_printer.h"
+
+int
+main()
+{
+    using namespace dri;
+    using stats::TablePrinter;
+
+    std::cout << stats::banner(
+        "Fig. 9: P50 aggregate CPU-time stack by sharding config");
+    for (const auto &spec :
+         {model::makeDrm1(), model::makeDrm2(), model::makeDrm3()}) {
+        const auto pooling = bench::standardPooling(spec);
+        const auto plans = bench::plansForModel(spec, pooling);
+        const auto runs = bench::runSerialSweep(
+            spec, plans, bench::kDefaultRequests,
+            bench::defaultServingConfig());
+
+        std::cout << "--- " << spec.name << " (ms CPU per request) ---\n";
+        TablePrinter table({"config", "Caffe2 Ops", "RPC Ser/De",
+                            "Service Overhead", "total", "RPCs/req"});
+        for (const auto &run : runs) {
+            const auto stack = core::cpuStack(run.stats);
+            std::vector<std::string> row{run.label()};
+            for (const auto &kv : stack)
+                row.push_back(TablePrinter::num(kv.second));
+            row.push_back(TablePrinter::num(core::stackTotal(stack)));
+            row.push_back(
+                TablePrinter::num(core::meanRpcCount(run.stats), 1));
+            table.addRow(row);
+        }
+        std::cout << table.render() << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 12 reproduction: DRM1 per-shard operator latencies by sharding
+ * strategy with 8 sparse shards.
+ *
+ * Expected shape (paper): load-balanced and capacity-balanced differ only
+ * mildly (per-shard operator latencies are small against E2E), while NSBP
+ * is strongly imbalanced; the big latency lever is shard count, not
+ * load- vs capacity-balancing.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+#include "stats/table_printer.h"
+
+int
+main()
+{
+    using namespace dri;
+    using stats::TablePrinter;
+
+    std::cout << stats::banner(
+        "Fig. 12: DRM1 per-shard operator latencies by strategy, 8 shards");
+    const auto spec = model::makeDrm1();
+    const auto pooling = bench::standardPooling(spec);
+
+    std::vector<core::ShardingPlan> plans;
+    plans.push_back(core::makeLoadBalanced(spec, 8, pooling));
+    plans.push_back(core::makeCapacityBalanced(spec, 8));
+    plans.push_back(core::makeNsbp(spec, 8,
+                                   dc::scLarge().usableModelBytes()));
+    const auto runs = bench::runSerialSweep(spec, plans,
+                                            bench::kDefaultRequests,
+                                            bench::defaultServingConfig());
+
+    TablePrinter table({"shard", "load-bal (ms)", "cap-bal (ms)",
+                        "NSBP (ms)"});
+    std::vector<std::vector<double>> cols;
+    for (const auto &run : runs)
+        cols.push_back(core::perShardOpLatency(run.stats, 8));
+    for (int s = 0; s < 8; ++s) {
+        table.addRow({std::to_string(s + 1),
+                      TablePrinter::num(cols[0][static_cast<std::size_t>(s)], 4),
+                      TablePrinter::num(cols[1][static_cast<std::size_t>(s)], 4),
+                      TablePrinter::num(cols[2][static_cast<std::size_t>(s)], 4)});
+    }
+    std::cout << table.render();
+
+    auto spread = [](const std::vector<double> &v) {
+        double lo = v[0], hi = v[0];
+        for (double x : v) {
+            lo = std::min(lo, x);
+            hi = std::max(hi, x);
+        }
+        return lo > 0.0 ? hi / lo : 0.0;
+    };
+    std::cout << "\nmax/min per-shard op latency: load-bal "
+              << TablePrinter::num(spread(cols[0]), 2) << "x, cap-bal "
+              << TablePrinter::num(spread(cols[1]), 2) << "x, NSBP "
+              << TablePrinter::num(spread(cols[2]), 2) << "x\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 16 reproduction: DRM1 compute and latency overheads at 25 QPS
+ * (open-loop Poisson arrivals) across all sharding strategies.
+ *
+ * Expected shape (paper): overheads are uniformly smaller than the serial
+ * experiment; P99 latency *improves* over singular for nearly every
+ * configuration because asynchronous RPC ops release main-shard worker
+ * cores while sparse responses are outstanding, relieving queueing when
+ * requests overlap.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+#include "stats/table_printer.h"
+
+int
+main()
+{
+    using namespace dri;
+    using stats::TablePrinter;
+
+    std::cout << stats::banner(
+        "Fig. 16: DRM1 overheads at 25 QPS (open-loop arrivals)");
+    const auto spec = model::makeDrm1();
+    const auto pooling = bench::standardPooling(spec);
+    const auto plans = bench::standardPlans(spec, pooling);
+    const auto requests =
+        bench::standardRequests(spec, bench::kDefaultRequests);
+
+    // 25 QPS is the paper's nominal rate; our simulated service stack is
+    // faster than the production one, so the load-equivalent operating
+    // point sits higher — both are reported.
+    for (const double qps : {25.0, 150.0}) {
+        std::vector<bench::ConfigRun> runs;
+        for (const auto &plan : plans) {
+            core::ServingSimulation sim(spec, plan,
+                                        bench::defaultServingConfig());
+            bench::ConfigRun run;
+            run.plan = plan;
+            run.stats = sim.replayOpenLoop(requests, qps);
+            runs.push_back(std::move(run));
+        }
+
+        const auto &baseline = runs.front().stats;
+        const auto bq = core::latencyQuantiles(baseline);
+        std::cout << "--- " << qps << " QPS --- singular E2E: P50 "
+                  << TablePrinter::num(bq.p50_ms) << " ms, P90 "
+                  << TablePrinter::num(bq.p90_ms) << " ms, P99 "
+                  << TablePrinter::num(bq.p99_ms) << " ms\n";
+
+        TablePrinter table({"config", "lat P50", "lat P90", "lat P99",
+                            "cpu P50", "cpu P99"});
+        for (const auto &run : runs) {
+            const auto o = core::computeOverhead(run.label(), baseline,
+                                                 run.stats);
+            table.addRow({run.label(),
+                          TablePrinter::pct(o.latency_overhead[0]),
+                          TablePrinter::pct(o.latency_overhead[1]),
+                          TablePrinter::pct(o.latency_overhead[2]),
+                          TablePrinter::pct(o.compute_overhead[0]),
+                          TablePrinter::pct(o.compute_overhead[2])});
+        }
+        std::cout << table.render() << "\n";
+    }
+    std::cout << "Under load, overlapping requests contend for main-shard "
+                 "cores; distributed\nconfigurations release cores during "
+                 "sparse waits, offload sparse work, and\nimprove tail "
+                 "latency over singular.\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table I reproduction: the sharding strategies evaluated, enumerated
+ * against DRM1 with their realized shard structure (shard counts, fan-out
+ * groups, split tables). Strategy semantics live in core/strategies.h.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+#include "stats/table_printer.h"
+
+int
+main()
+{
+    using namespace dri;
+    using stats::TablePrinter;
+
+    std::cout << stats::banner("Table I: sharding strategy summary (DRM1)");
+    const auto spec = model::makeDrm1();
+    const auto pooling = bench::standardPooling(spec);
+
+    TablePrinter table({"strategy", "shards", "tables split", "nets mixed on a shard",
+                        "notes"});
+    auto describe = [&](const core::ShardingPlan &plan,
+                        const std::string &notes) {
+        int split = 0;
+        for (const auto &a : plan.assignments())
+            if (a.isSplit())
+                ++split;
+        bool mixed = false;
+        for (int s = 0; s < plan.numShards(); ++s) {
+            std::set<int> nets;
+            for (int t : plan.tablesOnShard(s))
+                nets.insert(
+                    spec.tables[static_cast<std::size_t>(t)].net_id);
+            mixed = mixed || nets.size() > 1;
+        }
+        table.addRow({plan.label(), std::to_string(plan.numShards()),
+                      std::to_string(split), mixed ? "yes" : "no", notes});
+    };
+
+    describe(core::makeSingular(spec),
+             "distributed inference disabled; whole model on one server");
+    describe(core::makeOneShard(spec),
+             "one sparse shard holds every embedding table");
+    for (int n : bench::kShardCounts)
+        describe(core::makeLoadBalanced(spec, n, pooling),
+                 "equal estimated pooling work per shard");
+    for (int n : bench::kShardCounts)
+        describe(core::makeCapacityBalanced(spec, n),
+                 "equal embedding-table bytes per shard");
+    for (int n : bench::kShardCounts)
+        describe(core::makeNsbp(spec, n, dc::scLarge().usableModelBytes()),
+                 "tables grouped by net, packed to a size limit");
+    std::cout << table.render();
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table II reproduction: static sharding results for DRM1 — per-shard
+ * capacity (GiB), embedding-table count, and estimated pooling factor for
+ * every sharding configuration (pooling estimated from a 1000-request
+ * sample, as in Section III-B2).
+ *
+ * Expected shape (paper): capacity-balanced equalizes GiB but leaves up to
+ * ~4x pooling imbalance; load-balanced equalizes pooling with up to ~50%
+ * capacity imbalance; NSBP isolates nets (2-shard: one shard holds ~4.8x
+ * the memory of the other but a few percent of its pooling work).
+ */
+#include <iostream>
+
+#include "bench_common.h"
+#include "stats/table_printer.h"
+
+namespace {
+
+void
+printPlan(const dri::model::ModelSpec &spec,
+          const dri::core::ShardingPlan &plan,
+          const std::vector<double> &pooling)
+{
+    using dri::stats::TablePrinter;
+    const auto summaries = plan.summarize(spec, pooling);
+    std::cout << "-- " << plan.label() << " --\n";
+    TablePrinter table({"shard", "capacity (GiB)", "tables",
+                        "est. pooling factor", "nets"});
+    for (const auto &s : summaries) {
+        std::string nets;
+        for (int n : s.nets)
+            nets += (nets.empty() ? "" : ",") + std::to_string(n + 1);
+        table.addRow({"[" + std::to_string(s.shard_id + 1) + "]",
+                      TablePrinter::num(s.capacity_gib, 2),
+                      std::to_string(s.table_count),
+                      TablePrinter::num(s.estimated_pooling, 1), nets});
+    }
+    std::cout << table.render() << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace dri;
+
+    std::cout << stats::banner("Table II: sharding results for DRM1");
+    const auto spec = model::makeDrm1();
+    const auto pooling = bench::standardPooling(spec);
+
+    for (const auto &plan : bench::standardPlans(spec, pooling)) {
+        if (plan.isSingular())
+            continue;
+        printPlan(spec, plan, pooling);
+    }
+
+    std::cout << stats::banner(
+        "Table II extension: DRM3 NSBP (row-split dominant table)");
+    const auto drm3 = model::makeDrm3();
+    const auto pooling3 = bench::standardPooling(drm3);
+    for (const auto &plan : bench::drm3Plans(drm3)) {
+        if (plan.isSingular())
+            continue;
+        printPlan(drm3, plan, pooling3);
+    }
+    return 0;
+}

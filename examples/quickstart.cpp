@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: build a small DLRM-like model, shard it load-balanced across
+ * four sparse shards, replay a request stream through the simulated serving
+ * deployment, and print latency/compute results — the whole public API in
+ * one page.
+ */
+#include <iostream>
+
+#include "core/analysis.h"
+#include "core/serving.h"
+#include "core/strategies.h"
+#include "model/generators.h"
+#include "stats/table_printer.h"
+#include "workload/request_generator.h"
+
+int
+main()
+{
+    using namespace dri;
+
+    // 1. A model: DRM1 is the paper's most compute-intensive model
+    //    (200 GB of embedding tables across two nets).
+    model::ModelSpec spec = model::makeDrm1();
+    std::cout << "Model " << spec.name << ": " << spec.tableCount()
+              << " tables, "
+              << static_cast<double>(spec.totalCapacityBytes()) / model::kGiB
+              << " GiB\n";
+
+    // 2. A workload: deterministic synthetic ranking requests.
+    workload::RequestGenerator gen(spec, {.seed = 7, .diurnal_amplitude = 0});
+    const auto requests = gen.generate(400);
+    const auto pooling = gen.estimatePoolingFactors(1000);
+
+    // 3. Sharding plans: singular baseline + 4-shard load-balanced.
+    const auto singular = core::makeSingular(spec);
+    const auto sharded = core::makeLoadBalanced(spec, 4, pooling);
+
+    // 4. Replay the same requests through both deployments.
+    core::ServingConfig config;
+    config.seed = 99;
+    core::ServingSimulation base_sim(spec, singular, config);
+    const auto base = base_sim.replaySerial(requests);
+    core::ServingSimulation shard_sim(spec, sharded, config);
+    const auto dist = shard_sim.replaySerial(requests);
+
+    // 5. Report.
+    const auto bq = core::latencyQuantiles(base);
+    const auto dq = core::latencyQuantiles(dist);
+    stats::TablePrinter table({"config", "P50 (ms)", "P90 (ms)", "P99 (ms)",
+                               "CPU (ms)", "RPCs/req"});
+    table.addRow({singular.label(), stats::TablePrinter::num(bq.p50_ms),
+                  stats::TablePrinter::num(bq.p90_ms),
+                  stats::TablePrinter::num(bq.p99_ms),
+                  stats::TablePrinter::num(core::meanCpuMs(base)),
+                  stats::TablePrinter::num(core::meanRpcCount(base), 1)});
+    table.addRow({sharded.label(), stats::TablePrinter::num(dq.p50_ms),
+                  stats::TablePrinter::num(dq.p90_ms),
+                  stats::TablePrinter::num(dq.p99_ms),
+                  stats::TablePrinter::num(core::meanCpuMs(dist)),
+                  stats::TablePrinter::num(core::meanRpcCount(dist), 1)});
+    std::cout << table.render();
+
+    const auto overhead = core::computeOverhead(sharded.label(), base, dist);
+    std::cout << "\nLatency overhead vs singular: P50 "
+              << stats::TablePrinter::pct(overhead.latency_overhead[0])
+              << ", P99 "
+              << stats::TablePrinter::pct(overhead.latency_overhead[2])
+              << "\nCompute overhead vs singular: P50 "
+              << stats::TablePrinter::pct(overhead.compute_overhead[0])
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Sharding explorer: the workflow a capacity engineer would run before
+ * deploying a new model — sample pooling factors, enumerate candidate
+ * sharding plans, check memory feasibility per platform, replay a request
+ * stream through each plan, and rank plans by latency overhead under a
+ * compute-overhead budget.
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "core/analysis.h"
+#include "core/serving.h"
+#include "core/strategies.h"
+#include "dc/platform.h"
+#include "model/generators.h"
+#include "stats/table_printer.h"
+#include "workload/request_generator.h"
+
+int
+main()
+{
+    using namespace dri;
+    using stats::TablePrinter;
+
+    const auto spec = model::makeDrm2();
+    const auto platform = dc::scLarge();
+    std::cout << "Exploring sharding plans for " << spec.name << " ("
+              << TablePrinter::num(
+                     static_cast<double>(spec.totalCapacityBytes()) /
+                         model::kGiB,
+                     1)
+              << " GiB) on " << platform.name << "\n\n";
+
+    // 1. Profile the workload (paper Section III-B2: sample requests to
+    //    estimate per-table pooling factors).
+    workload::RequestGenerator gen(spec, {.seed = 5, .diurnal_amplitude = 0});
+    const auto pooling = gen.estimatePoolingFactors(1000);
+    const auto requests = gen.generate(500);
+
+    // 2. Enumerate candidates.
+    std::vector<core::ShardingPlan> candidates;
+    for (int n : {2, 3, 4, 6, 8}) {
+        candidates.push_back(core::makeCapacityBalanced(spec, n));
+        candidates.push_back(core::makeLoadBalanced(spec, n, pooling));
+        candidates.push_back(
+            core::makeNsbp(spec, n, platform.usableModelBytes()));
+    }
+
+    // 3. Evaluate each against the singular baseline.
+    core::ServingConfig config;
+    config.seed = 31;
+    core::ServingSimulation base_sim(spec, core::makeSingular(spec), config);
+    const auto base = base_sim.replaySerial(requests);
+
+    struct Row
+    {
+        std::string label;
+        bool feasible;
+        double worst_shard_gib;
+        double p99_overhead;
+        double cpu_overhead;
+        double rpcs;
+    };
+    std::vector<Row> rows;
+    for (const auto &plan : candidates) {
+        Row row;
+        row.label = plan.label();
+        double worst = 0.0;
+        for (int s = 0; s < plan.numShards(); ++s)
+            worst = std::max(worst, plan.capacityBytes(spec, s));
+        row.worst_shard_gib = worst / model::kGiB;
+        row.feasible =
+            worst <= static_cast<double>(platform.usableModelBytes());
+
+        core::ServingSimulation sim(spec, plan, config);
+        const auto stats = sim.replaySerial(requests);
+        const auto o = core::computeOverhead(plan.label(), base, stats);
+        row.p99_overhead = o.latency_overhead[2];
+        row.cpu_overhead = o.compute_overhead[0];
+        row.rpcs = core::meanRpcCount(stats);
+        rows.push_back(row);
+    }
+
+    // 4. Rank feasible plans: lowest P99 overhead subject to a compute
+    //    budget (here: <= 15% extra CPU).
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        return a.p99_overhead < b.p99_overhead;
+    });
+    TablePrinter table({"plan", "fits?", "worst shard (GiB)", "P99 overhead",
+                        "CPU overhead", "RPCs/req"});
+    for (const auto &row : rows)
+        table.addRow({row.label, row.feasible ? "yes" : "NO",
+                      TablePrinter::num(row.worst_shard_gib, 1),
+                      TablePrinter::pct(row.p99_overhead),
+                      TablePrinter::pct(row.cpu_overhead),
+                      TablePrinter::num(row.rpcs, 1)});
+    std::cout << table.render();
+
+    const double budget = 0.15;
+    for (const auto &row : rows) {
+        if (row.feasible && row.cpu_overhead <= budget) {
+            std::cout << "\nRecommended plan under a "
+                      << TablePrinter::pct(budget)
+                      << " compute budget: " << row.label << " (P99 "
+                      << TablePrinter::pct(row.p99_overhead) << ", CPU "
+                      << TablePrinter::pct(row.cpu_overhead) << ")\n";
+            break;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+#include "compress/compression.h"
+
+#include <cassert>
+
+namespace dri::compress {
+
+namespace {
+
+bool
+isLarge(const model::TableSpec &table, const CompressionPolicy &policy)
+{
+    // Judge size at the uncompressed footprint so the decision is stable
+    // across repeated passes.
+    return table.rows * table.dim * 4 >= policy.large_table_threshold_bytes;
+}
+
+} // namespace
+
+CompressionReport
+compressSpec(model::ModelSpec &spec, const CompressionPolicy &policy)
+{
+    CompressionReport report;
+    for (auto &t : spec.tables) {
+        report.uncompressed_bytes += t.rows * t.dim * 4;
+        if (isLarge(t, policy)) {
+            t.precision = policy.large_table_precision;
+            t.prune_fraction = policy.large_table_prune_fraction;
+        } else {
+            t.precision = policy.small_table_precision;
+            t.prune_fraction = policy.small_table_prune_fraction;
+        }
+        if (t.precision == tensor::Precision::Int4)
+            ++report.tables_int4;
+        else if (t.precision == tensor::Precision::Int8)
+            ++report.tables_int8;
+        report.compressed_bytes += t.logicalBytes();
+    }
+    return report;
+}
+
+void
+compressTables(
+    const model::ModelSpec &spec,
+    std::vector<std::shared_ptr<tensor::VirtualEmbeddingTable>> &tables,
+    const CompressionPolicy &policy)
+{
+    assert(tables.size() == spec.tables.size());
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+        const auto &t = spec.tables[i];
+        auto &table = tables[i];
+        if (isLarge(t, policy)) {
+            table->quantize(policy.large_table_precision);
+            table->prune(policy.large_table_prune_fraction);
+        } else {
+            table->quantize(policy.small_table_precision);
+            table->prune(policy.small_table_prune_fraction);
+        }
+    }
+}
+
+} // namespace dri::compress

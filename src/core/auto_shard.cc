@@ -1,0 +1,120 @@
+#include "core/auto_shard.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dri::core {
+
+namespace {
+
+/** Candidate plans honoring the paper's per-model restrictions. */
+std::vector<ShardingPlan>
+candidatePlans(const model::ModelSpec &spec,
+               const std::vector<double> &pooling,
+               const AutoShardConstraints &constraints)
+{
+    std::vector<ShardingPlan> plans;
+    plans.push_back(makeOneShard(spec));
+    // A model whose largest table exceeds the per-shard capacity target
+    // cannot be balanced whole-table-wise; only NSBP's row splitting
+    // applies (the paper's DRM3 restriction, Section V-A).
+    const double shard_target =
+        static_cast<double>(spec.totalCapacityBytes()) /
+        static_cast<double>(std::max(1, constraints.max_shards));
+    const bool huge_tables =
+        static_cast<double>(spec.largestTableBytes()) > shard_target ||
+        (constraints.shard_memory_limit_bytes > 0 &&
+         spec.largestTableBytes() > constraints.shard_memory_limit_bytes);
+    for (int n = 2; n <= constraints.max_shards; ++n) {
+        // Huge-table models (DRM3) can only be sharded with NSBP
+        // (Section V-A: "existing technical challenges of sharding huge
+        // tables" restrict the other strategies).
+        if (!huge_tables) {
+            plans.push_back(makeCapacityBalanced(spec, n));
+            plans.push_back(makeLoadBalanced(spec, n, pooling));
+        }
+        plans.push_back(
+            makeNsbp(spec, n, constraints.shard_memory_limit_bytes));
+    }
+    return plans;
+}
+
+bool
+memoryFeasible(const model::ModelSpec &spec, const ShardingPlan &plan,
+               std::int64_t limit)
+{
+    if (limit <= 0)
+        return true;
+    for (int s = 0; s < plan.numShards(); ++s)
+        if (plan.capacityBytes(spec, s) > static_cast<double>(limit))
+            return false;
+    return true;
+}
+
+} // namespace
+
+AutoShardResult
+autoShard(const model::ModelSpec &spec,
+          const std::vector<workload::Request> &requests,
+          const std::vector<double> &pooling,
+          const AutoShardConstraints &constraints,
+          const ServingConfig &config)
+{
+    assert(!requests.empty());
+    AutoShardResult result;
+
+    // Baseline for overhead computation.
+    ServingSimulation base_sim(spec, makeSingular(spec), config);
+    const auto base_stats = base_sim.replaySerial(requests);
+
+    for (auto &plan : candidatePlans(spec, pooling, constraints)) {
+        CandidateScore score;
+        score.memory_feasible = memoryFeasible(
+            spec, plan, constraints.shard_memory_limit_bytes);
+        if (score.memory_feasible) {
+            ServingSimulation sim(spec, plan, config);
+            const auto stats = sim.replaySerial(requests);
+            score.overhead =
+                computeOverhead(plan.label(), base_stats, stats);
+            score.p99_ms = latencyQuantiles(stats).p99_ms;
+            score.cpu_p50_ms = cpuQuantiles(stats).p50_ms;
+            score.meets_compute_budget =
+                score.overhead.compute_overhead[0] <=
+                constraints.max_compute_overhead;
+            score.meets_sla = constraints.sla_p99_ms <= 0.0 ||
+                              score.p99_ms <= constraints.sla_p99_ms;
+        }
+        score.plan = plan;
+        result.considered.push_back(std::move(score));
+    }
+
+    // Primary objective: lowest P99 overhead among fully conforming plans.
+    const CandidateScore *best = nullptr;
+    for (const auto &c : result.considered) {
+        if (!c.memory_feasible || !c.meets_compute_budget || !c.meets_sla)
+            continue;
+        if (!best ||
+            c.overhead.latency_overhead[2] <
+                best->overhead.latency_overhead[2])
+            best = &c;
+    }
+    // Fallback: lowest compute overhead among memory-feasible plans.
+    if (!best) {
+        for (const auto &c : result.considered) {
+            if (!c.memory_feasible)
+                continue;
+            if (!best ||
+                c.overhead.compute_overhead[0] <
+                    best->overhead.compute_overhead[0])
+                best = &c;
+        }
+    }
+    if (best) {
+        result.found = true;
+        result.best = best->plan;
+        result.best_score = *best;
+    }
+    return result;
+}
+
+} // namespace dri::core

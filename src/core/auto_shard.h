@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Automatic sharding (the paper's Section X future work): search the
+ * strategy x shard-count space, simulate each candidate against a profiled
+ * request sample, and select a plan meeting memory, SLA, and compute
+ * budgets. The paper concludes that "an automatic sharding methodology is
+ * feasible, but requires sufficient profiling data" — this module is that
+ * methodology built on the serving simulation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/serving.h"
+#include "core/strategies.h"
+
+namespace dri::core {
+
+/** Search constraints and objectives. */
+struct AutoShardConstraints
+{
+    /** Usable model memory per sparse server (hard constraint). */
+    std::int64_t shard_memory_limit_bytes = 0;
+    /** Maximum acceptable P50 compute overhead vs singular (budget). */
+    double max_compute_overhead = 0.25;
+    /**
+     * Optional absolute P99 SLA in milliseconds; 0 disables the absolute
+     * target and the search simply minimizes P99 overhead.
+     */
+    double sla_p99_ms = 0.0;
+    /** Largest shard count to consider. */
+    int max_shards = 8;
+};
+
+/** One evaluated candidate. */
+struct CandidateScore
+{
+    ShardingPlan plan;
+    bool memory_feasible = false;
+    bool meets_compute_budget = false;
+    bool meets_sla = false;
+    OverheadReport overhead;
+    double p99_ms = 0.0;
+    double cpu_p50_ms = 0.0;
+};
+
+/** Search outcome. */
+struct AutoShardResult
+{
+    bool found = false;
+    ShardingPlan best;
+    CandidateScore best_score;
+    /** Every candidate evaluated, for reporting. */
+    std::vector<CandidateScore> considered;
+};
+
+/**
+ * Profile-and-search: evaluates singular, 1-shard, and the three paper
+ * strategies at 2..max_shards against the given request sample, then picks
+ * the memory-feasible plan with the lowest P99 latency overhead among
+ * those inside the compute budget (and SLA, when set). Falls back to the
+ * lowest-compute feasible plan when nothing meets the budget.
+ *
+ * @param spec     model under study.
+ * @param requests profiled request sample (replayed for every candidate).
+ * @param pooling  per-table pooling estimates (Section III-B2).
+ * @param constraints search constraints.
+ * @param config   serving cost configuration shared by all candidates.
+ */
+AutoShardResult autoShard(const model::ModelSpec &spec,
+                          const std::vector<workload::Request> &requests,
+                          const std::vector<double> &pooling,
+                          const AutoShardConstraints &constraints,
+                          const ServingConfig &config);
+
+} // namespace dri::core

@@ -1,0 +1,211 @@
+#include "core/partitioner.h"
+
+#include <cassert>
+#include <set>
+
+namespace dri::core {
+
+std::string
+shardNetName(int shard_id, int net_id)
+{
+    return "shard" + std::to_string(shard_id) + "_net" +
+           std::to_string(net_id);
+}
+
+std::string
+splitIdsBlobName(const model::TableSpec &table, int piece)
+{
+    return model::idsBlobName(table) + "_part" + std::to_string(piece);
+}
+
+std::string
+splitEmbBlobName(const model::TableSpec &table, int piece)
+{
+    return model::embBlobName(table) + "_part" + std::to_string(piece);
+}
+
+const graph::NetDef *
+DistributedModel::findShardNet(int shard_id, const std::string &name) const
+{
+    auto it = shard_nets.find(shard_id);
+    if (it == shard_nets.end())
+        return nullptr;
+    for (const auto &net : it->second)
+        if (net.name() == name)
+            return &net;
+    return nullptr;
+}
+
+namespace {
+
+/** Clone an entire net. */
+graph::NetDef
+cloneNet(const graph::NetDef &src)
+{
+    graph::NetDef out(src.name());
+    for (const auto &op : src.ops())
+        out.add(op->clone());
+    for (const auto &b : src.externalInputs())
+        out.declareInput(b);
+    for (const auto &b : src.externalOutputs())
+        out.declareOutput(b);
+    return out;
+}
+
+} // namespace
+
+DistributedModel
+partitionModel(const model::BuiltModel &built, const ShardingPlan &plan)
+{
+    DistributedModel dm;
+    dm.base = &built;
+    dm.plan = &plan;
+    assert(built.spec);
+    const model::ModelSpec &spec = *built.spec;
+
+    if (plan.isSingular()) {
+        for (const auto &net : built.nets)
+            dm.main_nets.push_back(cloneNet(net));
+        return dm;
+    }
+
+    for (std::size_t ni = 0; ni < built.nets.size(); ++ni) {
+        const graph::NetDef &src = built.nets[ni];
+        const int net_id = spec.nets[ni].id;
+
+        // Partition the net's ops: SLS ops move to shards, everything else
+        // stays. The builder emits all SLS ops contiguously, so the main
+        // net keeps a single fan-out/join point.
+        graph::NetDef main_net(src.name());
+        for (const auto &b : src.externalInputs())
+            main_net.declareInput(b);
+        for (const auto &b : src.externalOutputs())
+            main_net.declareOutput(b);
+
+        // Per-shard groups of (table, piece index or -1 for whole).
+        struct RemoteLookup
+        {
+            const model::TableSpec *table;
+            int piece; //!< -1 = whole table
+        };
+        std::map<int, std::vector<RemoteLookup>> by_shard;
+        std::set<int> split_tables;
+
+        for (const auto &op : src.ops()) {
+            const auto *sls =
+                dynamic_cast<const graph::SparseLengthsSumOp *>(op.get());
+            if (!sls)
+                continue;
+            // Resolve the table spec by name.
+            const model::TableSpec *table = nullptr;
+            for (const auto &t : spec.tables)
+                if (t.name == sls->tableName())
+                    table = &t;
+            assert(table && "SLS references unknown table");
+            const TableAssignment &asg = plan.assignmentFor(table->id);
+            if (!asg.isSplit()) {
+                by_shard[asg.shards[0]].push_back(RemoteLookup{table, -1});
+            } else {
+                split_tables.insert(table->id);
+                for (std::size_t p = 0; p < asg.shards.size(); ++p)
+                    by_shard[asg.shards[p]].push_back(
+                        RemoteLookup{table, static_cast<int>(p)});
+            }
+        }
+
+        // Walk the original ops. Ops before the first SLS are "bottom";
+        // at the first SLS, emit splits + RPC fan-out + wait + partial
+        // sums; remaining non-SLS ops are "top".
+        bool fanout_emitted = false;
+        for (const auto &op : src.ops()) {
+            const bool is_sls =
+                dynamic_cast<const graph::SparseLengthsSumOp *>(op.get()) !=
+                nullptr;
+            if (!is_sls) {
+                main_net.add(op->clone());
+                continue;
+            }
+            if (fanout_emitted)
+                continue;
+            fanout_emitted = true;
+
+            // 1. Split index lists of row-split tables.
+            for (int tid : split_tables) {
+                const auto &t =
+                    spec.tables[static_cast<std::size_t>(tid)];
+                const auto &asg = plan.assignmentFor(tid);
+                std::vector<std::string> parts;
+                for (std::size_t p = 0; p < asg.ways(); ++p)
+                    parts.push_back(
+                        splitIdsBlobName(t, static_cast<int>(p)));
+                main_net.emplace<graph::SplitIndicesOp>(
+                    model::idsBlobName(t), parts);
+            }
+
+            // 2. One RPC request per (shard, net).
+            std::vector<std::string> handles;
+            for (const auto &kv : by_shard) {
+                const int shard = kv.first;
+                std::vector<std::string> req_inputs;
+                std::vector<std::string> req_outputs;
+                for (const auto &rl : kv.second) {
+                    if (rl.piece < 0) {
+                        req_inputs.push_back(model::idsBlobName(*rl.table));
+                        req_outputs.push_back(model::embBlobName(*rl.table));
+                    } else {
+                        req_inputs.push_back(
+                            splitIdsBlobName(*rl.table, rl.piece));
+                        req_outputs.push_back(
+                            splitEmbBlobName(*rl.table, rl.piece));
+                    }
+                }
+                const std::string handle =
+                    "h_net" + std::to_string(net_id) + "_s" +
+                    std::to_string(shard);
+                main_net.emplace<graph::RpcRequestOp>(
+                    shard, shardNetName(shard, net_id), handle, req_inputs,
+                    req_outputs);
+                handles.push_back(handle);
+            }
+
+            // 3. Join.
+            main_net.emplace<graph::RpcWaitOp>(handles);
+
+            // 4. Combine row-split partial sums.
+            for (int tid : split_tables) {
+                const auto &t =
+                    spec.tables[static_cast<std::size_t>(tid)];
+                const auto &asg = plan.assignmentFor(tid);
+                std::vector<std::string> parts;
+                for (std::size_t p = 0; p < asg.ways(); ++p)
+                    parts.push_back(
+                        splitEmbBlobName(t, static_cast<int>(p)));
+                main_net.emplace<graph::SumOp>(parts,
+                                               model::embBlobName(t));
+            }
+        }
+        dm.main_nets.push_back(std::move(main_net));
+
+        // Generate the sparse-shard nets.
+        for (const auto &kv : by_shard) {
+            const int shard = kv.first;
+            graph::NetDef shard_net(shardNetName(shard, net_id));
+            for (const auto &rl : kv.second) {
+                const std::string ids =
+                    rl.piece < 0 ? model::idsBlobName(*rl.table)
+                                 : splitIdsBlobName(*rl.table, rl.piece);
+                const std::string emb =
+                    rl.piece < 0 ? model::embBlobName(*rl.table)
+                                 : splitEmbBlobName(*rl.table, rl.piece);
+                shard_net.declareInput(ids);
+                shard_net.emplace<graph::SparseLengthsSumOp>(rl.table->name,
+                                                             ids, emb);
+                shard_net.declareOutput(emb);
+            }
+            dm.shard_nets[shard].push_back(std::move(shard_net));
+        }
+    }
+    return dm;
+}
+
+} // namespace dri::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Model partitioner: rewrites a singular model into the distributed form of
+ * Fig. 2b under a sharding plan, mirroring the paper's custom partitioning
+ * tool (Section III-C): group embedding tables and their operators by
+ * shard, insert RPC operators into the main net, and generate new nets for
+ * each sparse shard.
+ *
+ * Guarantees the paper's serving constraints: every sparse-shard net is
+ * stateless (depends only on request inputs) and the shard graph is
+ * acyclic (main -> sparse only).
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sharding_plan.h"
+#include "graph/net.h"
+#include "model/dlrm_builder.h"
+
+namespace dri::core {
+
+/** Name of the net invoked on a sparse shard for one original net. */
+std::string shardNetName(int shard_id, int net_id);
+
+/** Blob name of one row-split piece of a table's indices / output. */
+std::string splitIdsBlobName(const model::TableSpec &table, int piece);
+std::string splitEmbBlobName(const model::TableSpec &table, int piece);
+
+/** The partitioned model. */
+struct DistributedModel
+{
+    const model::BuiltModel *base = nullptr;
+    const ShardingPlan *plan = nullptr;
+
+    /** Rewritten main-shard nets, in execution order. */
+    std::vector<graph::NetDef> main_nets;
+
+    /** Per sparse shard: its generated nets (one per original net that has
+     *  tables there), keyed by shard id. */
+    std::map<int, std::vector<graph::NetDef>> shard_nets;
+
+    /** Find a shard net by name; nullptr if absent. */
+    const graph::NetDef *findShardNet(int shard_id,
+                                      const std::string &name) const;
+};
+
+/**
+ * Partition `built` under `plan`. A singular plan yields main nets that are
+ * clones of the original nets and no shard nets.
+ */
+DistributedModel partitionModel(const model::BuiltModel &built,
+                                const ShardingPlan &plan);
+
+} // namespace dri::core

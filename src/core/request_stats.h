@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-request measurements produced by the serving simulation. The fields
+ * mirror exactly the quantities the paper's cross-layer tracing extracts:
+ * E2E latency and its stack (Fig. 8a), the bounding sparse shard's embedded
+ * breakdown (Fig. 8b, attributed per Section IV-B), aggregate CPU time by
+ * stack layer (Fig. 9), and per-shard operator CPU (Figs. 10-12, 15).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dri::core {
+
+/** Everything measured about one served request. */
+struct RequestStats
+{
+    std::uint64_t id = 0;
+    std::int64_t items = 0;
+    int batches = 0;
+    int rpc_count = 0;
+
+    sim::SimTime arrival = 0;
+    sim::SimTime completion = 0;
+    sim::Duration e2e = 0;
+
+    // ---- E2E latency stack at the main shard (Fig. 8a). The buckets sum
+    //      (with queue_wait) to e2e; lat_dense is the critical-path
+    //      residual after the measured buckets.
+    sim::Duration queue_wait = 0;
+    sim::Duration lat_serde = 0;        //!< request deserde + response serde
+    sim::Duration lat_service = 0;      //!< handler boilerplate
+    sim::Duration lat_net_overhead = 0; //!< framework scheduling
+    sim::Duration lat_embedded = 0;     //!< sparse phase (wait or inline)
+    sim::Duration lat_dense = 0;        //!< dense operator critical path
+
+    // ---- Bounding-shard embedded-portion breakdown (Fig. 8b): the slowest
+    //      asynchronous sparse request of this request. For singular runs
+    //      the embedded portion is pure sparse-operator time.
+    sim::Duration emb_sparse_op = 0;
+    sim::Duration emb_serde = 0;
+    sim::Duration emb_service = 0;
+    sim::Duration emb_net_overhead = 0;
+    sim::Duration emb_network = 0;
+    sim::Duration emb_queue = 0;
+
+    // ---- CPU time by layer, aggregated over all shards (Fig. 9).
+    double cpu_ops_ns = 0.0;     //!< dense + sparse operator execution
+    double cpu_serde_ns = 0.0;   //!< request/response (de)serialization
+    double cpu_service_ns = 0.0; //!< handler + net overhead + dispatch
+
+    double cpuTotalNs() const
+    {
+        return cpu_ops_ns + cpu_serde_ns + cpu_service_ns;
+    }
+
+    // ---- Per sparse shard operator CPU (Figs. 10-12, 15).
+    std::vector<double> shard_op_ns;
+    /** Indexed shard * num_nets + net. */
+    std::vector<double> shard_net_op_ns;
+    double main_op_ns = 0.0;
+};
+
+} // namespace dri::core

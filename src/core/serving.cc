@@ -1,0 +1,792 @@
+#include "core/serving.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "netsim/message.h"
+#include "rpc/discovery.h"
+
+namespace dri::core {
+
+namespace {
+
+sim::Duration
+scaled(double ns, double cpu_scale)
+{
+    return static_cast<sim::Duration>(std::llround(ns * cpu_scale));
+}
+
+sim::Duration
+scaled(sim::Duration ns, double cpu_scale)
+{
+    return scaled(static_cast<double>(ns), cpu_scale);
+}
+
+} // namespace
+
+/** Full simulation state; hidden behind the facade. */
+struct ServingSimulation::Impl
+{
+    // -- Static deployment description ------------------------------------
+
+    /** One RPC fan-out target: the tables of one net on one shard. */
+    struct Group
+    {
+        int shard = 0;
+        std::vector<int> whole_tables;
+        struct Piece
+        {
+            int table;
+            int piece;
+            int ways;
+        };
+        std::vector<Piece> pieces;
+        int tableCount() const
+        {
+            return static_cast<int>(whole_tables.size() + pieces.size());
+        }
+        double sum_dims = 0.0;  //!< Σ table dims (response sizing)
+        double lookup_ns = 0.0; //!< pooled per-row gather cost
+    };
+
+    struct NetInfo
+    {
+        int net_id = 0;
+        double dense_ns_per_item = 0.0;
+        double dense_fixed_ns = 0.0;
+        std::vector<Group> groups;     //!< empty for singular
+        double inline_lookup_ns = 0.0; //!< singular per-row gather cost
+    };
+
+    // -- Runtime state ------------------------------------------------------
+
+    struct Active; // forward
+
+    struct BatchState
+    {
+        Active *req = nullptr;
+        std::size_t net_idx = 0;
+        int batch_id = 0;
+        std::int64_t batch_items = 0;
+        int pending = 0;
+        sim::SimTime dispatch_time = 0;
+        sim::SimTime last_response = 0;
+        std::int64_t response_bytes = 0;
+    };
+
+    struct Active
+    {
+        workload::Request const *req = nullptr;
+        RequestStats st;
+        int nb = 0;
+        std::size_t net_idx = 0;
+        int batches_left = 0;
+        sim::Duration net_embedded_max = 0;
+        /** Per-group request-level lookups for the current net. */
+        std::vector<std::int64_t> group_lookups;
+        std::int64_t inline_lookups = 0;
+        /** Bounding (slowest outstanding) RPC of this request. */
+        trace::RpcRecord bounding;
+        bool has_bounding = false;
+        sim::Duration max_inline_sparse = 0;
+        std::function<void()> on_complete;
+
+        // Intra-request batch-slot pool (framework worker threads).
+        int slots_free = 0;
+        std::deque<std::function<void()>> slot_waiters;
+    };
+
+    Impl(const model::ModelSpec &spec, const ShardingPlan &plan,
+         const ServingConfig &cfg, trace::TraceCollector &collector)
+        : spec(spec), plan(plan), cfg(cfg), collector(collector),
+          link(cfg.link), service(cfg.service), rng(cfg.seed)
+    {
+        const auto pool = [&](const dc::Platform &platform) {
+            const int threads = cfg.worker_threads > 0
+                                    ? std::min(cfg.worker_threads,
+                                               platform.cores)
+                                    : platform.cores;
+            return static_cast<std::size_t>(threads);
+        };
+        main_cores = std::make_unique<sim::Resource>(
+            engine, pool(cfg.main_platform), "main");
+        const int replicas = std::max(1, cfg.sparse_replicas);
+        for (int s = 0; s < plan.numShards(); ++s)
+            for (int r = 0; r < replicas; ++r) {
+                directory.registerReplica(
+                    s, static_cast<int>(sparse_cores.size()));
+                sparse_cores.push_back(std::make_unique<sim::Resource>(
+                    engine, pool(cfg.sparse_platform),
+                    "sparse" + std::to_string(s) + "." + std::to_string(r)));
+            }
+        buildNetInfos();
+    }
+
+    const model::ModelSpec &spec;
+    const ShardingPlan &plan;
+    ServingConfig cfg;
+    trace::TraceCollector &collector;
+
+    sim::Engine engine;
+    std::unique_ptr<sim::Resource> main_cores;
+    /** One worker pool per sparse-shard *replica* (see directory). */
+    std::vector<std::unique_ptr<sim::Resource>> sparse_cores;
+    rpc::ServiceDirectory directory;
+    netsim::LinkModel link;
+    rpc::ServiceCostModel service;
+    stats::Rng rng;
+
+    std::vector<NetInfo> nets;
+    std::vector<RequestStats> *results = nullptr;
+
+    double
+    mainScale() const
+    {
+        return cfg.main_platform.cpu_time_scale;
+    }
+    double
+    sparseScale() const
+    {
+        return cfg.sparse_platform.cpu_time_scale;
+    }
+
+    int
+    batchSize() const
+    {
+        return cfg.batch_size_override > 0 ? cfg.batch_size_override
+                                           : spec.default_batch_size;
+    }
+
+    double
+    tableLookupNs(const model::TableSpec &t) const
+    {
+        return cfg.lookup_base_ns +
+               cfg.lookup_ns_per_row_byte *
+                   static_cast<double>(t.storedRowBytes());
+    }
+
+    void
+    buildNetInfos()
+    {
+        for (const auto &net_spec : spec.nets) {
+            NetInfo ni;
+            ni.net_id = net_spec.id;
+            ni.dense_ns_per_item = net_spec.dense_ns_per_item;
+            ni.dense_fixed_ns = net_spec.dense_fixed_ns;
+
+            // Pooling-weighted gather cost across the net's tables.
+            double pool_sum = 0.0, cost_sum = 0.0;
+            for (const auto &t : spec.tables) {
+                if (t.net_id != net_spec.id)
+                    continue;
+                const double pool = t.expectedLookups(spec.mean_items);
+                pool_sum += pool;
+                cost_sum += pool * tableLookupNs(t);
+            }
+            ni.inline_lookup_ns =
+                pool_sum > 0.0 ? cost_sum / pool_sum : cfg.lookup_base_ns;
+
+            if (!plan.isSingular()) {
+                std::map<int, Group> groups;
+                for (const auto &t : spec.tables) {
+                    if (t.net_id != net_spec.id)
+                        continue;
+                    const auto &asg = plan.assignmentFor(t.id);
+                    if (!asg.isSplit()) {
+                        Group &g = groups[asg.shards[0]];
+                        g.shard = asg.shards[0];
+                        g.whole_tables.push_back(t.id);
+                    } else {
+                        for (std::size_t p = 0; p < asg.shards.size(); ++p) {
+                            Group &g = groups[asg.shards[p]];
+                            g.shard = asg.shards[p];
+                            g.pieces.push_back(Group::Piece{
+                                t.id, static_cast<int>(p),
+                                static_cast<int>(asg.ways())});
+                        }
+                    }
+                }
+                for (auto &kv : groups) {
+                    Group &g = kv.second;
+                    double pool = 0.0, cost = 0.0;
+                    for (int tid : g.whole_tables) {
+                        const auto &t =
+                            spec.tables[static_cast<std::size_t>(tid)];
+                        const double p = t.expectedLookups(spec.mean_items);
+                        pool += p;
+                        cost += p * tableLookupNs(t);
+                        g.sum_dims += static_cast<double>(t.dim);
+                    }
+                    for (const auto &piece : g.pieces) {
+                        const auto &t =
+                            spec.tables[static_cast<std::size_t>(piece.table)];
+                        const double p = t.expectedLookups(spec.mean_items) /
+                                         static_cast<double>(piece.ways);
+                        pool += p;
+                        cost += p * tableLookupNs(t);
+                        g.sum_dims += static_cast<double>(t.dim);
+                    }
+                    g.lookup_ns =
+                        pool > 0.0 ? cost / pool : cfg.lookup_base_ns;
+                    ni.groups.push_back(g);
+                }
+            }
+            nets.push_back(std::move(ni));
+        }
+    }
+
+    // -- Helpers -------------------------------------------------------------
+
+    void
+    span(trace::Layer layer, int shard, int net, int batch,
+         sim::SimTime begin, sim::SimTime end, std::uint64_t request_id)
+    {
+        trace::Span s;
+        s.request_id = request_id;
+        s.shard_id = shard;
+        s.net_id = net;
+        s.batch_id = batch;
+        s.layer = layer;
+        s.begin = begin;
+        s.end = end;
+        collector.addSpan(s);
+    }
+
+    std::int64_t
+    batchItems(const Active *a, int b) const
+    {
+        const std::int64_t base = a->req->items / a->nb;
+        const std::int64_t rem = a->req->items % a->nb;
+        return base + (b < rem ? 1 : 0);
+    }
+
+    /** Split a request-level lookup count across batches. */
+    std::int64_t
+    batchShare(std::int64_t total, int nb, int b) const
+    {
+        const std::int64_t base = total / nb;
+        const std::int64_t rem = total % nb;
+        return base + (b < rem ? 1 : 0);
+    }
+
+    /** Grant an intra-request batch slot (FIFO). */
+    void
+    acquireSlot(Active *a, std::function<void()> fn)
+    {
+        if (a->slots_free > 0) {
+            --a->slots_free;
+            fn();
+        } else {
+            a->slot_waiters.push_back(std::move(fn));
+        }
+    }
+
+    void
+    releaseSlot(Active *a)
+    {
+        if (!a->slot_waiters.empty()) {
+            auto next = std::move(a->slot_waiters.front());
+            a->slot_waiters.pop_front();
+            engine.schedule(0, std::move(next));
+        } else {
+            ++a->slots_free;
+        }
+    }
+
+    /** Request-level lookups routed to each group of the net. */
+    void
+    computeNetLookups(Active *a, const NetInfo &ni)
+    {
+        a->group_lookups.assign(ni.groups.size(), 0);
+        a->inline_lookups = 0;
+        const auto &lk = a->req->table_lookups;
+        if (ni.groups.empty()) {
+            for (const auto &t : spec.tables)
+                if (t.net_id == ni.net_id)
+                    a->inline_lookups +=
+                        lk[static_cast<std::size_t>(t.id)];
+            return;
+        }
+        for (std::size_t gi = 0; gi < ni.groups.size(); ++gi) {
+            const Group &g = ni.groups[gi];
+            std::int64_t total = 0;
+            for (int tid : g.whole_tables)
+                total += lk[static_cast<std::size_t>(tid)];
+            for (const auto &piece : g.pieces) {
+                const std::int64_t n =
+                    lk[static_cast<std::size_t>(piece.table)];
+                const std::int64_t base = n / piece.ways;
+                const std::int64_t rem = n % piece.ways;
+                // Rotate the remainder by request id so a pooling-factor-1
+                // table touches exactly one (rotating) piece per request.
+                const auto offset = static_cast<int>(
+                    (piece.piece + piece.ways -
+                     static_cast<int>(a->req->id %
+                                      static_cast<std::uint64_t>(
+                                          piece.ways))) %
+                    piece.ways);
+                total += base + (offset < rem ? 1 : 0);
+            }
+            a->group_lookups[gi] = total;
+        }
+    }
+
+    // -- Request lifecycle ----------------------------------------------------
+
+    void
+    inject(const workload::Request &req, std::function<void()> on_complete)
+    {
+        auto *a = new Active();
+        a->req = &req;
+        a->st.id = req.id;
+        a->st.items = req.items;
+        a->nb = static_cast<int>(
+            (req.items + batchSize() - 1) / batchSize());
+        a->st.batches = a->nb;
+        a->st.shard_op_ns.assign(
+            static_cast<std::size_t>(std::max(plan.numShards(), 1)), 0.0);
+        a->st.shard_net_op_ns.assign(
+            static_cast<std::size_t>(std::max(plan.numShards(), 1)) *
+                spec.nets.size(),
+            0.0);
+        a->on_complete = std::move(on_complete);
+        a->slots_free = std::max(1, cfg.request_parallelism);
+        a->st.arrival = engine.now();
+
+        const sim::SimTime q0 = engine.now();
+        main_cores->acquire([this, a, q0] {
+            a->st.queue_wait += engine.now() - q0;
+            const sim::Duration handler =
+                scaled(service.handlerNs() / 2, mainScale());
+            const std::int64_t req_bytes = netsim::rankingRequestBytes(
+                spec.request_bytes_per_item, a->req->items,
+                a->req->totalLookups());
+            const sim::Duration deserde =
+                scaled(service.serdeNs(req_bytes), mainScale());
+            a->st.lat_service += handler;
+            a->st.cpu_service_ns += static_cast<double>(handler);
+            a->st.lat_serde += deserde;
+            a->st.cpu_serde_ns += static_cast<double>(deserde);
+            span(trace::Layer::RequestSerDe, trace::kMainShard, -1, -1,
+                 engine.now(), engine.now() + handler + deserde, a->st.id);
+            engine.schedule(handler + deserde, [this, a] {
+                main_cores->release();
+                startNet(a);
+            });
+        });
+    }
+
+    void
+    startNet(Active *a)
+    {
+        if (a->net_idx >= nets.size()) {
+            finishRequest(a);
+            return;
+        }
+        const NetInfo &ni = nets[a->net_idx];
+        computeNetLookups(a, ni);
+        a->net_embedded_max = 0;
+        a->batches_left = a->nb;
+        // Framework scheduling cost appears once on the net's critical
+        // path (batches pay it in parallel).
+        a->st.lat_net_overhead += scaled(
+            service.netOverheadNs(static_cast<std::int64_t>(ni.groups.size())),
+            mainScale());
+        for (int b = 0; b < a->nb; ++b)
+            acquireSlot(a, [this, a, b] { startBatch(a, b); });
+    }
+
+    void
+    startBatch(Active *a, int b)
+    {
+        const NetInfo *nip0 = &nets[a->net_idx];
+        const sim::SimTime q0 = engine.now();
+        main_cores->acquire([this, a, nip0, b, q0] {
+            (void)q0;
+            const NetInfo &ni = *nip0;
+            const std::int64_t bitems = batchItems(a, b);
+            const double dense_total =
+                ni.dense_ns_per_item * static_cast<double>(bitems) +
+                ni.dense_fixed_ns;
+            const sim::Duration overhead = scaled(
+                service.netOverheadNs(
+                    static_cast<std::int64_t>(ni.groups.size())),
+                mainScale());
+            const sim::Duration bottom =
+                scaled(dense_total * cfg.bottom_fraction, mainScale());
+            const sim::Duration top =
+                scaled(dense_total * (1.0 - cfg.bottom_fraction),
+                       mainScale());
+            a->st.cpu_service_ns += static_cast<double>(overhead);
+            a->st.cpu_ops_ns += static_cast<double>(bottom + top);
+            a->st.main_op_ns += static_cast<double>(bottom + top);
+
+            if (ni.groups.empty()) {
+                // Singular: SLS runs inline inside the batch.
+                const std::int64_t lk =
+                    batchShare(a->inline_lookups, a->nb, b);
+                const sim::Duration sparse =
+                    scaled(static_cast<double>(lk) * ni.inline_lookup_ns,
+                           mainScale());
+                a->st.cpu_ops_ns += static_cast<double>(sparse);
+                a->st.main_op_ns += static_cast<double>(sparse);
+                span(trace::Layer::DenseOp, trace::kMainShard, ni.net_id, b,
+                     engine.now(), engine.now() + overhead + bottom,
+                     a->st.id);
+                span(trace::Layer::SparseOp, trace::kMainShard, ni.net_id, b,
+                     engine.now() + overhead + bottom,
+                     engine.now() + overhead + bottom + sparse, a->st.id);
+                span(trace::Layer::DenseOp, trace::kMainShard, ni.net_id, b,
+                     engine.now() + overhead + bottom + sparse,
+                     engine.now() + overhead + bottom + sparse + top,
+                     a->st.id);
+                engine.schedule(
+                    overhead + bottom + sparse + top, [this, a, sparse] {
+                        main_cores->release();
+                        releaseSlot(a);
+                        a->net_embedded_max =
+                            std::max(a->net_embedded_max, sparse);
+                        a->max_inline_sparse =
+                            std::max(a->max_inline_sparse, sparse);
+                        batchDone(a);
+                    });
+                return;
+            }
+
+            // Distributed: serialize one request per group with work this
+            // batch, then release the core while the RPCs are outstanding.
+            // Groups with zero lookups are skipped entirely — DRM3's
+            // row-split dominant table touches one piece per request, so
+            // only ~2 shards are accessed regardless of shard count.
+            const NetInfo *nip = &ni;
+            std::vector<std::size_t> active;
+            sim::Duration send_cpu = 0;
+            for (std::size_t gi = 0; gi < ni.groups.size(); ++gi) {
+                const Group &g = ni.groups[gi];
+                const std::int64_t lk =
+                    batchShare(a->group_lookups[gi], a->nb, b);
+                if (lk == 0)
+                    continue;
+                active.push_back(gi);
+                const std::int64_t bytes = netsim::sparseRequestBytes(
+                    lk, g.tableCount(), bitems);
+                send_cpu += scaled(service.serdeNs(bytes), mainScale()) +
+                            scaled(service.clientDispatchNs(), mainScale());
+            }
+            if (active.empty()) {
+                // No sparse work anywhere this batch: pure dense path.
+                engine.schedule(overhead + bottom + top, [this, a] {
+                    main_cores->release();
+                    releaseSlot(a);
+                    batchDone(a);
+                });
+                return;
+            }
+            span(trace::Layer::DenseOp, trace::kMainShard, ni.net_id, b,
+                 engine.now(), engine.now() + overhead + bottom, a->st.id);
+            span(trace::Layer::ClientDispatch, trace::kMainShard, ni.net_id,
+                 b, engine.now() + overhead + bottom,
+                 engine.now() + overhead + bottom + send_cpu, a->st.id);
+            engine.schedule(
+                overhead + bottom + send_cpu,
+                [this, a, nip, b, bitems, top, active] {
+                    auto *bt = new BatchState();
+                    bt->req = a;
+                    bt->net_idx = a->net_idx;
+                    bt->batch_id = b;
+                    bt->batch_items = bitems;
+                    bt->pending = static_cast<int>(active.size());
+                    bt->dispatch_time = engine.now();
+                    for (std::size_t gi : active)
+                        sendRpc(bt, *nip, gi);
+                    // The async RPC ops release the worker CORE (other
+                    // requests may use it) but the batch's net execution
+                    // blocks on the wait op, so the intra-request slot is
+                    // held until the batch completes (Fig. 3 semantics).
+                    main_cores->release();
+                    // Stash the top-dense time on the batch via capture.
+                    bt->response_bytes = 0;
+                    pending_top_[bt] = top;
+                });
+        });
+    }
+
+    /** Per-batch stash of top-dense durations. */
+    std::map<BatchState *, sim::Duration> pending_top_;
+
+    void
+    sendRpc(BatchState *bt, const NetInfo &ni, std::size_t gi)
+    {
+        Active *a = bt->req;
+        const Group &g = ni.groups[gi];
+        const std::int64_t lk =
+            batchShare(a->group_lookups[gi], a->nb, bt->batch_id);
+        const std::int64_t req_bytes =
+            netsim::sparseRequestBytes(lk, g.tableCount(), bt->batch_items);
+        // Client-side serde/dispatch CPU was spent in startBatch; account it.
+        a->st.cpu_serde_ns += service.serdeNs(req_bytes) * mainScale();
+        a->st.cpu_service_ns += static_cast<double>(scaled(
+            service.clientDispatchNs(), mainScale()));
+
+        trace::RpcRecord rec;
+        rec.request_id = a->st.id;
+        rec.shard_id = g.shard;
+        rec.net_id = ni.net_id;
+        rec.batch_id = bt->batch_id;
+        rec.dispatched = engine.now();
+        ++a->st.rpc_count;
+
+        const sim::Duration out_delay = link.oneWayDelay(req_bytes, rng);
+        span(trace::Layer::Network, g.shard, ni.net_id, bt->batch_id,
+             engine.now(), engine.now() + out_delay, a->st.id);
+        const NetInfo *nip = &ni;
+        engine.schedule(out_delay, [this, bt, nip, gi, lk, req_bytes, rec] {
+            remoteArrive(bt, *nip, gi, lk, req_bytes, rec);
+        });
+    }
+
+    void
+    remoteArrive(BatchState *bt, const NetInfo &ni, std::size_t gi,
+                 std::int64_t lookups, std::int64_t req_bytes,
+                 trace::RpcRecord rec)
+    {
+        const Group &g = ni.groups[gi];
+        const NetInfo *nip = &ni;
+        const sim::SimTime q0 = engine.now();
+        const int server = directory.resolve(g.shard);
+        sparse_cores[static_cast<std::size_t>(server)]->acquire(
+            [this, bt, nip, gi, lookups, req_bytes, rec, q0,
+             server]() mutable {
+                Active *a2 = bt->req;
+                const Group &g2 = nip->groups[gi];
+                rec.remote_queue_ns = engine.now() - q0;
+                rec.remote_service_ns =
+                    scaled(service.handlerNs(), sparseScale());
+                rec.remote_serde_ns =
+                    scaled(service.serdeNs(req_bytes), sparseScale());
+                rec.remote_net_overhead_ns =
+                    scaled(service.netOverheadNs(0), sparseScale());
+                rec.remote_sparse_op_ns =
+                    scaled(static_cast<double>(lookups) * g2.lookup_ns,
+                           sparseScale());
+                const std::int64_t resp_bytes = netsim::sparseResponseBytes(
+                    static_cast<std::int64_t>(g2.sum_dims), bt->batch_items);
+                const sim::Duration resp_serde =
+                    scaled(service.serdeNs(resp_bytes), sparseScale());
+                rec.remote_serde_ns += resp_serde;
+
+                // CPU accounting on the sparse shard.
+                a2->st.cpu_service_ns += static_cast<double>(
+                    rec.remote_service_ns + rec.remote_net_overhead_ns);
+                a2->st.cpu_serde_ns +=
+                    static_cast<double>(rec.remote_serde_ns);
+                a2->st.cpu_ops_ns +=
+                    static_cast<double>(rec.remote_sparse_op_ns);
+                const auto sidx = static_cast<std::size_t>(g2.shard);
+                a2->st.shard_op_ns[sidx] +=
+                    static_cast<double>(rec.remote_sparse_op_ns);
+                a2->st.shard_net_op_ns[sidx * spec.nets.size() +
+                                       static_cast<std::size_t>(
+                                           bt->net_idx)] +=
+                    static_cast<double>(rec.remote_sparse_op_ns);
+
+                const sim::Duration busy =
+                    rec.remote_service_ns + rec.remote_serde_ns +
+                    rec.remote_net_overhead_ns + rec.remote_sparse_op_ns;
+                span(trace::Layer::SparseOp, g2.shard, nip->net_id,
+                     bt->batch_id, engine.now(),
+                     engine.now() + busy, a2->st.id);
+                engine.schedule(busy, [this, bt, nip, gi, resp_bytes, rec,
+                                       server] {
+                    const Group &g3 = nip->groups[gi];
+                    sparse_cores[static_cast<std::size_t>(server)]
+                        ->release();
+                    const sim::Duration back =
+                        link.oneWayDelay(resp_bytes, rng);
+                    span(trace::Layer::Network, g3.shard, nip->net_id,
+                         bt->batch_id, engine.now(), engine.now() + back,
+                         bt->req->st.id);
+                    engine.schedule(back, [this, bt, resp_bytes, rec] {
+                        responseArrive(bt, resp_bytes, rec);
+                    });
+                });
+            });
+    }
+
+    void
+    responseArrive(BatchState *bt, std::int64_t resp_bytes,
+                   trace::RpcRecord rec)
+    {
+        Active *a = bt->req;
+        rec.completed = engine.now();
+        collector.addRpc(rec);
+        if (!a->has_bounding ||
+            rec.outstanding() > a->bounding.outstanding()) {
+            a->bounding = rec;
+            a->has_bounding = true;
+        }
+        bt->response_bytes += resp_bytes;
+        bt->last_response = engine.now();
+        if (--bt->pending > 0)
+            return;
+
+        // All shards answered: deserialize responses + top dense.
+        const sim::Duration embedded = bt->last_response - bt->dispatch_time;
+        span(trace::Layer::EmbeddedWait, trace::kMainShard,
+             nets[bt->net_idx].net_id, bt->batch_id, bt->dispatch_time,
+             bt->last_response, a->st.id);
+        main_cores->acquireFront([this, a, bt, embedded] {
+            const sim::Duration resp_deserde =
+                scaled(service.serdeNs(bt->response_bytes), mainScale());
+            auto it = pending_top_.find(bt);
+            assert(it != pending_top_.end());
+            const sim::Duration top = it->second;
+            pending_top_.erase(it);
+            a->st.cpu_serde_ns += static_cast<double>(resp_deserde);
+            span(trace::Layer::DenseOp, trace::kMainShard,
+                 nets[bt->net_idx].net_id, bt->batch_id, engine.now(),
+                 engine.now() + resp_deserde + top, a->st.id);
+            engine.schedule(resp_deserde + top, [this, a, bt, embedded] {
+                main_cores->release();
+                releaseSlot(a);
+                a->net_embedded_max =
+                    std::max(a->net_embedded_max, embedded);
+                delete bt;
+                batchDone(a);
+            });
+        });
+    }
+
+    void
+    batchDone(Active *a)
+    {
+        if (--a->batches_left > 0)
+            return;
+        a->st.lat_embedded += a->net_embedded_max;
+        ++a->net_idx;
+        startNet(a);
+    }
+
+    void
+    finishRequest(Active *a)
+    {
+        main_cores->acquireFront([this, a] {
+            const std::int64_t resp_bytes =
+                netsim::rankingResponseBytes(a->req->items);
+            const sim::Duration resp_serde =
+                scaled(service.serdeNs(resp_bytes), mainScale());
+            const sim::Duration handler =
+                scaled(service.handlerNs() / 2, mainScale());
+            a->st.lat_serde += resp_serde;
+            a->st.cpu_serde_ns += static_cast<double>(resp_serde);
+            a->st.lat_service += handler;
+            a->st.cpu_service_ns += static_cast<double>(handler);
+            span(trace::Layer::RequestSerDe, trace::kMainShard, -1, -1,
+                 engine.now(), engine.now() + resp_serde + handler,
+                 a->st.id);
+            engine.schedule(resp_serde + handler, [this, a] {
+                main_cores->release();
+                finalize(a);
+            });
+        });
+    }
+
+    void
+    finalize(Active *a)
+    {
+        a->st.completion = engine.now();
+        a->st.e2e = a->st.completion - a->st.arrival;
+        const sim::Duration accounted =
+            a->st.queue_wait + a->st.lat_serde + a->st.lat_service +
+            a->st.lat_net_overhead + a->st.lat_embedded;
+        a->st.lat_dense = std::max<sim::Duration>(0, a->st.e2e - accounted);
+
+        if (a->has_bounding) {
+            a->st.emb_sparse_op = a->bounding.remote_sparse_op_ns;
+            a->st.emb_serde = a->bounding.remote_serde_ns;
+            a->st.emb_service = a->bounding.remote_service_ns;
+            a->st.emb_net_overhead = a->bounding.remote_net_overhead_ns;
+            a->st.emb_network = a->bounding.networkLatency();
+            a->st.emb_queue = a->bounding.remote_queue_ns;
+        } else {
+            a->st.emb_sparse_op = a->max_inline_sparse;
+        }
+
+        results->push_back(a->st);
+        auto on_complete = std::move(a->on_complete);
+        delete a;
+        if (on_complete)
+            on_complete();
+    }
+};
+
+ServingSimulation::ServingSimulation(const model::ModelSpec &spec,
+                                     const ShardingPlan &plan,
+                                     ServingConfig config)
+    : spec_(spec), plan_(plan), config_(config),
+      collector_(config.retain_spans)
+{
+    impl_ = std::make_unique<Impl>(spec_, plan_, config_, collector_);
+}
+
+ServingSimulation::~ServingSimulation() = default;
+
+std::size_t
+ServingSimulation::fanoutGroupCount() const
+{
+    std::size_t n = 0;
+    for (const auto &ni : impl_->nets)
+        n += ni.groups.size();
+    return n;
+}
+
+std::vector<RequestStats>
+ServingSimulation::replaySerial(const std::vector<workload::Request> &requests)
+{
+    std::vector<RequestStats> results;
+    results.reserve(requests.size());
+    impl_->results = &results;
+
+    // Chain injections: each request enters when the previous completes.
+    std::function<void(std::size_t)> launch = [&](std::size_t i) {
+        if (i >= requests.size())
+            return;
+        impl_->inject(requests[i], [this, &launch, i] {
+            impl_->engine.schedule(config_.serial_gap_ns,
+                                   [&launch, i] { launch(i + 1); });
+        });
+    };
+    launch(0);
+    impl_->engine.run();
+    impl_->results = nullptr;
+    return results;
+}
+
+std::vector<RequestStats>
+ServingSimulation::replayOpenLoop(
+    const std::vector<workload::Request> &requests, double qps)
+{
+    assert(qps > 0.0);
+    std::vector<RequestStats> results;
+    results.reserve(requests.size());
+    impl_->results = &results;
+
+    stats::Rng arrivals = impl_->rng.fork(0xa881);
+    sim::SimTime t = impl_->engine.now();
+    for (const auto &req : requests) {
+        t += static_cast<sim::Duration>(
+            arrivals.exponential(qps) * static_cast<double>(sim::kSecond));
+        impl_->engine.scheduleAt(t, [this, &req] {
+            impl_->inject(req, nullptr);
+        });
+    }
+    impl_->engine.run();
+    impl_->results = nullptr;
+    return results;
+}
+
+} // namespace dri::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The distributed-inference serving simulation (Sections III & V).
+ *
+ * A ServingSimulation materializes one serving deployment — a main shard
+ * plus the sparse shards of a ShardingPlan, each a simulated server with a
+ * worker-core pool behind a Thrift-like service — and replays a request
+ * stream through it on a discrete-event engine. Request lifecycles follow
+ * the paper's pipeline exactly:
+ *
+ *   main shard:  deserialize -> per net (sequential): per batch (parallel):
+ *                net overhead + bottom dense -> sparse phase -> top dense
+ *                -> response serialize
+ *   sparse phase: inline SLS (singular) or asynchronous RPC fan-out to
+ *                every shard holding this net's tables; the worker core is
+ *                RELEASED while waiting (async RPC ops), which is what buys
+ *                tail latency back under load (Fig. 16)
+ *   sparse shard: network -> queue -> handler + deserde + net overhead +
+ *                SLS + response serde -> network
+ *
+ * Timing comes from calibrated cost models; values are not computed (the
+ * functional path in core/partitioner + core/local_executor covers
+ * numerics). All randomness is seeded.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/request_stats.h"
+#include "core/sharding_plan.h"
+#include "dc/platform.h"
+#include "netsim/link_model.h"
+#include "rpc/service.h"
+#include "sim/engine.h"
+#include "sim/resource.h"
+#include "stats/rng.h"
+#include "trace/collector.h"
+#include "workload/request_generator.h"
+
+namespace dri::core {
+
+/** Deployment + cost-model configuration. */
+struct ServingConfig
+{
+    dc::Platform main_platform = dc::scLarge();
+    dc::Platform sparse_platform = dc::scLarge();
+    netsim::LinkConfig link;
+    rpc::ServiceConfig service;
+
+    /** Base cost of one embedding-row gather (reference platform). */
+    double lookup_base_ns = 20.0;
+    /** Additional gather cost per stored row byte (locality effect). */
+    double lookup_ns_per_row_byte = 0.04;
+    /** Fraction of a net's dense time executed before the sparse join. */
+    double bottom_fraction = 0.5;
+    /** Batch size override; 0 uses the model's production default. */
+    int batch_size_override = 0;
+    /**
+     * Worker threads of the Thrift service on each shard (the pool that
+     * executes batches). Smaller than the machine's core count — the rest
+     * of the cores belong to the OS and co-located services. 0 means use
+     * every platform core. Serial replays never exceed request_parallelism
+     * concurrent batches, so this only matters under overlapping load
+     * (the Fig. 16 high-QPS experiment).
+     */
+    int worker_threads = 8;
+    /**
+     * Maximum batches of one request executing CPU phases concurrently
+     * (the framework's intra-request worker pool). Asynchronous RPC ops
+     * release the slot while waiting — the paper's mechanism for hiding
+     * sparse work at scale. Large requests exceed this limit and serialize
+     * into waves, which is what makes P99 grow ~linearly with request size.
+     */
+    int request_parallelism = 8;
+    /**
+     * Replica servers behind each sparse shard, resolved round-robin via
+     * service discovery (Section III-A2: shards are replicated
+     * independently based on load; statelessness lets every request land
+     * on a different replica combination).
+     */
+    int sparse_replicas = 1;
+
+    std::uint64_t seed = 1234;
+    /** Retain raw spans (needed for trace rendering; memory-heavy). */
+    bool retain_spans = false;
+    /** Gap between a completion and the next injection in serial replay. */
+    sim::Duration serial_gap_ns = 0;
+};
+
+/** One deployment of one model under one sharding plan. */
+class ServingSimulation
+{
+  public:
+    ServingSimulation(const model::ModelSpec &spec, const ShardingPlan &plan,
+                      ServingConfig config);
+    ~ServingSimulation();
+
+    ServingSimulation(const ServingSimulation &) = delete;
+    ServingSimulation &operator=(const ServingSimulation &) = delete;
+
+    /**
+     * Replay requests serially: each is injected when the previous one
+     * completes (plus ServingConfig::serial_gap_ns), isolating per-request
+     * overheads as in Section VI.
+     */
+    std::vector<RequestStats>
+    replaySerial(const std::vector<workload::Request> &requests);
+
+    /**
+     * Replay with open-loop Poisson arrivals at the given rate (the
+     * Section VII-A high-QPS experiment).
+     */
+    std::vector<RequestStats>
+    replayOpenLoop(const std::vector<workload::Request> &requests,
+                   double qps);
+
+    const trace::TraceCollector &collector() const { return collector_; }
+    const ShardingPlan &plan() const { return plan_; }
+    const model::ModelSpec &spec() const { return spec_; }
+
+    /** Number of RPC fan-out groups (shard, net) pairs in the deployment. */
+    std::size_t fanoutGroupCount() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+
+    const model::ModelSpec &spec_;
+    ShardingPlan plan_;
+    ServingConfig config_;
+    trace::TraceCollector collector_;
+};
+
+} // namespace dri::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Sharding plans: the static table-to-shard mapping produced by a sharding
+ * strategy (Section III-B). A plan records, for every embedding table,
+ * either the single sparse shard holding it or the list of shards its rows
+ * are split across (huge tables are partitioned row-wise by modulus,
+ * Section III-A1). Shard 0..num_shards-1 are sparse shards; the main shard
+ * is implicit.
+ */
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/model_spec.h"
+
+namespace dri::core {
+
+/** Placement of one table. */
+struct TableAssignment
+{
+    int table_id = 0;
+    /**
+     * Shards holding this table. Size 1: whole table on one shard.
+     * Size > 1: rows split by `row % shards.size()` across the listed
+     * shards, in modulus order.
+     */
+    std::vector<int> shards;
+
+    bool isSplit() const { return shards.size() > 1; }
+    std::size_t ways() const { return shards.size(); }
+};
+
+/** Per-shard static attributes (the rows of Table II). */
+struct ShardSummary
+{
+    int shard_id = 0;
+    double capacity_gib = 0.0;
+    /** Whole tables plus split-table pieces resident on the shard. */
+    int table_count = 0;
+    /** Expected lookups per request routed to this shard. */
+    double estimated_pooling = 0.0;
+    /** Nets with at least one table (piece) on this shard. */
+    std::set<int> nets;
+};
+
+/** A complete sharding configuration. */
+class ShardingPlan
+{
+  public:
+    ShardingPlan() = default;
+    ShardingPlan(std::string strategy, int num_shards,
+                 std::vector<TableAssignment> assignments);
+
+    const std::string &strategy() const { return strategy_; }
+    /** Number of sparse shards; 0 means singular (non-distributed). */
+    int numShards() const { return num_shards_; }
+    bool isSingular() const { return num_shards_ == 0; }
+
+    /** Display label, e.g. "load-bal 4 shards". */
+    std::string label() const;
+
+    const std::vector<TableAssignment> &assignments() const
+    {
+        return assignments_;
+    }
+    const TableAssignment &assignmentFor(int table_id) const;
+
+    /** Table ids with at least a piece on the given shard. */
+    std::vector<int> tablesOnShard(int shard_id) const;
+
+    /** Sparse shards hosting tables of the given net. */
+    std::set<int> shardsForNet(const model::ModelSpec &spec,
+                               int net_id) const;
+
+    /** Logical bytes resident on a shard (split tables contribute 1/ways). */
+    double capacityBytes(const model::ModelSpec &spec, int shard_id) const;
+
+    /**
+     * Expected request pooling routed to a shard, from per-table pooling
+     * estimates indexed by table id (split tables contribute 1/ways).
+     */
+    double estimatedPooling(const std::vector<double> &per_table_pooling,
+                            int shard_id) const;
+
+    /** Table II row set: per-shard capacity, table count, pooling. */
+    std::vector<ShardSummary>
+    summarize(const model::ModelSpec &spec,
+              const std::vector<double> &per_table_pooling) const;
+
+    /**
+     * Structural validation: every table assigned exactly once, shard ids
+     * in range, split tables use distinct shards, and (if a memory limit is
+     * given) no shard exceeds it.
+     */
+    bool validate(const model::ModelSpec &spec, std::string *error = nullptr,
+                  std::int64_t shard_memory_limit = 0) const;
+
+  private:
+    std::string strategy_ = "singular";
+    int num_shards_ = 0;
+    std::vector<TableAssignment> assignments_;
+};
+
+} // namespace dri::core

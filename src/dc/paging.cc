@@ -1,0 +1,39 @@
+#include "dc/paging.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dri::dc {
+
+double
+residentFraction(std::int64_t model_bytes, const Platform &platform)
+{
+    assert(model_bytes > 0);
+    const double f = static_cast<double>(platform.usableModelBytes()) /
+                     static_cast<double>(model_bytes);
+    return std::clamp(f, 0.0, 1.0);
+}
+
+double
+hitRate(double resident_fraction, double access_skew)
+{
+    assert(resident_fraction >= 0.0 && resident_fraction <= 1.0);
+    assert(access_skew >= 0.0 && access_skew < 1.0);
+    if (resident_fraction <= 0.0)
+        return 0.0;
+    // Zipf-like mass captured by the hottest fraction f of rows:
+    // integral of x^(-skew) over [0, f] normalized -> f^(1 - skew).
+    return std::pow(resident_fraction, 1.0 - access_skew);
+}
+
+double
+pagedLookupNs(std::int64_t model_bytes, const Platform &platform,
+              const PagingConfig &config)
+{
+    const double f = residentFraction(model_bytes, platform);
+    const double h = hitRate(f, config.access_skew);
+    return h * config.dram_lookup_ns + (1.0 - h) * config.ssd_lookup_ns;
+}
+
+} // namespace dri::dc

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Replication and resource-efficiency estimation (Section VII-C).
+ *
+ * The paper's argument: a singular model replicates *all* of its memory
+ * (embedding tables included) whenever compute demand grows, even though
+ * the compute touches <3% of the footprint. Distributed inference decouples
+ * the two — main-shard replicas scale with dense compute, sparse-shard
+ * replicas scale with their own (small) compute — so the memory cost of
+ * meeting a QPS target drops. This module quantifies that trade-off.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dc/platform.h"
+
+namespace dri::dc {
+
+/** Compute/memory demand of one shard (measured per request). */
+struct ShardDemand
+{
+    std::string name;
+    double cpu_ms_per_request = 0.0;  //!< CPU consumed per request
+    std::int64_t model_bytes = 0;     //!< parameter footprint
+};
+
+/** Provisioning result for one shard type. */
+struct ShardProvision
+{
+    std::string name;
+    int replicas = 0;
+    std::int64_t total_memory_bytes = 0;
+    double cpu_utilization = 0.0; //!< at the target QPS, across replicas
+    double power_watts = 0.0;     //!< estimated cluster power draw
+};
+
+/** Whole-deployment provisioning summary. */
+struct DeploymentPlan
+{
+    std::vector<ShardProvision> shards;
+    std::int64_t totalMemoryBytes() const;
+    int totalReplicas() const;
+    double totalPowerWatts() const;
+};
+
+/**
+ * Compute replicas needed for each shard to serve `qps` requests/sec at or
+ * below `target_utilization` of the platform's cores, plus the memory
+ * feasibility constraint (a shard whose parameters exceed usable DRAM
+ * cannot be deployed at all — the situation motivating the whole paper).
+ *
+ * @returns plan with one entry per demand, in order.
+ */
+DeploymentPlan provision(const std::vector<ShardDemand> &demands,
+                         const Platform &platform, double qps,
+                         double target_utilization = 0.6);
+
+/** True if the shard fits the platform's usable model memory. */
+bool fits(const ShardDemand &demand, const Platform &platform);
+
+} // namespace dri::dc

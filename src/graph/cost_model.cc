@@ -1,0 +1,108 @@
+#include "graph/cost_model.h"
+
+#include <cmath>
+
+namespace dri::graph {
+
+namespace {
+
+/** Total elements across a set of tensor blobs that exist in ws. */
+double
+totalNumel(const Workspace &ws, const std::vector<std::string> &names)
+{
+    double n = 0.0;
+    for (const auto &name : names)
+        if (ws.has(name))
+            n += static_cast<double>(ws.tensorBlob(name).numel());
+    return n;
+}
+
+} // namespace
+
+Work
+estimateWork(const Operator &op, const Workspace &ws)
+{
+    Work w;
+    if (const auto *fc = dynamic_cast<const FullyConnectedOp *>(&op)) {
+        const auto &in = ws.tensorBlob(fc->inputs()[0]);
+        const auto &weight = ws.tensorBlob(fc->inputs()[1]);
+        const double batch = static_cast<double>(in.rows());
+        const double in_dim = static_cast<double>(weight.cols());
+        const double out_dim = static_cast<double>(weight.rows());
+        w.flops = 2.0 * batch * in_dim * out_dim;
+        w.bytes = static_cast<double>(weight.bytes()) +
+                  static_cast<double>(in.bytes());
+        return w;
+    }
+    if (const auto *sls = dynamic_cast<const SparseLengthsSumOp *>(&op)) {
+        const auto &ids = ws.indexListBlob(sls->inputs()[0]);
+        const auto &table = ws.table(sls->tableName());
+        const double lookups = static_cast<double>(ids.totalLookups());
+        w.lookups = lookups;
+        w.bytes = lookups * static_cast<double>(
+                                tensor::rowBytes(table.precision(),
+                                                 table.dim()));
+        w.flops = lookups * static_cast<double>(table.dim());
+        return w;
+    }
+    if (const auto *split = dynamic_cast<const SplitIndicesOp *>(&op)) {
+        const auto &ids = ws.indexListBlob(split->inputs()[0]);
+        const double n = static_cast<double>(ids.totalLookups());
+        w.flops = n; // one modulus per index
+        w.bytes = n * 8.0;
+        return w;
+    }
+    switch (op.opClass()) {
+      case OpClass::Activations:
+      case OpClass::ScaleClip: {
+        const double n = totalNumel(ws, op.inputs());
+        w.flops = n;
+        w.bytes = n * 8.0;
+        return w;
+      }
+      case OpClass::MemoryTransform: {
+        const double n = totalNumel(ws, op.inputs());
+        w.bytes = n * 8.0;
+        return w;
+      }
+      case OpClass::FeatureTransform: {
+        // Dot interaction: pairwise dots across blocks.
+        const double blocks = static_cast<double>(op.inputs().size());
+        double batch = 0.0, dim = 0.0;
+        if (!op.inputs().empty() && ws.has(op.inputs()[0])) {
+            const auto &t = ws.tensorBlob(op.inputs()[0]);
+            batch = static_cast<double>(t.rows());
+            dim = static_cast<double>(t.cols());
+        }
+        w.flops = batch * dim * blocks * (blocks - 1.0);
+        w.bytes = batch * dim * blocks * 4.0;
+        return w;
+      }
+      default:
+        return w;
+    }
+}
+
+sim::Duration
+workToNs(const Work &work, const CostParams &params)
+{
+    const double ns = params.op_dispatch_ns + work.flops * params.ns_per_flop +
+                      work.bytes * params.ns_per_byte +
+                      work.lookups * params.ns_per_lookup;
+    return static_cast<sim::Duration>(std::llround(ns));
+}
+
+sim::Duration
+estimateNetNs(const NetDef &net, const Workspace &ws,
+              const CostParams &params)
+{
+    sim::Duration total = 0;
+    for (const auto &op : net.ops()) {
+        if (op->opClass() == OpClass::Rpc)
+            continue;
+        total += workToNs(estimateWork(*op, ws), params);
+    }
+    return total;
+}
+
+} // namespace dri::graph

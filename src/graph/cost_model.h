@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Operator cost model: converts operator work (flops, bytes, lookups) into
+ * simulated nanoseconds on a platform. This is the micro-level counterpart
+ * of the serving engine's request-level cost profiles; both draw their
+ * platform constants from dc::Platform.
+ */
+#pragma once
+
+#include "graph/net.h"
+#include "graph/workspace.h"
+#include "sim/time.h"
+
+namespace dri::graph {
+
+/** Abstract work performed by one operator execution. */
+struct Work
+{
+    double flops = 0.0;   //!< floating-point operations
+    double bytes = 0.0;   //!< memory traffic touched
+    double lookups = 0.0; //!< embedding rows gathered
+};
+
+/**
+ * Platform cost coefficients (derived from a dc::Platform). Sparse lookups
+ * carry their own per-row cost because they are latency-bound gathers, not
+ * streaming bandwidth (the paper: sparse layers are memory bound while dense
+ * layers are compute bound, Section III-B).
+ */
+struct CostParams
+{
+    double ns_per_flop = 2.5e-4;   //!< ~4 GFLOP/s effective single-core
+    double ns_per_byte = 0.02;     //!< ~50 GB/s streaming
+    double ns_per_lookup = 60.0;   //!< random-access row gather
+    double op_dispatch_ns = 250.0; //!< framework per-op scheduling cost
+};
+
+/**
+ * Estimate the work of one operator given the workspace state *after* its
+ * inputs are materialized (shapes must be inspectable).
+ */
+Work estimateWork(const Operator &op, const Workspace &ws);
+
+/** Convert work to simulated time under the given platform coefficients. */
+sim::Duration workToNs(const Work &work, const CostParams &params);
+
+/** Sum of estimated op durations for a whole net (excluding RPC waits). */
+sim::Duration estimateNetNs(const NetDef &net, const Workspace &ws,
+                            const CostParams &params);
+
+} // namespace dri::graph

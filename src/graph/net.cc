@@ -1,0 +1,32 @@
+#include "graph/net.h"
+
+namespace dri::graph {
+
+Operator *
+NetDef::add(std::unique_ptr<Operator> op)
+{
+    ops_.push_back(std::move(op));
+    return ops_.back().get();
+}
+
+std::size_t
+NetDef::countClass(OpClass c) const
+{
+    std::size_t n = 0;
+    for (const auto &op : ops_)
+        if (op->opClass() == c)
+            ++n;
+    return n;
+}
+
+std::vector<std::string>
+NetDef::referencedTables() const
+{
+    std::vector<std::string> tables;
+    for (const auto &op : ops_)
+        if (const auto *sls = dynamic_cast<const SparseLengthsSumOp *>(op.get()))
+            tables.push_back(sls->tableName());
+    return tables;
+}
+
+} // namespace dri::graph

@@ -1,0 +1,118 @@
+#include "graph/workspace.h"
+
+#include <cassert>
+
+namespace dri::graph {
+
+bool
+Workspace::has(const std::string &name) const
+{
+    return blobs_.count(name) > 0;
+}
+
+tensor::Tensor &
+Workspace::createTensor(const std::string &name)
+{
+    blobs_[name] = tensor::Tensor();
+    return std::get<tensor::Tensor>(blobs_[name]);
+}
+
+IndexList &
+Workspace::createIndexList(const std::string &name)
+{
+    blobs_[name] = IndexList();
+    return std::get<IndexList>(blobs_[name]);
+}
+
+tensor::Tensor &
+Workspace::tensorBlob(const std::string &name)
+{
+    auto it = blobs_.find(name);
+    assert(it != blobs_.end() && "missing tensor blob");
+    auto *t = std::get_if<tensor::Tensor>(&it->second);
+    assert(t && "blob is not a tensor");
+    return *t;
+}
+
+const tensor::Tensor &
+Workspace::tensorBlob(const std::string &name) const
+{
+    auto it = blobs_.find(name);
+    assert(it != blobs_.end() && "missing tensor blob");
+    const auto *t = std::get_if<tensor::Tensor>(&it->second);
+    assert(t && "blob is not a tensor");
+    return *t;
+}
+
+IndexList &
+Workspace::indexListBlob(const std::string &name)
+{
+    auto it = blobs_.find(name);
+    assert(it != blobs_.end() && "missing index-list blob");
+    auto *l = std::get_if<IndexList>(&it->second);
+    assert(l && "blob is not an index list");
+    return *l;
+}
+
+const IndexList &
+Workspace::indexListBlob(const std::string &name) const
+{
+    auto it = blobs_.find(name);
+    assert(it != blobs_.end() && "missing index-list blob");
+    const auto *l = std::get_if<IndexList>(&it->second);
+    assert(l && "blob is not an index list");
+    return *l;
+}
+
+void
+Workspace::addTable(const std::string &name,
+                    std::shared_ptr<tensor::VirtualEmbeddingTable> table)
+{
+    tables_[name] = std::move(table);
+}
+
+const tensor::VirtualEmbeddingTable &
+Workspace::table(const std::string &name) const
+{
+    auto it = tables_.find(name);
+    assert(it != tables_.end() && "missing embedding table");
+    return *it->second;
+}
+
+bool
+Workspace::hasTable(const std::string &name) const
+{
+    return tables_.count(name) > 0;
+}
+
+const Blob &
+Workspace::blob(const std::string &name) const
+{
+    auto it = blobs_.find(name);
+    assert(it != blobs_.end() && "missing blob");
+    return it->second;
+}
+
+void
+Workspace::setBlob(const std::string &name, Blob value)
+{
+    blobs_[name] = std::move(value);
+}
+
+void
+Workspace::remove(const std::string &name)
+{
+    blobs_.erase(name);
+}
+
+std::vector<std::string>
+Workspace::blobNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(blobs_.size());
+    for (const auto &kv : blobs_)
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace dri::graph

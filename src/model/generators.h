@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Generators for the three production-like models the paper evaluates
+ * (Section V-A), plus the historical growth series of Fig. 1.
+ *
+ * Every published attribute is reproduced:
+ *  - DRM1: 200 GB, 257 tables, largest 3.6 GB, long-tail sizes, two nets;
+ *    sparse ops are 9.7% of operator compute; Net 1 holds ~33.6 GiB but
+ *    ~94% of pooling work, Net 2 holds ~160 GiB with low pooling.
+ *  - DRM2: 138 GB, 133 tables, largest 6.7 GB, two nets, smaller requests;
+ *    sparse ops 9.6% of compute.
+ *  - DRM3: 200 GB, 39 tables, single net, dominated by one 178.8 GB table
+ *    with pooling factor 1; sparse ops 3.1% of compute.
+ */
+#pragma once
+
+#include <vector>
+
+#include "model/model_spec.h"
+
+namespace dri::model {
+
+/** Reference cost of one embedding-row gather, used for calibration. */
+constexpr double kNsPerLookup = 25.0;
+
+ModelSpec makeDrm1();
+ModelSpec makeDrm2();
+ModelSpec makeDrm3();
+
+/** All three models, in order. */
+std::vector<ModelSpec> makeAllModels();
+
+/**
+ * Power-law size ladder: n positive values with the given maximum and total
+ * (largest first). Solves for the exponent by bisection; requires
+ * largest <= total <= n * largest.
+ */
+std::vector<double> powerLawLadder(std::size_t n, double largest,
+                                   double total);
+
+/** One point of the Fig. 1 historical growth trajectory. */
+struct GrowthPoint
+{
+    int year_quarter;      //!< quarters since the series start
+    double num_features;   //!< sparse-feature count, relative
+    double capacity_gb;    //!< total embedding capacity
+};
+
+/**
+ * Synthetic model-growth trajectory (substitution for Fig. 1's production
+ * history): both feature count and capacity grow by roughly an order of
+ * magnitude across three years, capacity faster than features.
+ */
+std::vector<GrowthPoint> modelGrowthSeries();
+
+} // namespace dri::model

@@ -1,0 +1,34 @@
+#include "netsim/link_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dri::netsim {
+
+LinkModel::LinkModel(LinkConfig config)
+    : config_(config), jitter_(1.0, config.jitter_sigma)
+{
+    assert(config.base_one_way_ns >= 0);
+    assert(config.bandwidth_bytes_per_ns > 0.0);
+}
+
+sim::Duration
+LinkModel::oneWayDelay(std::int64_t bytes, stats::Rng &rng) const
+{
+    const double base = static_cast<double>(config_.base_one_way_ns) *
+                        jitter_.sample(rng);
+    const double wire =
+        static_cast<double>(bytes) / config_.bandwidth_bytes_per_ns;
+    return static_cast<sim::Duration>(std::llround(base + wire));
+}
+
+sim::Duration
+LinkModel::expectedOneWayDelay(std::int64_t bytes) const
+{
+    const double wire =
+        static_cast<double>(bytes) / config_.bandwidth_bytes_per_ns;
+    return config_.base_one_way_ns +
+           static_cast<sim::Duration>(std::llround(wire));
+}
+
+} // namespace dri::netsim

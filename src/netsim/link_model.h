@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Network link model for the simulated data-center intranet.
+ *
+ * All inter-shard communication in the paper crosses a standard TCP/IP
+ * Ethernet fabric (Section III-C); the dominant latency terms are a
+ * near-constant propagation + kernel processing base, lognormal jitter from
+ * switching/queueing, and a bandwidth term proportional to message size.
+ * The paper's headline observation — "network latency was greater than
+ * operator latency" for every distributed configuration — is a property of
+ * exactly these constants, so they are explicit and sweepable (see
+ * bench_ablation_network_sweep).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace dri::netsim {
+
+/** Static description of a link between two servers. */
+struct LinkConfig
+{
+    /** One-way base latency: propagation + kernel packet processing. */
+    sim::Duration base_one_way_ns = 150 * sim::kMicrosecond;
+    /** Lognormal jitter sigma applied multiplicatively to the base. */
+    double jitter_sigma = 0.25;
+    /** Usable NIC-to-NIC bandwidth in bytes per nanosecond (GB/s). */
+    double bandwidth_bytes_per_ns = 6.0; // ~50 Gb/s effective
+};
+
+/**
+ * Samples per-message one-way delivery delays. Stateless apart from the
+ * caller-provided RNG so replicas can share one model.
+ */
+class LinkModel
+{
+  public:
+    explicit LinkModel(LinkConfig config);
+
+    /** One-way delay for a message of the given size. */
+    sim::Duration oneWayDelay(std::int64_t bytes, stats::Rng &rng) const;
+
+    /** Deterministic (jitter-free) delay, for analytical baselines. */
+    sim::Duration expectedOneWayDelay(std::int64_t bytes) const;
+
+    const LinkConfig &config() const { return config_; }
+
+  private:
+    LinkConfig config_;
+    stats::LognormalSampler jitter_;
+};
+
+} // namespace dri::netsim

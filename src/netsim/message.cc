@@ -1,0 +1,36 @@
+#include "netsim/message.h"
+
+#include <cmath>
+
+namespace dri::netsim {
+
+std::int64_t
+sparseRequestBytes(std::int64_t lookups, std::int64_t tables,
+                   std::int64_t batch_items)
+{
+    return kRpcEnvelopeBytes + lookups * 8 + tables * batch_items * 4;
+}
+
+std::int64_t
+sparseResponseBytes(std::int64_t sum_table_dims, std::int64_t batch_items)
+{
+    return kRpcEnvelopeBytes + sum_table_dims * batch_items * 4;
+}
+
+std::int64_t
+rankingRequestBytes(double bytes_per_item, std::int64_t items,
+                    std::int64_t total_lookups)
+{
+    return kRpcEnvelopeBytes +
+           static_cast<std::int64_t>(
+               std::llround(bytes_per_item * static_cast<double>(items))) +
+           total_lookups * 8;
+}
+
+std::int64_t
+rankingResponseBytes(std::int64_t items)
+{
+    return kRpcEnvelopeBytes + items * 4;
+}
+
+} // namespace dri::netsim

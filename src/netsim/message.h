@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Message size models for RPC payloads. The paper notes that the number of
+ * lookups is proportional to the network bandwidth used to send table
+ * indices (Section III-B2); responses carry pooled embedding vectors whose
+ * size scales with batch items and the per-shard sum of table dimensions.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace dri::netsim {
+
+/** Framing + header bytes added to every RPC message. */
+constexpr std::int64_t kRpcEnvelopeBytes = 512;
+
+/**
+ * Bytes of a sparse-lookup *request*: per-lookup 8-byte indices plus
+ * per-segment 4-byte lengths for each (table, batch-item) pair.
+ */
+std::int64_t sparseRequestBytes(std::int64_t lookups, std::int64_t tables,
+                                std::int64_t batch_items);
+
+/**
+ * Bytes of a sparse-lookup *response*: one pooled FP32 vector per
+ * (table, batch item).
+ */
+std::int64_t sparseResponseBytes(std::int64_t sum_table_dims,
+                                 std::int64_t batch_items);
+
+/** Bytes of a top-level ranking request for the given item count. */
+std::int64_t rankingRequestBytes(double bytes_per_item, std::int64_t items,
+                                 std::int64_t total_lookups);
+
+/** Bytes of a ranking response (one score per item). */
+std::int64_t rankingResponseBytes(std::int64_t items);
+
+} // namespace dri::netsim

@@ -1,0 +1,38 @@
+#include "rpc/discovery.h"
+
+#include <cassert>
+
+namespace dri::rpc {
+
+void
+ServiceDirectory::registerReplica(int shard_id, int server_id)
+{
+    replicas_[shard_id].push_back(server_id);
+}
+
+std::size_t
+ServiceDirectory::replicaCount(int shard_id) const
+{
+    auto it = replicas_.find(shard_id);
+    return it == replicas_.end() ? 0 : it->second.size();
+}
+
+int
+ServiceDirectory::resolve(int shard_id)
+{
+    auto it = replicas_.find(shard_id);
+    assert(it != replicas_.end() && !it->second.empty());
+    const std::size_t idx = next_[shard_id] % it->second.size();
+    next_[shard_id] = idx + 1;
+    return it->second[idx];
+}
+
+const std::vector<int> &
+ServiceDirectory::replicas(int shard_id) const
+{
+    auto it = replicas_.find(shard_id);
+    assert(it != replicas_.end());
+    return it->second;
+}
+
+} // namespace dri::rpc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Universal service-discovery stub: maps a logical shard id to one of its
+ * replica server instances (Section III-C routes intermediate requests via
+ * a universal service discovery protocol). Selection is round-robin, which
+ * is what makes stateless shards a hard requirement — consecutive requests
+ * may land on different replicas.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dri::rpc {
+
+/** Replica registry and round-robin resolver. */
+class ServiceDirectory
+{
+  public:
+    /** Register a replica server instance for a logical shard. */
+    void registerReplica(int shard_id, int server_id);
+
+    /** Number of replicas registered for the shard (0 if unknown). */
+    std::size_t replicaCount(int shard_id) const;
+
+    /**
+     * Resolve the shard to a server id, rotating across replicas.
+     * Asserts if the shard has no replicas.
+     */
+    int resolve(int shard_id);
+
+    /** All server ids registered for a shard. */
+    const std::vector<int> &replicas(int shard_id) const;
+
+  private:
+    std::map<int, std::vector<int>> replicas_;
+    std::map<int, std::size_t> next_;
+};
+
+} // namespace dri::rpc

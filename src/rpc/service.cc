@@ -1,0 +1,20 @@
+#include "rpc/service.h"
+
+#include <cmath>
+
+namespace dri::rpc {
+
+sim::Duration
+ServiceCostModel::serdeNs(std::int64_t bytes) const
+{
+    return static_cast<sim::Duration>(
+        std::llround(config_.serde_ns_per_byte * static_cast<double>(bytes)));
+}
+
+sim::Duration
+ServiceCostModel::netOverheadNs(std::int64_t async_ops) const
+{
+    return config_.net_overhead_ns + async_ops * config_.async_op_overhead_ns;
+}
+
+} // namespace dri::rpc

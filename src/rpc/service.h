@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Thrift-like RPC service cost model.
+ *
+ * Every shard — main and sparse — runs a full service handler plus an ML
+ * framework instance (Section III-A2). The measurable costs the paper's
+ * tracing attributes to this stack are: request/response serialization
+ * ("RPC Ser/De", proportional to payload bytes), fixed handler boilerplate
+ * ("RPC Service Function"), framework net-scheduling overhead ("Caffe2 Net
+ * Overhead"), and the client-side cost of issuing asynchronous RPC ops.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace dri::rpc {
+
+/** Cost coefficients for one service instance. */
+struct ServiceConfig
+{
+    /** Fixed handler boilerplate per served request (CPU). */
+    sim::Duration handler_fixed_ns = 40 * sim::kMicrosecond;
+    /** Serialization/deserialization CPU cost per payload byte. */
+    double serde_ns_per_byte = 0.08;
+    /** Framework scheduling overhead per net execution (CPU). */
+    sim::Duration net_overhead_ns = 30 * sim::kMicrosecond;
+    /** Extra framework bookkeeping per asynchronous op in a net (CPU). */
+    sim::Duration async_op_overhead_ns = 4 * sim::kMicrosecond;
+    /** Client-side CPU to construct and dispatch one RPC request. */
+    sim::Duration client_dispatch_ns = 6 * sim::kMicrosecond;
+};
+
+/** Evaluates service-stack costs. */
+class ServiceCostModel
+{
+  public:
+    explicit ServiceCostModel(ServiceConfig config) : config_(config) {}
+
+    /** CPU to (de)serialize a payload of the given size. */
+    sim::Duration serdeNs(std::int64_t bytes) const;
+
+    /** Fixed per-request handler CPU. */
+    sim::Duration handlerNs() const { return config_.handler_fixed_ns; }
+
+    /** Framework overhead for executing a net with the given async ops. */
+    sim::Duration netOverheadNs(std::int64_t async_ops) const;
+
+    /** Client-side CPU for dispatching one RPC. */
+    sim::Duration clientDispatchNs() const
+    {
+        return config_.client_dispatch_ns;
+    }
+
+    const ServiceConfig &config() const { return config_; }
+
+  private:
+    ServiceConfig config_;
+};
+
+} // namespace dri::rpc

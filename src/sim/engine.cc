@@ -1,0 +1,55 @@
+#include "sim/engine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dri::sim {
+
+void
+Engine::schedule(Duration delay, EventFn fn)
+{
+    assert(delay >= 0);
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+Engine::scheduleAt(SimTime when, EventFn fn)
+{
+    assert(when >= now_);
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+std::size_t
+Engine::run()
+{
+    std::size_t n = 0;
+    while (!queue_.empty()) {
+        // Move the event out before popping so the callback may schedule.
+        Event ev = std::move(const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        now_ = ev.when;
+        ev.fn();
+        ++n;
+        ++executed_;
+    }
+    return n;
+}
+
+std::size_t
+Engine::runUntil(SimTime horizon)
+{
+    std::size_t n = 0;
+    while (!queue_.empty() && queue_.top().when <= horizon) {
+        Event ev = std::move(const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        now_ = ev.when;
+        ev.fn();
+        ++n;
+        ++executed_;
+    }
+    if (now_ < horizon)
+        now_ = horizon;
+    return n;
+}
+
+} // namespace dri::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal deterministic discrete-event engine.
+ *
+ * The serving substrate (servers, links, RPC services) is modelled as events
+ * on a single priority queue. Ties are broken by insertion order, so a given
+ * seed always produces the identical schedule regardless of host platform.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dri::sim {
+
+/** Callback invoked when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * The event queue and simulated clock.
+ *
+ * Usage: schedule work with schedule()/scheduleAt(), then run() until the
+ * queue drains (or runUntil() for bounded horizons). Event callbacks may
+ * schedule further events; the engine is single-threaded by design.
+ */
+class Engine
+{
+  public:
+    Engine() = default;
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule fn to fire after the given (non-negative) delay. */
+    void schedule(Duration delay, EventFn fn);
+
+    /** Schedule fn at an absolute time >= now(). */
+    void scheduleAt(SimTime when, EventFn fn);
+
+    /** Run until the event queue is empty. Returns events executed. */
+    std::size_t run();
+
+    /**
+     * Run until the queue is empty or simulated time would exceed the
+     * horizon. Events scheduled past the horizon remain queued.
+     */
+    std::size_t runUntil(SimTime horizon);
+
+    /** Events currently pending. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        std::uint64_t seq; //!< Insertion order; breaks timestamp ties.
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    SimTime now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace dri::sim

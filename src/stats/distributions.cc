@@ -1,0 +1,83 @@
+#include "stats/distributions.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dri::stats {
+
+LognormalSampler::LognormalSampler(double median, double sigma)
+    : median_(median), sigma_(sigma), mu_(std::log(median))
+{
+    assert(median > 0.0 && sigma >= 0.0);
+}
+
+double
+LognormalSampler::sample(Rng &rng) const
+{
+    if (sigma_ == 0.0)
+        return median_;
+    return std::exp(mu_ + sigma_ * rng.gaussian());
+}
+
+double
+LognormalSampler::mean() const
+{
+    return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+BoundedParetoSampler::BoundedParetoSampler(double alpha, double lo, double hi)
+    : alpha_(alpha), lo_(lo), hi_(hi)
+{
+    assert(alpha > 0.0 && lo > 0.0 && hi >= lo);
+}
+
+double
+BoundedParetoSampler::sample(Rng &rng) const
+{
+    if (lo_ == hi_)
+        return lo_;
+    // Inverse CDF of the bounded Pareto distribution.
+    const double u = rng.uniform();
+    const double la = std::pow(lo_, alpha_);
+    const double ha = std::pow(hi_, alpha_);
+    const double x = std::pow(-(u * ha - u * la - ha) / (ha * la),
+                              -1.0 / alpha_);
+    return x;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s)
+{
+    assert(n > 0);
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        cdf_[k] = acc;
+    }
+    for (auto &v : cdf_)
+        v /= acc;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    // Binary search for the first cdf entry >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (cdf_[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+double
+PoissonProcess::nextGapSeconds(Rng &rng) const
+{
+    return rng.exponential(rate_);
+}
+
+} // namespace dri::stats

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Parametric samplers used throughout workload and network modelling.
+ *
+ * The paper's workload structure is distributional: request sizes are
+ * heavy-tailed (P99 latency is ~5x P50, Table III), embedding-table sizes
+ * follow either a long tail (DRM1/DRM2) or a single dominant mass (DRM3,
+ * Fig. 5), and network jitter is modelled as lognormal, the standard choice
+ * for data-center RPC latency.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace dri::stats {
+
+/**
+ * Lognormal sampler parameterized by the *median* and the sigma of the
+ * underlying normal. median = exp(mu) makes calibration against measured
+ * medians direct.
+ */
+class LognormalSampler
+{
+  public:
+    LognormalSampler(double median, double sigma);
+
+    double sample(Rng &rng) const;
+
+    /** Analytic mean: exp(mu + sigma^2 / 2). */
+    double mean() const;
+
+    double median() const { return median_; }
+    double sigma() const { return sigma_; }
+
+  private:
+    double median_;
+    double sigma_;
+    double mu_;
+};
+
+/**
+ * Bounded Pareto sampler for heavy-tailed request sizes. alpha controls tail
+ * weight (smaller = heavier); samples lie in [lo, hi].
+ */
+class BoundedParetoSampler
+{
+  public:
+    BoundedParetoSampler(double alpha, double lo, double hi);
+
+    double sample(Rng &rng) const;
+
+    double alpha() const { return alpha_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+  private:
+    double alpha_;
+    double lo_;
+    double hi_;
+};
+
+/**
+ * Zipf sampler over ranks 1..n with exponent s, via inverse-CDF on the
+ * precomputed normalization. Used for skewed embedding-row popularity.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double s);
+
+    /** Returns a rank in [0, n). Rank 0 is the most popular. */
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t n() const { return cdf_.size(); }
+    double s() const { return s_; }
+
+  private:
+    std::vector<double> cdf_;
+    double s_;
+};
+
+/**
+ * Open-loop Poisson arrival process: interarrival gaps are exponential with
+ * the configured rate. Used by the 25 QPS experiment (Fig. 16).
+ */
+class PoissonProcess
+{
+  public:
+    explicit PoissonProcess(double rate_per_sec) : rate_(rate_per_sec) {}
+
+    /** Next interarrival gap in seconds. */
+    double nextGapSeconds(Rng &rng) const;
+
+    double rate() const { return rate_; }
+
+  private:
+    double rate_;
+};
+
+} // namespace dri::stats

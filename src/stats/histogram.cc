@@ -1,0 +1,94 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace dri::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins, Scale scale)
+    : lo_(lo), hi_(hi), scale_(scale), counts_(bins, 0)
+{
+    assert(bins > 0);
+    assert(hi > lo);
+    if (scale == Scale::Log)
+        assert(lo > 0.0);
+}
+
+std::size_t
+Histogram::binFor(double sample) const
+{
+    double pos;
+    if (scale_ == Scale::Linear) {
+        pos = (sample - lo_) / (hi_ - lo_);
+    } else {
+        const double s = std::max(sample, lo_);
+        pos = (std::log(s) - std::log(lo_)) / (std::log(hi_) - std::log(lo_));
+    }
+    const double scaled = pos * static_cast<double>(counts_.size());
+    const auto idx = static_cast<std::int64_t>(std::floor(scaled));
+    const auto max_idx = static_cast<std::int64_t>(counts_.size()) - 1;
+    return static_cast<std::size_t>(std::clamp<std::int64_t>(idx, 0, max_idx));
+}
+
+void
+Histogram::add(double sample)
+{
+    ++counts_[binFor(sample)];
+    ++total_;
+}
+
+double
+Histogram::binLo(std::size_t bin) const
+{
+    const double f = static_cast<double>(bin) /
+                     static_cast<double>(counts_.size());
+    if (scale_ == Scale::Linear)
+        return lo_ + f * (hi_ - lo_);
+    return std::exp(std::log(lo_) + f * (std::log(hi_) - std::log(lo_)));
+}
+
+double
+Histogram::binHi(std::size_t bin) const
+{
+    return binLo(bin + 1);
+}
+
+double
+Histogram::fraction(std::size_t bin) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(bin)) /
+           static_cast<double>(total_);
+}
+
+double
+Histogram::cumulativeFraction(std::size_t bin) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::size_t acc = 0;
+    for (std::size_t i = 0; i <= bin; ++i)
+        acc += counts_[i];
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::ostringstream os;
+    std::size_t max_count = 0;
+    for (auto c : counts_)
+        max_count = std::max(max_count, c);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::size_t bar =
+            max_count == 0 ? 0 : counts_[i] * width / max_count;
+        os << "[" << binLo(i) << ", " << binHi(i) << ") "
+           << std::string(bar, '#') << " " << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+} // namespace dri::stats

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fixed-bin and log-scale histograms for latency and size distributions
+ * (Fig. 5's table-size distribution, operator latency spreads).
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dri::stats {
+
+/**
+ * A histogram over [lo, hi) with uniformly or logarithmically spaced bins.
+ * Samples outside the range are clamped into the first/last bin so that
+ * counts are never silently dropped.
+ */
+class Histogram
+{
+  public:
+    enum class Scale { Linear, Log };
+
+    Histogram(double lo, double hi, std::size_t bins,
+              Scale scale = Scale::Linear);
+
+    void add(double sample);
+
+    std::size_t binCount() const { return counts_.size(); }
+    std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+    std::size_t totalCount() const { return total_; }
+
+    /** Inclusive lower edge of the given bin. */
+    double binLo(std::size_t bin) const;
+    /** Exclusive upper edge of the given bin. */
+    double binHi(std::size_t bin) const;
+
+    /** Fraction of samples in the given bin; 0 if the histogram is empty. */
+    double fraction(std::size_t bin) const;
+
+    /** Cumulative fraction of samples at or below the bin's upper edge. */
+    double cumulativeFraction(std::size_t bin) const;
+
+    /** Render a compact ASCII bar chart, one bin per line. */
+    std::string render(std::size_t width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    Scale scale_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+
+    std::size_t binFor(double sample) const;
+};
+
+} // namespace dri::stats

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Exact quantile computation over collected samples.
+ *
+ * The paper reports P50/P90/P99 everywhere (Figs. 6, 7, 16; Table III). Our
+ * experiments collect at most a few hundred thousand per-request samples, so
+ * an exact sorted-sample estimator is both affordable and removes sketch
+ * error from the reproduction.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dri::stats {
+
+/**
+ * Accumulates double samples and answers arbitrary quantile queries exactly
+ * using linear interpolation between order statistics (the same convention
+ * as numpy.percentile's default).
+ */
+class QuantileEstimator
+{
+  public:
+    QuantileEstimator() = default;
+
+    void add(double sample);
+    void addAll(const std::vector<double> &samples);
+
+    /** Number of samples collected so far. */
+    std::size_t count() const { return samples_.size(); }
+
+    bool empty() const { return samples_.empty(); }
+
+    /**
+     * Quantile query; q in [0, 1]. Requires at least one sample.
+     * q = 0 returns the minimum, q = 1 the maximum.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
+
+    double min() const { return quantile(0.0); }
+    double max() const { return quantile(1.0); }
+    double mean() const;
+    double sum() const;
+
+    /** Discard all samples. */
+    void clear();
+
+  private:
+    /** Lazily sorted sample buffer. */
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+
+    void ensureSorted() const;
+};
+
+} // namespace dri::stats

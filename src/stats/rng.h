@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis and
+ * network jitter. Every stochastic component in the library draws from an
+ * explicitly seeded Rng so that experiments are bit-reproducible.
+ */
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace dri::stats {
+
+/**
+ * A seeded 64-bit Mersenne Twister with convenience draw helpers.
+ *
+ * Rng is cheap to copy but typically passed by reference; components that
+ * need independent streams should derive one with fork() so that adding a
+ * consumer never perturbs the draws seen by existing consumers.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). Requires lo <= hi. */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi], inclusive. Requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal draw. */
+    double gaussian();
+
+    /** Normal draw with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Exponential draw with the given rate (events per unit time). */
+    double exponential(double rate);
+
+    /** Bernoulli draw: true with probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Derive an independent child stream. The child's sequence is a pure
+     * function of (parent seed, salt), not of how many draws the parent has
+     * made.
+     */
+    Rng fork(std::uint64_t salt) const;
+
+    /** The seed this stream was constructed with. */
+    std::uint64_t seed() const { return seed_; }
+
+    /** Expose the engine for std:: distribution interop. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+    std::uint64_t seed_;
+};
+
+} // namespace dri::stats

@@ -1,0 +1,167 @@
+#include "tensor/embedding_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace dri::tensor {
+
+namespace {
+
+/** SplitMix64 hash used for row placement, value synthesis, and pruning. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic value in roughly [-0.1, 0.1] for (seed, row, col). */
+float
+syntheticValue(std::uint64_t seed, std::int64_t row, std::int64_t col)
+{
+    const std::uint64_t h =
+        mix64(seed ^ mix64(static_cast<std::uint64_t>(row) * 0x100000001b3ULL +
+                           static_cast<std::uint64_t>(col)));
+    const double unit =
+        static_cast<double>(h >> 11) /
+        static_cast<double>(1ULL << 53); // [0, 1)
+    return static_cast<float>((unit - 0.5) * 0.2);
+}
+
+} // namespace
+
+std::int64_t
+rowBytes(Precision precision, std::int64_t dim)
+{
+    switch (precision) {
+      case Precision::Fp32:
+        return dim * 4;
+      case Precision::Int8:
+        // 1 byte/element + fp32 scale and bias per row.
+        return dim + 8;
+      case Precision::Int4:
+        return (dim + 1) / 2 + 8;
+    }
+    return dim * 4;
+}
+
+VirtualEmbeddingTable::VirtualEmbeddingTable(std::int64_t logical_rows,
+                                             std::int64_t dim,
+                                             std::uint64_t seed,
+                                             std::int64_t physical_rows)
+    : logical_rows_(logical_rows), dim_(dim),
+      physical_rows_(std::min(physical_rows, logical_rows)), seed_(seed)
+{
+    assert(logical_rows > 0 && dim > 0 && physical_rows > 0);
+    backing_.resize(static_cast<std::size_t>(physical_rows_ * dim_));
+    for (std::int64_t r = 0; r < physical_rows_; ++r)
+        for (std::int64_t c = 0; c < dim_; ++c)
+            backing_[static_cast<std::size_t>(r * dim_ + c)] =
+                syntheticValue(seed, r, c);
+}
+
+std::int64_t
+VirtualEmbeddingTable::logicalBytes() const
+{
+    const double kept = 1.0 - pruned_fraction_;
+    const double rows = static_cast<double>(logical_rows_) * kept;
+    return static_cast<std::int64_t>(rows *
+                                     static_cast<double>(rowBytes(precision_,
+                                                                  dim_)));
+}
+
+std::int64_t
+VirtualEmbeddingTable::physicalIndex(std::int64_t row) const
+{
+    return static_cast<std::int64_t>(
+        mix64(seed_ ^ static_cast<std::uint64_t>(row)) %
+        static_cast<std::uint64_t>(physical_rows_));
+}
+
+bool
+VirtualEmbeddingTable::isPruned(std::int64_t row) const
+{
+    if (pruned_fraction_ <= 0.0)
+        return false;
+    const std::uint64_t h =
+        mix64(seed_ * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(row));
+    const double unit = static_cast<double>(h >> 11) /
+                        static_cast<double>(1ULL << 53);
+    return unit < pruned_fraction_;
+}
+
+void
+VirtualEmbeddingTable::readRow(std::int64_t row, float *dst) const
+{
+    assert(row >= 0 && row < logical_rows_);
+    if (isPruned(row)) {
+        std::fill(dst, dst + dim_, 0.0f);
+        return;
+    }
+    const float *src =
+        backing_.data() + physicalIndex(row) * dim_;
+    std::memcpy(dst, src, static_cast<std::size_t>(dim_) * sizeof(float));
+}
+
+void
+VirtualEmbeddingTable::sls(const std::vector<std::int64_t> &indices,
+                           const std::vector<std::int32_t> &lengths,
+                           Tensor &out) const
+{
+    const auto segments = static_cast<std::int64_t>(lengths.size());
+    out = Tensor(segments, dim_);
+    std::vector<float> scratch(static_cast<std::size_t>(dim_));
+    std::size_t cursor = 0;
+    for (std::int64_t s = 0; s < segments; ++s) {
+        float *dst = out.row(s);
+        const auto len = static_cast<std::size_t>(lengths[static_cast<std::size_t>(s)]);
+        for (std::size_t k = 0; k < len; ++k) {
+            assert(cursor < indices.size());
+            readRow(indices[cursor++], scratch.data());
+            for (std::int64_t c = 0; c < dim_; ++c)
+                dst[c] += scratch[static_cast<std::size_t>(c)];
+        }
+    }
+    assert(cursor == indices.size());
+}
+
+void
+VirtualEmbeddingTable::quantize(Precision precision)
+{
+    if (precision == precision_ || precision == Precision::Fp32) {
+        precision_ = precision;
+        return;
+    }
+    const int levels = precision == Precision::Int8 ? 255 : 15;
+    for (std::int64_t r = 0; r < physical_rows_; ++r) {
+        float *row = backing_.data() + r * dim_;
+        float lo = std::numeric_limits<float>::max();
+        float hi = std::numeric_limits<float>::lowest();
+        for (std::int64_t c = 0; c < dim_; ++c) {
+            lo = std::min(lo, row[c]);
+            hi = std::max(hi, row[c]);
+        }
+        const float scale = (hi - lo) / static_cast<float>(levels);
+        if (scale <= 0.0f)
+            continue;
+        for (std::int64_t c = 0; c < dim_; ++c) {
+            const float q = std::round((row[c] - lo) / scale);
+            row[c] = lo + q * scale;
+        }
+    }
+    precision_ = precision;
+}
+
+void
+VirtualEmbeddingTable::prune(double fraction)
+{
+    assert(fraction >= 0.0 && fraction < 1.0);
+    pruned_fraction_ = fraction;
+}
+
+} // namespace dri::tensor

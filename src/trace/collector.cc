@@ -1,0 +1,54 @@
+#include "trace/collector.h"
+
+#include <algorithm>
+
+namespace dri::trace {
+
+void
+TraceCollector::addSpan(const Span &span)
+{
+    ++span_count_;
+    if (retain_spans_)
+        spans_.push_back(span);
+}
+
+void
+TraceCollector::addRpc(const RpcRecord &record)
+{
+    rpcs_.push_back(record);
+}
+
+std::vector<Span>
+TraceCollector::spansForRequest(std::uint64_t request_id) const
+{
+    std::vector<Span> out;
+    for (const auto &s : spans_)
+        if (s.request_id == request_id)
+            out.push_back(s);
+    std::sort(out.begin(), out.end(), [](const Span &a, const Span &b) {
+        if (a.begin != b.begin)
+            return a.begin < b.begin;
+        return a.end < b.end;
+    });
+    return out;
+}
+
+std::vector<RpcRecord>
+TraceCollector::rpcsForRequest(std::uint64_t request_id) const
+{
+    std::vector<RpcRecord> out;
+    for (const auto &r : rpcs_)
+        if (r.request_id == request_id)
+            out.push_back(r);
+    return out;
+}
+
+void
+TraceCollector::clear()
+{
+    spans_.clear();
+    rpcs_.clear();
+    span_count_ = 0;
+}
+
+} // namespace dri::trace

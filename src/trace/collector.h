@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Trace collection. Mirrors the paper's lock-free-buffer + offline
+ * post-processing design: the serving engine appends spans and RPC records
+ * as they complete; analyses consume them after the run. Raw span retention
+ * is optional because figure-level experiments only need the aggregated
+ * per-request statistics that the serving engine computes inline.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/span.h"
+
+namespace dri::trace {
+
+/** Append-only store of spans and RPC records for one experiment run. */
+class TraceCollector
+{
+  public:
+    /** @param retain_spans keep raw spans (trace rendering) or drop them. */
+    explicit TraceCollector(bool retain_spans = false)
+        : retain_spans_(retain_spans)
+    {
+    }
+
+    void addSpan(const Span &span);
+    void addRpc(const RpcRecord &record);
+
+    bool retainsSpans() const { return retain_spans_; }
+
+    const std::vector<Span> &spans() const { return spans_; }
+    const std::vector<RpcRecord> &rpcs() const { return rpcs_; }
+
+    /** Spans belonging to one request, in begin-time order. */
+    std::vector<Span> spansForRequest(std::uint64_t request_id) const;
+
+    /** RPC records belonging to one request. */
+    std::vector<RpcRecord> rpcsForRequest(std::uint64_t request_id) const;
+
+    /** Total spans observed (counted even when not retained). */
+    std::uint64_t spanCount() const { return span_count_; }
+
+    void clear();
+
+  private:
+    bool retain_spans_;
+    std::vector<Span> spans_;
+    std::vector<RpcRecord> rpcs_;
+    std::uint64_t span_count_ = 0;
+};
+
+} // namespace dri::trace

@@ -1,0 +1,47 @@
+#include "trace/export.h"
+
+#include <sstream>
+
+namespace dri::trace {
+
+namespace {
+
+void
+appendEvent(std::ostringstream &os, const Span &span, bool &first)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    // Chrome trace events use microsecond timestamps.
+    const double ts = static_cast<double>(span.begin) / 1000.0;
+    const double dur = static_cast<double>(span.duration()) / 1000.0;
+    // pid: main shard = 0, sparse shard s = s + 1.
+    const int pid = span.shard_id == kMainShard ? 0 : span.shard_id + 1;
+    // tid: one lane per (net, batch).
+    const int tid = (span.net_id + 1) * 1000 + (span.batch_id + 1);
+    os << "  {\"name\": \"" << layerName(span.layer) << "\", "
+       << "\"cat\": \"" << (layerIsCpu(span.layer) ? "cpu" : "wait")
+       << "\", \"ph\": \"X\", \"ts\": " << ts << ", \"dur\": " << dur
+       << ", \"pid\": " << pid << ", \"tid\": " << tid
+       << ", \"args\": {\"request\": " << span.request_id << "}}";
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const TraceCollector &collector, std::uint64_t request_id,
+                bool all_requests)
+{
+    std::ostringstream os;
+    os << "{\n\"traceEvents\": [\n";
+    bool first = true;
+    for (const auto &span : collector.spans()) {
+        if (!all_requests && span.request_id != request_id)
+            continue;
+        appendEvent(os, span, first);
+    }
+    os << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+    return os.str();
+}
+
+} // namespace dri::trace

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Trace export in the Chrome trace-event JSON format, so distributed
+ * traces collected by the framework can be inspected interactively in
+ * chrome://tracing or Perfetto. Shards map to processes, (net, batch)
+ * lanes to threads, and each span becomes a complete ("X") event.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/collector.h"
+
+namespace dri::trace {
+
+/**
+ * Export one request's spans (or all spans when request_id is 0 and
+ * all_requests is true) as a Chrome trace-event JSON document.
+ *
+ * @param collector must retain spans.
+ */
+std::string chromeTraceJson(const TraceCollector &collector,
+                            std::uint64_t request_id,
+                            bool all_requests = false);
+
+} // namespace dri::trace

@@ -1,0 +1,106 @@
+#include "trace/render.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace dri::trace {
+
+namespace {
+
+/** One-character glyph per layer for the timeline bars. */
+char
+layerGlyph(Layer layer)
+{
+    switch (layer) {
+      case Layer::RequestSerDe:
+        return 's';
+      case Layer::ServiceFunction:
+        return 'f';
+      case Layer::NetOverhead:
+        return 'o';
+      case Layer::DenseOp:
+        return 'D';
+      case Layer::SparseOp:
+        return 'S';
+      case Layer::ClientDispatch:
+        return 'c';
+      case Layer::EmbeddedWait:
+        return '.';
+      case Layer::Network:
+        return '~';
+      case Layer::QueueWait:
+        return 'q';
+    }
+    return '?';
+}
+
+} // namespace
+
+std::string
+renderRequestTrace(const TraceCollector &collector, std::uint64_t request_id,
+                   std::size_t width)
+{
+    const auto spans = collector.spansForRequest(request_id);
+    std::ostringstream os;
+    if (spans.empty()) {
+        os << "(no spans for request " << request_id
+           << "; was the collector retaining spans?)\n";
+        return os.str();
+    }
+
+    sim::SimTime t0 = spans.front().begin;
+    sim::SimTime t1 = spans.front().end;
+    for (const auto &s : spans) {
+        t0 = std::min(t0, s.begin);
+        t1 = std::max(t1, s.end);
+    }
+    const double scale = t1 > t0
+                             ? static_cast<double>(width) /
+                                   static_cast<double>(t1 - t0)
+                             : 0.0;
+
+    // Group spans into lanes: the main shard first, then sparse shards in
+    // id order; within a shard, one lane per (net, batch) pair so
+    // concurrent batches are visible.
+    std::map<std::tuple<int, int, int>, std::vector<const Span *>> lanes;
+    for (const auto &s : spans)
+        lanes[{s.shard_id == kMainShard ? -1 : s.shard_id, s.net_id,
+               s.batch_id}]
+            .push_back(&s);
+
+    os << "request " << request_id << "  span=" << (t1 - t0) << "ns  ("
+       << sim::toMillis(t1 - t0) << " ms)\n";
+    os << "legend: D=dense S=sparse s=serde f=service o=net-overhead "
+          "c=dispatch .=wait ~=network q=queue\n";
+
+    int last_shard = -2;
+    for (const auto &kv : lanes) {
+        const int shard = std::get<0>(kv.first);
+        if (shard != last_shard) {
+            if (shard == -1)
+                os << "-- main shard " << std::string(width - 4, '-') << "\n";
+            else
+                os << "-- sparse shard " << shard << " "
+                   << std::string(width - 8, '-') << "\n";
+            last_shard = shard;
+        }
+        std::string lane(width, ' ');
+        for (const auto *s : kv.second) {
+            auto b = static_cast<std::size_t>(
+                static_cast<double>(s->begin - t0) * scale);
+            auto e = static_cast<std::size_t>(
+                static_cast<double>(s->end - t0) * scale);
+            b = std::min(b, width - 1);
+            e = std::min(std::max(e, b + 1), width);
+            for (std::size_t i = b; i < e; ++i)
+                lane[i] = layerGlyph(s->layer);
+        }
+        os << "net" << std::get<1>(kv.first) << "/b" << std::get<2>(kv.first)
+           << " |" << lane << "|\n";
+    }
+    return os.str();
+}
+
+} // namespace dri::trace

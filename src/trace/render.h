@@ -1,0 +1,28 @@
+/**
+ * @file
+ * ASCII rendering of a distributed trace, reproducing the visualization of
+ * Fig. 3: shards as horizontal slices (main shard on top), spans as
+ * proportional bars over a shared wall-clock axis.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/collector.h"
+
+namespace dri::trace {
+
+/**
+ * Render all spans of one request as a timeline.
+ *
+ * @param collector must have been constructed with retain_spans = true.
+ * @param request_id request to render.
+ * @param width      character width of the time axis.
+ */
+std::string renderRequestTrace(const TraceCollector &collector,
+                               std::uint64_t request_id,
+                               std::size_t width = 100);
+
+} // namespace dri::trace

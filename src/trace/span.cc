@@ -1,0 +1,50 @@
+#include "trace/span.h"
+
+namespace dri::trace {
+
+std::string
+layerName(Layer layer)
+{
+    switch (layer) {
+      case Layer::RequestSerDe:
+        return "RPC Ser/De";
+      case Layer::ServiceFunction:
+        return "RPC Service Function";
+      case Layer::NetOverhead:
+        return "Caffe2 Net Overhead";
+      case Layer::DenseOp:
+        return "Dense Ops";
+      case Layer::SparseOp:
+        return "Caffe2 Sparse Ops";
+      case Layer::ClientDispatch:
+        return "Async RPC Dispatch";
+      case Layer::EmbeddedWait:
+        return "Embedded Portion";
+      case Layer::Network:
+        return "Network Latency";
+      case Layer::QueueWait:
+        return "Queue Wait";
+    }
+    return "Unknown";
+}
+
+bool
+layerIsCpu(Layer layer)
+{
+    switch (layer) {
+      case Layer::RequestSerDe:
+      case Layer::ServiceFunction:
+      case Layer::NetOverhead:
+      case Layer::DenseOp:
+      case Layer::SparseOp:
+      case Layer::ClientDispatch:
+        return true;
+      case Layer::EmbeddedWait:
+      case Layer::Network:
+      case Layer::QueueWait:
+        return false;
+    }
+    return false;
+}
+
+} // namespace dri::trace

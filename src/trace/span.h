@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cross-layer distributed-trace primitives (Section IV).
+ *
+ * The paper instruments three layers — the RPC service stack, the ML
+ * framework, and the operators — on every shard, correlating spans through
+ * request context propagation. A Span here carries the same attribution:
+ * which request, which shard, which net/batch, which *layer* of the stack,
+ * and whether the interval consumed CPU (wall-clock is a proxy for CPU for
+ * small sequential spans; network/wait spans are wall-only).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace dri::trace {
+
+/** Shard id used for the main (dense) shard in traces. */
+constexpr int kMainShard = -1;
+
+/** Stack layer a span is attributed to, mirroring the paper's buckets. */
+enum class Layer {
+    RequestSerDe,    //!< RPC request/response (de)serialization
+    ServiceFunction, //!< RPC handler boilerplate outside net & serde
+    NetOverhead,     //!< framework time not spent executing operators
+    DenseOp,         //!< dense/transform/activation operator execution
+    SparseOp,        //!< SLS operator execution
+    ClientDispatch,  //!< issuing an asynchronous RPC op
+    EmbeddedWait,    //!< main shard waiting on sparse responses (wall)
+    Network,         //!< on-the-wire + kernel time (wall)
+    QueueWait,       //!< waiting for a worker core (wall)
+};
+
+/** Human-readable layer label (used by the ASCII trace renderer). */
+std::string layerName(Layer layer);
+
+/** True if the layer represents CPU execution rather than waiting. */
+bool layerIsCpu(Layer layer);
+
+/** One traced interval. */
+struct Span
+{
+    std::uint64_t request_id = 0;
+    int shard_id = kMainShard;
+    int net_id = -1;   //!< -1 when not net-scoped
+    int batch_id = -1; //!< -1 when not batch-scoped
+    Layer layer = Layer::ServiceFunction;
+    sim::SimTime begin = 0;
+    sim::SimTime end = 0;
+
+    sim::Duration duration() const { return end - begin; }
+};
+
+/**
+ * Summary of one sparse-shard RPC, recorded by the serving engine. The
+ * paper's latency attribution (Section IV-B) uses the slowest asynchronous
+ * sparse request per main-shard request; these records make that analysis
+ * direct.
+ */
+struct RpcRecord
+{
+    std::uint64_t request_id = 0;
+    int shard_id = 0;
+    int net_id = 0;
+    int batch_id = 0;
+
+    sim::SimTime dispatched = 0;     //!< client issued the request
+    sim::SimTime completed = 0;      //!< response visible at main shard
+
+    // Remote-side components (CPU unless noted).
+    sim::Duration remote_queue_ns = 0;   //!< wall: waiting for a core
+    sim::Duration remote_serde_ns = 0;
+    sim::Duration remote_service_ns = 0;
+    sim::Duration remote_net_overhead_ns = 0;
+    sim::Duration remote_sparse_op_ns = 0;
+
+    /** Total outstanding time observed at the main shard. */
+    sim::Duration outstanding() const { return completed - dispatched; }
+
+    /** E2E service time on the sparse shard (queue + CPU components). */
+    sim::Duration remoteE2e() const
+    {
+        return remote_queue_ns + remote_serde_ns + remote_service_ns +
+               remote_net_overhead_ns + remote_sparse_op_ns;
+    }
+
+    /**
+     * Network latency, measured exactly as the paper does: outstanding
+     * request time at the main shard minus E2E time at the sparse shard
+     * (absorbs clock skew between servers).
+     */
+    sim::Duration networkLatency() const
+    {
+        return outstanding() - remoteE2e();
+    }
+};
+
+} // namespace dri::trace

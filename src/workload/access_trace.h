@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Embedding-table access traces (Section IX): the paper points academics
+ * at trace-driven experimentation — "Bandana used embedding table access
+ * traces, which can be collected offline, to reduce effective DRAM
+ * requirements... explorations [of] table placement and frequency-based
+ * caching are also valuable directions enabled with trace-based analyses."
+ *
+ * This module records per-table access streams from generated requests
+ * (with Zipf-skewed row ids), serializes them to a compact text format,
+ * reads them back, and computes the statistics such studies start from:
+ * per-table access counts, row popularity skew, and working-set curves
+ * (unique rows touched vs. accesses), which directly feed cache-sizing
+ * decisions.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/model_spec.h"
+#include "stats/rng.h"
+#include "workload/request_generator.h"
+
+namespace dri::workload {
+
+/** One recorded embedding access. */
+struct AccessRecord
+{
+    std::uint64_t request_id = 0;
+    int table_id = 0;
+    std::int64_t row = 0;
+};
+
+/** An offline embedding-access trace. */
+class AccessTrace
+{
+  public:
+    AccessTrace() = default;
+
+    void add(const AccessRecord &record) { records_.push_back(record); }
+    const std::vector<AccessRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+
+    /** Serialize as one "request table row" line per access. */
+    void write(std::ostream &os) const;
+
+    /** Parse the format produced by write(); returns false on malformed
+     *  input. */
+    static bool read(std::istream &is, AccessTrace *out);
+
+    /** Accesses per table, indexed by table id. */
+    std::vector<std::int64_t> accessCounts(std::size_t num_tables) const;
+
+    /**
+     * Working-set curve for one table: element i is the number of
+     * *distinct* rows touched within the first (i+1) * stride accesses to
+     * that table. Concave growth indicates cacheable popularity skew.
+     */
+    std::vector<std::int64_t> workingSetCurve(int table_id,
+                                              std::size_t stride) const;
+
+    /**
+     * Fraction of a table's accesses captured by its hottest `top_n`
+     * rows — the quantity that justifies frequency-based caching.
+     */
+    double topRowCoverage(int table_id, std::size_t top_n) const;
+
+  private:
+    std::vector<AccessRecord> records_;
+};
+
+/**
+ * Record a trace by expanding requests into row accesses. Row ids within
+ * each table follow a Zipf(popularity_skew) distribution over the table's
+ * logical rows — embedding traffic is popularity-skewed but heavy-tailed.
+ */
+AccessTrace recordTrace(const model::ModelSpec &spec,
+                        const std::vector<Request> &requests,
+                        double popularity_skew, std::uint64_t seed);
+
+} // namespace dri::workload

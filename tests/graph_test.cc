@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the operator-graph substrate: workspace blob semantics,
+ * operator execution, SplitIndices partition properties, net construction,
+ * the sequential executor, and the micro cost model.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "graph/cost_model.h"
+#include "graph/executor.h"
+#include "graph/net.h"
+#include "graph/operators.h"
+#include "graph/workspace.h"
+
+namespace {
+
+using namespace dri::graph;
+using dri::tensor::Tensor;
+using dri::tensor::VirtualEmbeddingTable;
+
+TEST(Workspace, TensorBlobRoundTrip)
+{
+    Workspace ws;
+    EXPECT_FALSE(ws.has("x"));
+    ws.createTensor("x") = Tensor::fromVector({1, 2, 3});
+    EXPECT_TRUE(ws.has("x"));
+    EXPECT_EQ(ws.tensorBlob("x").numel(), 3);
+    ws.remove("x");
+    EXPECT_FALSE(ws.has("x"));
+}
+
+TEST(Workspace, IndexListBlob)
+{
+    Workspace ws;
+    auto &ids = ws.createIndexList("ids");
+    ids.indices = {1, 2, 3};
+    ids.lengths = {2, 1};
+    EXPECT_EQ(ws.indexListBlob("ids").totalLookups(), 3);
+    EXPECT_EQ(ws.indexListBlob("ids").segments(), 2);
+}
+
+TEST(Workspace, GenericBlobCopy)
+{
+    Workspace a, b;
+    a.createTensor("t") = Tensor::fromVector({5});
+    b.setBlob("t", a.blob("t"));
+    EXPECT_FLOAT_EQ(b.tensorBlob("t").at(0), 5.0f);
+}
+
+TEST(Workspace, TableRegistry)
+{
+    Workspace ws;
+    auto table = std::make_shared<VirtualEmbeddingTable>(100, 4, 1, 32);
+    ws.addTable("tab", table);
+    EXPECT_TRUE(ws.hasTable("tab"));
+    EXPECT_EQ(ws.table("tab").dim(), 4);
+}
+
+TEST(Operators, FcReluSigmoidPipeline)
+{
+    Workspace ws;
+    ws.createTensor("in") = Tensor::fromMatrix(1, 2, {1, -1});
+    ws.createTensor("w") = Tensor::fromMatrix(1, 2, {2, 2});
+    ws.createTensor("b") = Tensor::fromVector({0});
+    ExecContext ctx{ws, nullptr};
+
+    FullyConnectedOp fc("in", "w", "b", "h");
+    fc.run(ctx);
+    EXPECT_FLOAT_EQ(ws.tensorBlob("h").at(0), 0.0f);
+
+    ws.tensorBlob("h").at(0) = -3.0f;
+    ReluOp relu("h");
+    relu.run(ctx);
+    EXPECT_FLOAT_EQ(ws.tensorBlob("h").at(0), 0.0f);
+
+    SigmoidOp sig("h");
+    sig.run(ctx);
+    EXPECT_FLOAT_EQ(ws.tensorBlob("h").at(0), 0.5f);
+}
+
+TEST(Operators, SlsOpPoolsTable)
+{
+    Workspace ws;
+    auto table = std::make_shared<VirtualEmbeddingTable>(1000, 4, 9, 64);
+    ws.addTable("tab", table);
+    auto &ids = ws.createIndexList("ids");
+    ids.indices = {5, 6};
+    ids.lengths = {2};
+    ExecContext ctx{ws, nullptr};
+    SparseLengthsSumOp sls("tab", "ids", "emb");
+    sls.run(ctx);
+    EXPECT_EQ(ws.tensorBlob("emb").rows(), 1);
+    EXPECT_EQ(ws.tensorBlob("emb").cols(), 4);
+    EXPECT_EQ(sls.tableName(), "tab");
+    EXPECT_EQ(sls.opClass(), OpClass::Sparse);
+}
+
+TEST(Operators, SplitIndicesPartitionsByModulus)
+{
+    Workspace ws;
+    auto &ids = ws.createIndexList("ids");
+    ids.indices = {0, 1, 2, 3, 4, 5, 6};
+    ids.lengths = {4, 3};
+    ExecContext ctx{ws, nullptr};
+    SplitIndicesOp split("ids", {"p0", "p1", "p2"});
+    split.run(ctx);
+
+    std::set<std::int64_t> seen;
+    std::int64_t total = 0;
+    for (int w = 0; w < 3; ++w) {
+        const auto &part =
+            ws.indexListBlob("p" + std::to_string(w));
+        EXPECT_EQ(part.lengths.size(), 2u); // segment structure preserved
+        for (auto idx : part.indices) {
+            EXPECT_EQ(idx % 3, w);
+            seen.insert(idx);
+        }
+        total += part.totalLookups();
+        // Per-segment lengths consistent with index counts.
+        std::int64_t len_sum = 0;
+        for (auto l : part.lengths)
+            len_sum += l;
+        EXPECT_EQ(len_sum, part.totalLookups());
+    }
+    EXPECT_EQ(total, 7);
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Operators, SumCombinesPartials)
+{
+    Workspace ws;
+    ws.createTensor("a") = Tensor::fromVector({1, 2});
+    ws.createTensor("b") = Tensor::fromVector({3, 4});
+    ExecContext ctx{ws, nullptr};
+    SumOp sum({"a", "b"}, "out");
+    sum.run(ctx);
+    EXPECT_FLOAT_EQ(ws.tensorBlob("out").at(1), 6.0f);
+}
+
+TEST(Operators, CloneProducesEqualBehaviour)
+{
+    Workspace ws;
+    ws.createTensor("in") = Tensor::fromMatrix(1, 2, {1, 2});
+    ws.createTensor("w") = Tensor::fromMatrix(1, 2, {1, 1});
+    ws.createTensor("b") = Tensor::fromVector({0});
+    ExecContext ctx{ws, nullptr};
+
+    FullyConnectedOp fc("in", "w", "b", "out");
+    auto copy = fc.clone();
+    copy->run(ctx);
+    EXPECT_FLOAT_EQ(ws.tensorBlob("out").at(0), 3.0f);
+    EXPECT_EQ(copy->type(), "FC");
+}
+
+TEST(Net, CountsAndTables)
+{
+    NetDef net("n");
+    net.emplace<ReluOp>("x");
+    net.emplace<SparseLengthsSumOp>("tabA", "ids", "e1");
+    net.emplace<SparseLengthsSumOp>("tabB", "ids2", "e2");
+    EXPECT_EQ(net.size(), 3u);
+    EXPECT_EQ(net.countClass(OpClass::Sparse), 2u);
+    EXPECT_EQ(net.referencedTables(),
+              (std::vector<std::string>{"tabA", "tabB"}));
+}
+
+TEST(Executor, RunsSequentiallyWithObserver)
+{
+    Workspace ws;
+    ws.createTensor("x") = Tensor::fromVector({-1.0f});
+    NetDef net("n");
+    net.emplace<ReluOp>("x");
+    net.emplace<SigmoidOp>("x");
+
+    std::vector<std::string> types;
+    Executor exec;
+    exec.run(net, ws,
+             [&](const Operator &op) { types.push_back(op.type()); });
+    EXPECT_EQ(types, (std::vector<std::string>{"Relu", "Sigmoid"}));
+    EXPECT_FLOAT_EQ(ws.tensorBlob("x").at(0), 0.5f);
+}
+
+TEST(CostModel, FcWorkScalesWithDims)
+{
+    Workspace ws;
+    ws.createTensor("in") = Tensor(4, 8);
+    ws.createTensor("w") = Tensor(16, 8);
+    ws.createTensor("b") = Tensor(16);
+    FullyConnectedOp fc("in", "w", "b", "out");
+    const Work w = estimateWork(fc, ws);
+    EXPECT_DOUBLE_EQ(w.flops, 2.0 * 4 * 8 * 16);
+}
+
+TEST(CostModel, SlsWorkCountsLookups)
+{
+    Workspace ws;
+    ws.addTable("tab",
+                std::make_shared<VirtualEmbeddingTable>(1000, 8, 1, 64));
+    auto &ids = ws.createIndexList("ids");
+    ids.indices = {1, 2, 3, 4, 5};
+    ids.lengths = {5};
+    SparseLengthsSumOp sls("tab", "ids", "emb");
+    const Work w = estimateWork(sls, ws);
+    EXPECT_DOUBLE_EQ(w.lookups, 5.0);
+    EXPECT_DOUBLE_EQ(w.bytes, 5.0 * 8 * 4);
+}
+
+TEST(CostModel, WorkToNsMonotone)
+{
+    CostParams params;
+    Work small{100.0, 100.0, 1.0};
+    Work big{10000.0, 10000.0, 100.0};
+    EXPECT_LT(workToNs(small, params), workToNs(big, params));
+    EXPECT_GE(workToNs(Work{}, params),
+              static_cast<dri::sim::Duration>(params.op_dispatch_ns));
+}
+
+TEST(CostModel, NetEstimateSkipsRpcOps)
+{
+    Workspace ws;
+    ws.createTensor("x") = Tensor::fromVector({1.0f});
+    NetDef with_rpc("a");
+    with_rpc.emplace<ReluOp>("x");
+    with_rpc.emplace<RpcRequestOp>(0, "net", "h",
+                                   std::vector<std::string>{"x"},
+                                   std::vector<std::string>{"y"});
+    NetDef without("b");
+    without.emplace<ReluOp>("x");
+    CostParams params;
+    EXPECT_EQ(estimateNetNs(with_rpc, ws, params),
+              estimateNetNs(without, ws, params));
+}
+
+TEST(OpClassNames, AllDistinct)
+{
+    std::set<std::string> names;
+    for (auto c : {OpClass::Dense, OpClass::Sparse, OpClass::Activations,
+                   OpClass::FeatureTransform, OpClass::MemoryTransform,
+                   OpClass::ScaleClip, OpClass::Hash, OpClass::Fill,
+                   OpClass::Rpc})
+        names.insert(opClassName(c));
+    EXPECT_EQ(names.size(), 9u);
+}
+
+} // namespace

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * End-to-end integration tests: small replays that assert the *paper's
+ * findings* hold in the reproduction — the qualitative results of
+ * Sections VI and VII expressed as invariants.
+ */
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/serving.h"
+#include "compress/compression.h"
+#include "core/strategies.h"
+#include "dc/platform.h"
+#include "model/generators.h"
+#include "workload/request_generator.h"
+
+namespace {
+
+using namespace dri;
+
+struct Fixture
+{
+    model::ModelSpec spec;
+    std::vector<workload::Request> requests;
+    std::vector<double> pooling;
+
+    explicit Fixture(model::ModelSpec s, std::size_t n = 300)
+        : spec(std::move(s))
+    {
+        workload::RequestGenerator gen(
+            spec, workload::GeneratorConfig{0xfeed, 0.0});
+        requests = gen.generate(n);
+        pooling = gen.estimatePoolingFactors(500);
+    }
+
+    std::vector<core::RequestStats>
+    run(const core::ShardingPlan &plan,
+        core::ServingConfig config = core::ServingConfig{}) const
+    {
+        core::ServingSimulation sim(spec, plan, config);
+        return sim.replaySerial(requests);
+    }
+};
+
+TEST(PaperFindings, SerialDistributedAlwaysSlower)
+{
+    // Section VI: blocking serial requests always perform worse
+    // distributed, across P50/P90/P99 (Amdahl bound).
+    Fixture f(model::makeDrm1());
+    const auto base = f.run(core::makeSingular(f.spec));
+    for (const auto &plan :
+         {core::makeOneShard(f.spec),
+          core::makeLoadBalanced(f.spec, 8, f.pooling),
+          core::makeNsbp(f.spec, 4, dc::scLarge().usableModelBytes())}) {
+        const auto o =
+            core::computeOverhead(plan.label(), base, f.run(plan));
+        EXPECT_GT(o.latency_overhead[0], 0.0) << plan.label();
+        EXPECT_GT(o.latency_overhead[1], 0.0) << plan.label();
+        EXPECT_GT(o.latency_overhead[2], -0.02) << plan.label();
+        EXPECT_GT(o.compute_overhead[0], 0.0) << plan.label();
+    }
+}
+
+TEST(PaperFindings, MoreShardsReduceLatencyOverhead)
+{
+    Fixture f(model::makeDrm1());
+    const auto base = f.run(core::makeSingular(f.spec));
+    const auto o1 = core::computeOverhead(
+        "1", base, f.run(core::makeOneShard(f.spec)));
+    const auto o8 = core::computeOverhead(
+        "8", base, f.run(core::makeLoadBalanced(f.spec, 8, f.pooling)));
+    EXPECT_LT(o8.latency_overhead[0], o1.latency_overhead[0]);
+    // ...but compute overhead moves the other way.
+    EXPECT_GT(o8.compute_overhead[0], o1.compute_overhead[0]);
+}
+
+TEST(PaperFindings, P99OverheadSmallerThanP50)
+{
+    // Giant requests are dense/deserde dominated, so tail overheads are
+    // more favorable than the median.
+    Fixture f(model::makeDrm1());
+    const auto base = f.run(core::makeSingular(f.spec));
+    const auto o = core::computeOverhead(
+        "8", base, f.run(core::makeLoadBalanced(f.spec, 8, f.pooling)));
+    EXPECT_LT(o.latency_overhead[2], o.latency_overhead[0]);
+}
+
+TEST(PaperFindings, NsbpLeastComputeWorstLatency)
+{
+    Fixture f(model::makeDrm1());
+    const auto base = f.run(core::makeSingular(f.spec));
+    const auto load =
+        f.run(core::makeLoadBalanced(f.spec, 8, f.pooling));
+    const auto nsbp = f.run(
+        core::makeNsbp(f.spec, 8, dc::scLarge().usableModelBytes()));
+
+    const auto ol = core::computeOverhead("load", base, load);
+    const auto on = core::computeOverhead("nsbp", base, nsbp);
+    EXPECT_LT(on.compute_overhead[0], ol.compute_overhead[0]);
+    EXPECT_GT(on.latency_overhead[0], ol.latency_overhead[0]);
+    EXPECT_LT(core::meanRpcCount(nsbp), core::meanRpcCount(load));
+}
+
+TEST(PaperFindings, LoadVsCapacityBalancedInsignificant)
+{
+    Fixture f(model::makeDrm1());
+    const auto base = f.run(core::makeSingular(f.spec));
+    const auto ol = core::computeOverhead(
+        "load", base, f.run(core::makeLoadBalanced(f.spec, 8, f.pooling)));
+    const auto oc = core::computeOverhead(
+        "cap", base, f.run(core::makeCapacityBalanced(f.spec, 8)));
+    EXPECT_NEAR(ol.latency_overhead[0], oc.latency_overhead[0], 0.05);
+}
+
+TEST(PaperFindings, Nsbp2ActsLikeOneShardBound)
+{
+    // NSBP-2 places ~94% of the pooling work on one shard, bounding P99
+    // like the 1-shard configuration.
+    Fixture f(model::makeDrm1());
+    const auto base = f.run(core::makeSingular(f.spec));
+    const auto o1 = core::computeOverhead(
+        "1shard", base, f.run(core::makeOneShard(f.spec)));
+    const auto o2 = core::computeOverhead(
+        "nsbp2", base,
+        f.run(core::makeNsbp(f.spec, 2, dc::scLarge().usableModelBytes())));
+    EXPECT_NEAR(o2.latency_overhead[2], o1.latency_overhead[2], 0.05);
+}
+
+TEST(PaperFindings, Drm3InsensitiveToShardCount)
+{
+    Fixture f(model::makeDrm3());
+    const auto base = f.run(core::makeSingular(f.spec));
+    const auto limit = dc::scLarge().usableModelBytes();
+    const auto o4 = core::computeOverhead(
+        "4", base, f.run(core::makeNsbp(f.spec, 4, limit)));
+    const auto o8 = core::computeOverhead(
+        "8", base, f.run(core::makeNsbp(f.spec, 8, limit)));
+    EXPECT_NEAR(o4.latency_overhead[0], o8.latency_overhead[0], 0.06);
+}
+
+TEST(PaperFindings, SingleBatchDistributionBeatsSingular)
+{
+    // Fig. 13: with one batch per request, 8-shard load-balanced beats
+    // singular for DRM1 — sparse work finally outweighs network latency.
+    Fixture f(model::makeDrm1(), 200);
+    core::ServingConfig config;
+    config.batch_size_override = 1 << 20;
+    const auto base = f.run(core::makeSingular(f.spec), config);
+    const auto dist =
+        f.run(core::makeLoadBalanced(f.spec, 8, f.pooling), config);
+    const auto o = core::computeOverhead("8", base, dist);
+    EXPECT_LT(o.latency_overhead[0], 0.0);
+}
+
+TEST(PaperFindings, HighQpsImprovesTailVsSerialOverheads)
+{
+    // Fig. 16: under a QPS rate that loads the serving tier, distributed
+    // P99 improves on singular (negative overhead) — async RPC ops release
+    // worker cores during sparse waits and the sparse work is off-box. The
+    // paper observes this at 25 QPS on its (slower) production stack; our
+    // simulated service is faster, so the load-equivalent point is higher.
+    Fixture f(model::makeDrm1(), 600);
+    const auto plan = core::makeLoadBalanced(f.spec, 8, f.pooling);
+
+    const auto serial_base = f.run(core::makeSingular(f.spec));
+    const auto serial_dist = f.run(plan);
+    const auto o_serial =
+        core::computeOverhead("serial", serial_base, serial_dist);
+
+    core::ServingSimulation qps_base_sim(f.spec, core::makeSingular(f.spec),
+                                         core::ServingConfig{});
+    const auto qps_base = qps_base_sim.replayOpenLoop(f.requests, 150.0);
+    core::ServingSimulation qps_dist_sim(f.spec, plan,
+                                         core::ServingConfig{});
+    const auto qps_dist = qps_dist_sim.replayOpenLoop(f.requests, 150.0);
+    const auto o_qps = core::computeOverhead("qps", qps_base, qps_dist);
+
+    // Tail overhead flips negative under load and is far below serial.
+    EXPECT_LT(o_qps.latency_overhead[2], o_serial.latency_overhead[2]);
+    EXPECT_LT(o_qps.latency_overhead[2], 0.0);
+}
+
+TEST(PaperFindings, SparseShardsPlatformInsensitive)
+{
+    // Fig. 15: SC-Small sparse shards match SC-Large per-request latency.
+    Fixture f(model::makeDrm1(), 200);
+    const auto plan = core::makeLoadBalanced(f.spec, 8, f.pooling);
+
+    core::ServingConfig small_cfg;
+    small_cfg.sparse_platform = dc::scSmall();
+    const auto on_large = f.run(plan);
+    const auto on_small = f.run(plan, small_cfg);
+    const auto ql = core::latencyQuantiles(on_large);
+    const auto qs = core::latencyQuantiles(on_small);
+    EXPECT_NEAR(qs.p50_ms / ql.p50_ms, 1.0, 0.05);
+}
+
+TEST(PaperFindings, CompressionInsufficientAlone)
+{
+    // Table III: 5.56x smaller still exceeds commodity servers.
+    auto spec = model::makeDrm1();
+    const auto report =
+        compress::compressSpec(spec, compress::CompressionPolicy{});
+    EXPECT_GT(report.ratio(), 4.0);
+    EXPECT_GT(report.compressed_bytes,
+              dc::scSmall().usableModelBytes() / 2);
+}
+
+} // namespace

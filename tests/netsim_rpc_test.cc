@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the network-link model, message sizing, Thrift-like service
+ * cost model, and the service-discovery stub.
+ */
+#include <gtest/gtest.h>
+
+#include "netsim/link_model.h"
+#include "netsim/message.h"
+#include "rpc/discovery.h"
+#include "rpc/service.h"
+#include "stats/quantile.h"
+
+namespace {
+
+using namespace dri;
+
+TEST(LinkModel, ExpectedDelayHasBaseAndWire)
+{
+    netsim::LinkConfig config;
+    config.base_one_way_ns = 100000;
+    config.bandwidth_bytes_per_ns = 2.0;
+    netsim::LinkModel link(config);
+    EXPECT_EQ(link.expectedOneWayDelay(0), 100000);
+    EXPECT_EQ(link.expectedOneWayDelay(2000), 100000 + 1000);
+}
+
+TEST(LinkModel, JitterIsLognormalAroundBase)
+{
+    netsim::LinkConfig config;
+    config.base_one_way_ns = 100000;
+    config.jitter_sigma = 0.25;
+    netsim::LinkModel link(config);
+    stats::Rng rng(5);
+    stats::QuantileEstimator q;
+    for (int i = 0; i < 20000; ++i)
+        q.add(static_cast<double>(link.oneWayDelay(0, rng)));
+    // Median ~ base; tail above base; never non-positive.
+    EXPECT_NEAR(q.p50(), 100000.0, 3000.0);
+    EXPECT_GT(q.p99(), 150000.0);
+    EXPECT_GT(q.min(), 0.0);
+}
+
+TEST(LinkModel, BiggerMessagesSlower)
+{
+    netsim::LinkModel link(netsim::LinkConfig{});
+    stats::Rng rng1(7), rng2(7); // identical jitter draws
+    EXPECT_LT(link.oneWayDelay(100, rng1), link.oneWayDelay(1000000, rng2));
+}
+
+TEST(Message, SparseRequestScalesWithLookups)
+{
+    const auto small = netsim::sparseRequestBytes(10, 5, 4);
+    const auto big = netsim::sparseRequestBytes(1000, 5, 4);
+    EXPECT_EQ(big - small, (1000 - 10) * 8);
+    EXPECT_GE(small, netsim::kRpcEnvelopeBytes);
+}
+
+TEST(Message, SparseResponseScalesWithDimsAndItems)
+{
+    EXPECT_EQ(netsim::sparseResponseBytes(32, 64) -
+                  netsim::kRpcEnvelopeBytes,
+              32 * 64 * 4);
+}
+
+TEST(Message, RankingRequestCountsItemsAndIndices)
+{
+    const auto bytes = netsim::rankingRequestBytes(512.0, 100, 5000);
+    EXPECT_EQ(bytes, netsim::kRpcEnvelopeBytes + 51200 + 40000);
+    EXPECT_EQ(netsim::rankingResponseBytes(100),
+              netsim::kRpcEnvelopeBytes + 400);
+}
+
+TEST(Service, SerdeProportionalToBytes)
+{
+    rpc::ServiceConfig config;
+    config.serde_ns_per_byte = 0.1;
+    rpc::ServiceCostModel model(config);
+    EXPECT_EQ(model.serdeNs(1000), 100);
+    EXPECT_EQ(model.serdeNs(0), 0);
+}
+
+TEST(Service, NetOverheadGrowsWithAsyncOps)
+{
+    rpc::ServiceCostModel model(rpc::ServiceConfig{});
+    EXPECT_LT(model.netOverheadNs(0), model.netOverheadNs(8));
+    EXPECT_EQ(model.netOverheadNs(8) - model.netOverheadNs(0),
+              8 * model.config().async_op_overhead_ns);
+}
+
+TEST(Discovery, RoundRobinAcrossReplicas)
+{
+    rpc::ServiceDirectory dir;
+    dir.registerReplica(0, 100);
+    dir.registerReplica(0, 101);
+    dir.registerReplica(0, 102);
+    EXPECT_EQ(dir.replicaCount(0), 3u);
+    EXPECT_EQ(dir.resolve(0), 100);
+    EXPECT_EQ(dir.resolve(0), 101);
+    EXPECT_EQ(dir.resolve(0), 102);
+    EXPECT_EQ(dir.resolve(0), 100); // wraps
+}
+
+TEST(Discovery, IndependentShards)
+{
+    rpc::ServiceDirectory dir;
+    dir.registerReplica(0, 1);
+    dir.registerReplica(5, 2);
+    EXPECT_EQ(dir.replicaCount(3), 0u);
+    EXPECT_EQ(dir.resolve(0), 1);
+    EXPECT_EQ(dir.resolve(5), 2);
+    EXPECT_EQ(dir.replicas(5).size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the model partitioner and functional distributed execution:
+ * the distributed model (RPC ops + shard nets + row-split pieces) must
+ * compute bit-identical outputs to the singular model — the correctness
+ * contract of capacity-driven sharding.
+ */
+#include <gtest/gtest.h>
+
+#include "core/local_executor.h"
+#include "core/partitioner.h"
+#include "core/strategies.h"
+#include "graph/executor.h"
+#include "model/dlrm_builder.h"
+#include "model/generators.h"
+#include "stats/rng.h"
+#include "tensor/kernels.h"
+
+namespace {
+
+using namespace dri;
+
+/** Small spec with two nets, several tables, and one "huge" table. */
+model::ModelSpec
+smallSpec()
+{
+    model::ModelSpec spec;
+    spec.name = "small";
+    spec.mean_items = 8.0;
+    spec.items_min = 2.0;
+    spec.items_max = 32.0;
+    spec.default_batch_size = 4;
+    spec.nets = {{0, "net1", 1000.0, 100.0}, {1, "net2", 1000.0, 100.0}};
+    for (int i = 0; i < 8; ++i) {
+        model::TableSpec t;
+        t.id = i;
+        t.name = "small_t" + std::to_string(i);
+        t.net_id = i < 4 ? 0 : 1;
+        t.rows = (i == 5) ? 4000000 : 2000; // table 5 is the huge one
+        t.dim = 8;
+        t.pooling_per_item = 2.0;
+        spec.tables.push_back(t);
+    }
+    return spec;
+}
+
+/** Populate request inputs into a workspace. */
+void
+fillInputs(const model::ModelSpec &spec, graph::Workspace &ws,
+           std::int64_t items, std::uint64_t seed)
+{
+    stats::Rng rng(seed);
+    auto &dense = ws.createTensor("dense_input");
+    dense = tensor::Tensor(items, 4);
+    for (std::int64_t i = 0; i < dense.numel(); ++i)
+        dense.at(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (const auto &t : spec.tables) {
+        auto &ids = ws.createIndexList(model::idsBlobName(t));
+        for (std::int64_t item = 0; item < items; ++item) {
+            const auto n = rng.uniformInt(0, 4);
+            ids.lengths.push_back(static_cast<std::int32_t>(n));
+            for (std::int64_t k = 0; k < n; ++k)
+                ids.indices.push_back(rng.uniformInt(0, t.rows - 1));
+        }
+    }
+}
+
+/** Run the singular model; returns the final output tensor. */
+tensor::Tensor
+runSingular(const model::BuiltModel &built, std::int64_t items,
+            std::uint64_t seed)
+{
+    graph::Workspace ws;
+    built.prepareWorkspace(ws);
+    fillInputs(*built.spec, ws, items, seed);
+    graph::Executor exec;
+    for (const auto &net : built.nets)
+        exec.run(net, ws);
+    return ws.tensorBlob(built.outputBlob());
+}
+
+/** Run the distributed model through the LocalRemoteExecutor. */
+tensor::Tensor
+runDistributed(const model::BuiltModel &built,
+               const core::ShardingPlan &plan, std::int64_t items,
+               std::uint64_t seed)
+{
+    const auto dm = core::partitionModel(built, plan);
+    core::LocalRemoteExecutor remote(dm);
+    graph::Workspace ws;
+    built.prepareWorkspace(ws);
+    fillInputs(*built.spec, ws, items, seed);
+    graph::Executor exec(&remote);
+    for (const auto &net : dm.main_nets)
+        exec.run(net, ws);
+    return ws.tensorBlob(built.outputBlob());
+}
+
+TEST(Partitioner, SingularPlanClonesNets)
+{
+    const auto spec = smallSpec();
+    const auto built = model::DlrmBuilder(spec, 4, 8, 16, 0x42).build();
+    const auto dm = core::partitionModel(built, core::makeSingular(spec));
+    EXPECT_EQ(dm.main_nets.size(), built.nets.size());
+    EXPECT_TRUE(dm.shard_nets.empty());
+    for (std::size_t i = 0; i < dm.main_nets.size(); ++i)
+        EXPECT_EQ(dm.main_nets[i].size(), built.nets[i].size());
+}
+
+TEST(Partitioner, MovesAllSlsOpsToShards)
+{
+    const auto spec = smallSpec();
+    const auto built = model::DlrmBuilder(spec, 4, 8, 16, 0x42).build();
+    const auto plan = core::makeCapacityBalanced(spec, 3);
+    const auto dm = core::partitionModel(built, plan);
+
+    std::size_t main_sls = 0, shard_sls = 0, rpc_ops = 0;
+    for (const auto &net : dm.main_nets) {
+        main_sls += net.countClass(graph::OpClass::Sparse);
+        rpc_ops += net.countClass(graph::OpClass::Rpc);
+    }
+    for (const auto &kv : dm.shard_nets)
+        for (const auto &net : kv.second)
+            shard_sls += net.countClass(graph::OpClass::Sparse);
+    EXPECT_EQ(main_sls, 0u);
+    EXPECT_EQ(shard_sls, spec.tables.size());
+    EXPECT_GT(rpc_ops, 0u);
+}
+
+TEST(Partitioner, ShardNetsAreStateless)
+{
+    // Every shard-net input is a request blob (ids), never an
+    // intermediate of another net — the paper's stateless-shard rule.
+    const auto spec = smallSpec();
+    const auto built = model::DlrmBuilder(spec, 4, 8, 16, 0x42).build();
+    const auto plan = core::makeCapacityBalanced(spec, 2);
+    const auto dm = core::partitionModel(built, plan);
+    for (const auto &kv : dm.shard_nets)
+        for (const auto &net : kv.second)
+            for (const auto &in : net.externalInputs())
+                EXPECT_EQ(in.rfind("ids_", 0), 0u) << in;
+}
+
+/** Property: distributed output == singular output for every strategy. */
+class EquivalenceTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EquivalenceTest, CapacityBalancedMatchesSingular)
+{
+    const auto spec = smallSpec();
+    const auto built = model::DlrmBuilder(spec, 4, 8, 16, 0x42).build();
+    const auto singular = runSingular(built, 6, 0x111);
+    const auto plan = core::makeCapacityBalanced(spec, GetParam());
+    const auto dist = runDistributed(built, plan, 6, 0x111);
+    EXPECT_LT(tensor::l1Distance(singular, dist), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, EquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Equivalence, OneShardMatchesSingular)
+{
+    const auto spec = smallSpec();
+    const auto built = model::DlrmBuilder(spec, 4, 8, 16, 0x42).build();
+    EXPECT_LT(tensor::l1Distance(
+                  runSingular(built, 5, 0x7),
+                  runDistributed(built, core::makeOneShard(spec), 5, 0x7)),
+              1e-5);
+}
+
+TEST(Equivalence, RowSplitHugeTableMatchesSingular)
+{
+    // NSBP with a tiny "server memory" forces the huge table to row-split;
+    // partial SLS sums must recombine exactly.
+    const auto spec = smallSpec();
+    const auto built = model::DlrmBuilder(spec, 4, 8, 16, 0x42).build();
+    const auto plan = core::makeNsbp(spec, 5, 8LL * 1024 * 1024);
+    bool any_split = false;
+    for (const auto &a : plan.assignments())
+        any_split = any_split || a.isSplit();
+    ASSERT_TRUE(any_split) << "test requires a row-split table";
+
+    EXPECT_LT(tensor::l1Distance(runSingular(built, 7, 0x99),
+                                 runDistributed(built, plan, 7, 0x99)),
+              1e-5);
+}
+
+TEST(Equivalence, ManySeedsAndSizes)
+{
+    const auto spec = smallSpec();
+    const auto built = model::DlrmBuilder(spec, 4, 8, 16, 0x42).build();
+    const auto plan = core::makeCapacityBalanced(spec, 3);
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL})
+        for (std::int64_t items : {1LL, 4LL, 13LL})
+            EXPECT_LT(tensor::l1Distance(
+                          runSingular(built, items, seed),
+                          runDistributed(built, plan, items, seed)),
+                      1e-5)
+                << "seed " << seed << " items " << items;
+}
+
+TEST(LocalExecutor, CountsCalls)
+{
+    const auto spec = smallSpec();
+    const auto built = model::DlrmBuilder(spec, 4, 8, 16, 0x42).build();
+    const auto plan = core::makeCapacityBalanced(spec, 2);
+    const auto dm = core::partitionModel(built, plan);
+    core::LocalRemoteExecutor remote(dm);
+
+    graph::Workspace ws;
+    built.prepareWorkspace(ws);
+    fillInputs(spec, ws, 3, 0x5);
+    graph::Executor exec(&remote);
+    for (const auto &net : dm.main_nets)
+        exec.run(net, ws);
+    // One call per (shard, net) with tables present.
+    std::size_t expected = 0;
+    for (const auto &kv : dm.shard_nets)
+        expected += kv.second.size();
+    EXPECT_EQ(remote.callCount(), expected);
+}
+
+TEST(Partitioner, RpcRequestsCarryCorrectShardTargets)
+{
+    const auto spec = smallSpec();
+    const auto built = model::DlrmBuilder(spec, 4, 8, 16, 0x42).build();
+    const auto plan = core::makeCapacityBalanced(spec, 3);
+    const auto dm = core::partitionModel(built, plan);
+    for (const auto &net : dm.main_nets)
+        for (const auto &op : net.ops())
+            if (const auto *rpc =
+                    dynamic_cast<const graph::RpcRequestOp *>(op.get())) {
+                EXPECT_GE(rpc->shardId(), 0);
+                EXPECT_LT(rpc->shardId(), 3);
+                EXPECT_NE(dm.findShardNet(rpc->shardId(), rpc->remoteNet()),
+                          nullptr);
+            }
+}
+
+} // namespace

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the DES serving engine: determinism, stack accounting
+ * identities, RPC fan-out counts, batching, platform scaling, and the
+ * open-loop replayer.
+ */
+#include <gtest/gtest.h>
+
+#include "core/serving.h"
+#include "core/strategies.h"
+#include "model/generators.h"
+#include "workload/request_generator.h"
+
+namespace {
+
+using namespace dri;
+
+std::vector<workload::Request>
+requestsFor(const model::ModelSpec &spec, std::size_t n,
+            std::uint64_t seed = 5)
+{
+    workload::RequestGenerator gen(spec,
+                                   workload::GeneratorConfig{seed, 0.0});
+    return gen.generate(n);
+}
+
+std::vector<double>
+poolingFor(const model::ModelSpec &spec)
+{
+    workload::RequestGenerator gen(spec, workload::GeneratorConfig{99, 0.0});
+    return gen.estimatePoolingFactors(300);
+}
+
+TEST(Serving, SerialReplayDeterministic)
+{
+    const auto spec = model::makeDrm2();
+    const auto reqs = requestsFor(spec, 40);
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    core::ServingConfig config;
+    config.seed = 7;
+
+    core::ServingSimulation sim1(spec, plan, config);
+    core::ServingSimulation sim2(spec, plan, config);
+    const auto a = sim1.replaySerial(reqs);
+    const auto b = sim2.replaySerial(reqs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].e2e, b[i].e2e);
+        EXPECT_DOUBLE_EQ(a[i].cpuTotalNs(), b[i].cpuTotalNs());
+    }
+}
+
+TEST(Serving, AllRequestsComplete)
+{
+    const auto spec = model::makeDrm1();
+    const auto reqs = requestsFor(spec, 25);
+    for (const auto &plan :
+         {core::makeSingular(spec), core::makeOneShard(spec),
+          core::makeCapacityBalanced(spec, 8)}) {
+        core::ServingSimulation sim(spec, plan, core::ServingConfig{});
+        const auto stats = sim.replaySerial(reqs);
+        ASSERT_EQ(stats.size(), reqs.size()) << plan.label();
+        for (const auto &s : stats) {
+            EXPECT_GT(s.e2e, 0) << plan.label();
+            EXPECT_GT(s.cpuTotalNs(), 0.0) << plan.label();
+        }
+    }
+}
+
+TEST(Serving, LatencyStackSumsToE2e)
+{
+    const auto spec = model::makeDrm1();
+    const auto reqs = requestsFor(spec, 30);
+    for (const auto &plan :
+         {core::makeSingular(spec), core::makeCapacityBalanced(spec, 4)}) {
+        core::ServingSimulation sim(spec, plan, core::ServingConfig{});
+        for (const auto &s : sim.replaySerial(reqs)) {
+            const auto sum = s.queue_wait + s.lat_serde + s.lat_service +
+                             s.lat_net_overhead + s.lat_embedded +
+                             s.lat_dense;
+            EXPECT_EQ(sum, s.e2e) << plan.label();
+        }
+    }
+}
+
+TEST(Serving, SingularHasNoRpcsOrNetwork)
+{
+    const auto spec = model::makeDrm2();
+    const auto reqs = requestsFor(spec, 20);
+    core::ServingSimulation sim(spec, core::makeSingular(spec),
+                                core::ServingConfig{});
+    for (const auto &s : sim.replaySerial(reqs)) {
+        EXPECT_EQ(s.rpc_count, 0);
+        EXPECT_EQ(s.emb_network, 0);
+        EXPECT_GT(s.emb_sparse_op, 0); // inline SLS is the embedded portion
+        for (double v : s.shard_op_ns)
+            EXPECT_DOUBLE_EQ(v, 0.0);
+    }
+    EXPECT_EQ(sim.collector().rpcs().size(), 0u);
+}
+
+TEST(Serving, RpcFanoutMatchesGroupsTimesBatches)
+{
+    const auto spec = model::makeDrm1(); // every shard hosts both nets
+    const auto reqs = requestsFor(spec, 10);
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    core::ServingSimulation sim(spec, plan, core::ServingConfig{});
+    EXPECT_EQ(sim.fanoutGroupCount(), 8u); // 4 shards x 2 nets
+    const auto stats = sim.replaySerial(reqs);
+    for (const auto &s : stats)
+        EXPECT_EQ(s.rpc_count, s.batches * 8);
+}
+
+TEST(Serving, DistributedSlowerThanSingularSerial)
+{
+    const auto spec = model::makeDrm1();
+    const auto reqs = requestsFor(spec, 60);
+    core::ServingConfig config;
+    core::ServingSimulation base(spec, core::makeSingular(spec), config);
+    core::ServingSimulation dist(spec, core::makeOneShard(spec), config);
+    const auto b = base.replaySerial(reqs);
+    const auto d = dist.replaySerial(reqs);
+    double b_sum = 0.0, d_sum = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        b_sum += static_cast<double>(b[i].e2e);
+        d_sum += static_cast<double>(d[i].e2e);
+    }
+    EXPECT_GT(d_sum, b_sum); // Amdahl bound: serial distributed is slower
+}
+
+TEST(Serving, ComputeGrowsWithShardCount)
+{
+    const auto spec = model::makeDrm1();
+    const auto reqs = requestsFor(spec, 40);
+    const auto pooling = poolingFor(spec);
+    double prev = 0.0;
+    for (int n : {1, 2, 4, 8}) {
+        const auto plan =
+            n == 1 ? core::makeOneShard(spec)
+                   : core::makeLoadBalanced(spec, n, pooling);
+        core::ServingSimulation sim(spec, plan, core::ServingConfig{});
+        const auto stats = sim.replaySerial(reqs);
+        double cpu = 0.0;
+        for (const auto &s : stats)
+            cpu += s.cpuTotalNs();
+        EXPECT_GT(cpu, prev) << n << " shards";
+        prev = cpu;
+    }
+}
+
+TEST(Serving, NetworkLatencyPositiveAndDominant)
+{
+    // The paper: network latency exceeds operator latency on sparse shards
+    // for all distributed configurations.
+    const auto spec = model::makeDrm1();
+    const auto reqs = requestsFor(spec, 50);
+    const auto plan = core::makeCapacityBalanced(spec, 8);
+    core::ServingSimulation sim(spec, plan, core::ServingConfig{});
+    for (const auto &s : sim.replaySerial(reqs)) {
+        EXPECT_GT(s.emb_network, 0);
+        EXPECT_GT(s.emb_network, s.emb_sparse_op);
+    }
+}
+
+TEST(Serving, BatchCountFollowsBatchSize)
+{
+    const auto spec = model::makeDrm1(); // default batch 64
+    auto reqs = requestsFor(spec, 5);
+    core::ServingConfig config;
+    core::ServingSimulation sim(spec, core::makeSingular(spec), config);
+    for (const auto &s : sim.replaySerial(reqs)) {
+        const auto expect =
+            (s.items + spec.default_batch_size - 1) /
+            spec.default_batch_size;
+        EXPECT_EQ(s.batches, expect);
+    }
+
+    config.batch_size_override = 1 << 20;
+    core::ServingSimulation single(spec, core::makeSingular(spec), config);
+    for (const auto &s : single.replaySerial(reqs))
+        EXPECT_EQ(s.batches, 1);
+}
+
+TEST(Serving, SlowerPlatformScalesCpu)
+{
+    const auto spec = model::makeDrm2();
+    const auto reqs = requestsFor(spec, 30);
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+
+    core::ServingConfig fast;
+    core::ServingConfig slow;
+    slow.sparse_platform.cpu_time_scale = 2.0;
+
+    core::ServingSimulation f(spec, plan, fast);
+    core::ServingSimulation s(spec, plan, slow);
+    const auto fs = f.replaySerial(reqs);
+    const auto ss = s.replaySerial(reqs);
+    double f_op = 0.0, s_op = 0.0;
+    for (std::size_t i = 0; i < fs.size(); ++i)
+        for (std::size_t sh = 0; sh < fs[i].shard_op_ns.size(); ++sh) {
+            f_op += fs[i].shard_op_ns[sh];
+            s_op += ss[i].shard_op_ns[sh];
+        }
+    EXPECT_NEAR(s_op / f_op, 2.0, 0.05);
+}
+
+TEST(Serving, OpenLoopCompletesAllAndQueues)
+{
+    const auto spec = model::makeDrm1();
+    const auto reqs = requestsFor(spec, 60);
+    core::ServingSimulation sim(spec, core::makeSingular(spec),
+                                core::ServingConfig{});
+    const auto stats = sim.replayOpenLoop(reqs, 200.0); // aggressive rate
+    ASSERT_EQ(stats.size(), reqs.size());
+    for (const auto &s : stats)
+        EXPECT_GT(s.e2e, 0);
+}
+
+TEST(Serving, Drm3TouchesTwoShards)
+{
+    const auto spec = model::makeDrm3();
+    const auto reqs = requestsFor(spec, 30);
+    const auto plan =
+        core::makeNsbp(spec, 8, dc::scLarge().usableModelBytes());
+    core::ServingSimulation sim(spec, plan, core::ServingConfig{});
+    for (const auto &s : sim.replaySerial(reqs)) {
+        int touched = 0;
+        for (double v : s.shard_op_ns)
+            touched += v > 0.0 ? 1 : 0;
+        EXPECT_LE(touched, 2 * s.batches);
+        EXPECT_GE(touched, 1);
+    }
+}
+
+TEST(Serving, SpanRetentionFollowsConfig)
+{
+    const auto spec = model::makeDrm2();
+    const auto reqs = requestsFor(spec, 3);
+    const auto plan = core::makeCapacityBalanced(spec, 2);
+
+    core::ServingConfig no_spans;
+    core::ServingSimulation a(spec, plan, no_spans);
+    a.replaySerial(reqs);
+    EXPECT_EQ(a.collector().spans().size(), 0u);
+    EXPECT_GT(a.collector().spanCount(), 0u);
+
+    core::ServingConfig with_spans;
+    with_spans.retain_spans = true;
+    core::ServingSimulation b(spec, plan, with_spans);
+    b.replaySerial(reqs);
+    EXPECT_GT(b.collector().spans().size(), 0u);
+}
+
+TEST(Serving, SerialGapShiftsArrivals)
+{
+    const auto spec = model::makeDrm3();
+    const auto reqs = requestsFor(spec, 5);
+    core::ServingConfig gap;
+    gap.serial_gap_ns = 10 * sim::kMillisecond;
+    core::ServingSimulation sim(spec, core::makeSingular(spec), gap);
+    const auto stats = sim.replaySerial(reqs);
+    for (std::size_t i = 1; i < stats.size(); ++i)
+        EXPECT_GE(stats[i].arrival,
+                  stats[i - 1].completion + gap.serial_gap_ns);
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the discrete-event engine and resource pools: time ordering,
+ * tie-breaking, bounded runs, FIFO admission, utilization accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/resource.h"
+
+namespace {
+
+using namespace dri::sim;
+
+TEST(Engine, StartsAtZero)
+{
+    Engine e;
+    EXPECT_EQ(e.now(), 0);
+    EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, ExecutesInTimeOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    e.schedule(30, [&] { order.push_back(3); });
+    e.schedule(10, [&] { order.push_back(1); });
+    e.schedule(20, [&] { order.push_back(2); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, TieBrokenByInsertionOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        e.schedule(5, [&order, i] { order.push_back(i); });
+    e.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, CallbackMaySchedule)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(1, [&] {
+        ++fired;
+        e.schedule(1, [&] { ++fired; });
+    });
+    EXPECT_EQ(e.run(), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(e.now(), 2);
+}
+
+TEST(Engine, ZeroDelayRunsAtSameTime)
+{
+    Engine e;
+    SimTime seen = -1;
+    e.schedule(7, [&] { e.schedule(0, [&] { seen = e.now(); }); });
+    e.run();
+    EXPECT_EQ(seen, 7);
+}
+
+TEST(Engine, RunUntilLeavesLaterEventsQueued)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(10, [&] { ++fired; });
+    e.schedule(100, [&] { ++fired; });
+    e.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(e.pending(), 1u);
+    EXPECT_EQ(e.now(), 50);
+    e.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, ExecutedCounter)
+{
+    Engine e;
+    for (int i = 0; i < 5; ++i)
+        e.schedule(i, [] {});
+    e.run();
+    EXPECT_EQ(e.executed(), 5u);
+}
+
+TEST(Resource, GrantsUpToCapacity)
+{
+    Engine e;
+    Resource r(e, 2);
+    int granted = 0;
+    r.acquire([&] { ++granted; });
+    r.acquire([&] { ++granted; });
+    r.acquire([&] { ++granted; });
+    EXPECT_EQ(granted, 2);
+    EXPECT_EQ(r.inUse(), 2u);
+    EXPECT_EQ(r.queued(), 1u);
+}
+
+TEST(Resource, ReleaseHandsToOldestWaiter)
+{
+    Engine e;
+    Resource r(e, 1);
+    std::vector<int> order;
+    r.acquire([&] { order.push_back(0); });
+    r.acquire([&] { order.push_back(1); });
+    r.acquire([&] { order.push_back(2); });
+    r.release();
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    r.release();
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(r.queued(), 0u);
+}
+
+TEST(Resource, InUseStableAcrossHandoff)
+{
+    Engine e;
+    Resource r(e, 1);
+    r.acquire([] {});
+    r.acquire([] {});
+    EXPECT_EQ(r.inUse(), 1u);
+    r.release(); // hand-off, not free
+    e.run();
+    EXPECT_EQ(r.inUse(), 1u);
+    r.release();
+    EXPECT_EQ(r.inUse(), 0u);
+}
+
+TEST(Resource, BusyIntegralAccumulates)
+{
+    Engine e;
+    Resource r(e, 4);
+    r.acquire([] {});
+    e.schedule(100, [&r] { r.release(); });
+    e.run();
+    // One unit busy for 100 ns.
+    EXPECT_DOUBLE_EQ(r.busyIntegral(), 100.0);
+}
+
+/** Property: a pipeline of N tasks through capacity C finishes in
+ *  ceil(N/C) waves of the task duration. */
+class ResourceWaveTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(ResourceWaveTest, WaveLatency)
+{
+    const auto [tasks, capacity] = GetParam();
+    Engine e;
+    Resource r(e, static_cast<std::size_t>(capacity));
+    const Duration task_ns = 1000;
+    SimTime last_end = 0;
+    for (int i = 0; i < tasks; ++i) {
+        r.acquire([&] {
+            e.schedule(task_ns, [&] {
+                last_end = std::max(last_end, e.now());
+                r.release();
+            });
+        });
+    }
+    e.run();
+    const int waves = (tasks + capacity - 1) / capacity;
+    EXPECT_EQ(last_end, static_cast<SimTime>(waves) * task_ns);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ResourceWaveTest,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(8, 4),
+                      std::make_pair(9, 4), std::make_pair(40, 8),
+                      std::make_pair(3, 10)));
+
+} // namespace

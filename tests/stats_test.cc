@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Unit and property tests for the stats substrate: RNG determinism,
+ * distribution moments, exact quantiles, histograms, running summaries.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.h"
+#include "stats/histogram.h"
+#include "stats/quantile.h"
+#include "stats/rng.h"
+#include "stats/summary.h"
+#include "stats/table_printer.h"
+
+namespace {
+
+using namespace dri::stats;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff = any_diff || a.uniform() != b.uniform();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws)
+{
+    Rng a(7);
+    Rng fork_before = a.fork(1);
+    a.uniform();
+    a.uniform();
+    Rng fork_after = a.fork(1);
+    EXPECT_DOUBLE_EQ(fork_before.uniform(), fork_after.uniform());
+}
+
+TEST(Rng, ForkSaltsProduceDistinctStreams)
+{
+    Rng a(7);
+    Rng f1 = a.fork(1), f2 = a.fork(2);
+    EXPECT_NE(f1.uniform(), f2.uniform());
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng a(3);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = a.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng a(5);
+    EXPECT_FALSE(a.bernoulli(0.0));
+    EXPECT_TRUE(a.bernoulli(1.0));
+}
+
+TEST(Lognormal, MedianIsMedian)
+{
+    Rng rng(11);
+    LognormalSampler s(4.0, 0.5);
+    std::vector<double> draws;
+    for (int i = 0; i < 20000; ++i)
+        draws.push_back(s.sample(rng));
+    std::nth_element(draws.begin(), draws.begin() + 10000, draws.end());
+    EXPECT_NEAR(draws[10000], 4.0, 0.15);
+}
+
+TEST(Lognormal, ZeroSigmaIsConstant)
+{
+    Rng rng(1);
+    LognormalSampler s(3.0, 0.0);
+    EXPECT_DOUBLE_EQ(s.sample(rng), 3.0);
+}
+
+TEST(Lognormal, AnalyticMean)
+{
+    LognormalSampler s(2.0, 0.8);
+    EXPECT_NEAR(s.mean(), 2.0 * std::exp(0.5 * 0.64), 1e-12);
+}
+
+TEST(BoundedPareto, SamplesWithinBounds)
+{
+    Rng rng(13);
+    BoundedParetoSampler s(1.1, 10.0, 1000.0);
+    for (int i = 0; i < 5000; ++i) {
+        const double v = s.sample(rng);
+        EXPECT_GE(v, 10.0 * 0.999);
+        EXPECT_LE(v, 1000.0 * 1.001);
+    }
+}
+
+TEST(BoundedPareto, HeavyTailHasLargeP99OverP50)
+{
+    Rng rng(17);
+    BoundedParetoSampler s(1.1, 50.0, 6000.0);
+    QuantileEstimator q;
+    for (int i = 0; i < 50000; ++i)
+        q.add(s.sample(rng));
+    EXPECT_GT(q.p99() / q.p50(), 5.0);
+}
+
+TEST(BoundedPareto, DegenerateRange)
+{
+    Rng rng(19);
+    BoundedParetoSampler s(2.0, 5.0, 5.0);
+    EXPECT_DOUBLE_EQ(s.sample(rng), 5.0);
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    Rng rng(23);
+    ZipfSampler s(100, 1.2);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[s.sample(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(Zipf, AllRanksReachable)
+{
+    Rng rng(29);
+    ZipfSampler s(5, 0.5);
+    std::vector<int> counts(5, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[s.sample(rng)];
+    for (int c : counts)
+        EXPECT_GT(c, 0);
+}
+
+TEST(Poisson, MeanGapMatchesRate)
+{
+    Rng rng(31);
+    PoissonProcess p(25.0);
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += p.nextGapSeconds(rng);
+    EXPECT_NEAR(total / n, 1.0 / 25.0, 0.002);
+}
+
+TEST(Quantile, ExactAgainstSortedSamples)
+{
+    QuantileEstimator q;
+    for (int i = 100; i >= 1; --i)
+        q.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(q.min(), 1.0);
+    EXPECT_DOUBLE_EQ(q.max(), 100.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.5), 50.5);
+    EXPECT_NEAR(q.p99(), 99.01, 1e-9);
+}
+
+TEST(Quantile, SingleSample)
+{
+    QuantileEstimator q;
+    q.add(7.0);
+    EXPECT_DOUBLE_EQ(q.p50(), 7.0);
+    EXPECT_DOUBLE_EQ(q.p99(), 7.0);
+}
+
+TEST(Quantile, MeanAndSum)
+{
+    QuantileEstimator q;
+    q.addAll({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(q.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(q.sum(), 10.0);
+}
+
+TEST(Quantile, InterleavedAddAndQuery)
+{
+    QuantileEstimator q;
+    q.add(3.0);
+    q.add(1.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+    q.add(2.0);
+    EXPECT_DOUBLE_EQ(q.p50(), 2.0);
+}
+
+TEST(Quantile, ClearResets)
+{
+    QuantileEstimator q;
+    q.add(1.0);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+/** Property: quantiles are monotone in q. */
+class QuantileMonotoneTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(QuantileMonotoneTest, MonotoneInQ)
+{
+    Rng rng(GetParam());
+    QuantileEstimator q;
+    for (int i = 0; i < 500; ++i)
+        q.add(rng.gaussian(10.0, 5.0));
+    double prev = q.quantile(0.0);
+    for (double p = 0.05; p <= 1.0; p += 0.05) {
+        const double v = q.quantile(p);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 42, 99, 123456));
+
+TEST(Histogram, CountsAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);  // clamps to first bin
+    h.add(0.5);
+    h.add(9.5);
+    h.add(50.0); // clamps to last bin
+    EXPECT_EQ(h.totalCount(), 4u);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(9), 2u);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram h(0.0, 1.0, 7);
+    Rng rng(37);
+    for (int i = 0; i < 1000; ++i)
+        h.add(rng.uniform());
+    double total = 0.0;
+    for (std::size_t b = 0; b < h.binCount(); ++b)
+        total += h.fraction(b);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_NEAR(h.cumulativeFraction(h.binCount() - 1), 1.0, 1e-12);
+}
+
+TEST(Histogram, LogScaleBins)
+{
+    Histogram h(1.0, 1000.0, 3, Histogram::Scale::Log);
+    EXPECT_NEAR(h.binLo(0), 1.0, 1e-9);
+    EXPECT_NEAR(h.binLo(1), 10.0, 1e-6);
+    EXPECT_NEAR(h.binLo(2), 100.0, 1e-4);
+    h.add(5.0);
+    EXPECT_EQ(h.count(0), 1u);
+    h.add(500.0);
+    EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(Histogram, RenderContainsCounts)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    const std::string out = h.render();
+    EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(Summary, WelfordMatchesDirect)
+{
+    RunningSummary s;
+    Rng rng(41);
+    std::vector<double> vals;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.gaussian(5.0, 2.0);
+        vals.push_back(v);
+        s.add(v);
+    }
+    double mean = 0.0;
+    for (double v : vals)
+        mean += v;
+    mean /= vals.size();
+    double var = 0.0;
+    for (double v : vals)
+        var += (v - mean) * (v - mean);
+    var /= vals.size();
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(Summary, MergeEqualsSequential)
+{
+    Rng rng(43);
+    RunningSummary all, a, b;
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.uniform(0.0, 100.0);
+        all.add(v);
+        (i % 2 == 0 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty)
+{
+    RunningSummary a, b;
+    a.add(1.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"a", "bb"});
+    t.addRow({"xxxx", "y"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("a     bb"), std::string::npos);
+    EXPECT_NE(out.find("xxxx  y"), std::string::npos);
+}
+
+TEST(TablePrinter, NumberFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TablePrinter::pct(0.073, 1), "+7.3%");
+    EXPECT_EQ(TablePrinter::pct(-0.01, 1), "-1.0%");
+}
+
+} // namespace
