@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Cache hit-rate curves: sweep DRAM budget x popularity skew x eviction
+ * policy over trace replays (src/cache) and compare each measured point
+ * against the closed-form dc::hitRate skew curve the analytic paging
+ * model uses. Emits one machine-readable JSON line per point (grep "^{")
+ * so perf trajectories can be tracked across commits, alongside the usual
+ * console tables.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+#include "cache/lookup_model.h"
+#include "dc/paging.h"
+#include "model/generators.h"
+#include "stats/table_printer.h"
+#include "workload/access_trace.h"
+
+namespace {
+
+using namespace dri;
+
+} // namespace
+
+int
+main()
+{
+    using stats::TablePrinter;
+
+    std::cout << stats::banner(
+        "Cache hit-rate curves: size x skew x policy vs analytic");
+
+    const auto spec = model::makeCacheStudySpec();
+    const std::vector<cache::Policy> policies{
+        cache::Policy::Lru, cache::Policy::Lfu, cache::Policy::TwoQueue};
+    const cache::TierCosts costs{25.0, 90000.0};
+
+    for (const double skew : {0.4, 0.6, 0.8}) {
+        workload::RequestGenerator gen(spec,
+                                       workload::GeneratorConfig{17});
+        const auto trace =
+            workload::recordTrace(spec, gen.generate(600), skew, 17);
+        const auto footprint = workload::traceFootprint(spec, trace);
+        const std::int64_t universe = footprint.universe_bytes;
+
+        std::cout << "popularity skew " << skew << " (" << trace.size()
+                  << " accesses, " << footprint.distinct_rows
+                  << " distinct rows):\n";
+        TablePrinter table({"capacity", "analytic", "lru", "lfu", "2q",
+                            "lru lookup (us)"});
+        for (const double f : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+            const auto cap = static_cast<std::int64_t>(
+                f * static_cast<double>(universe));
+            const double analytic = dc::hitRate(f, skew);
+            std::vector<std::string> row{TablePrinter::pct(f),
+                                         TablePrinter::pct(analytic)};
+            double lru_lookup_us = 0.0;
+            for (const auto policy : policies) {
+                const auto result =
+                    cache::replayTrace(spec, trace, policy, cap);
+                const cache::CachedLookupModel model(result, costs);
+                row.push_back(
+                    TablePrinter::pct(result.overallHitRate()));
+                if (policy == cache::Policy::Lru)
+                    lru_lookup_us = model.lookupNs(0) / 1000.0;
+
+                std::cout << bench::JsonRow("cache_hit_curves")
+                                 .field("policy",
+                                        cache::policyName(policy))
+                                 .field("skew", skew)
+                                 .field("capacity_fraction", f)
+                                 .field("capacity_bytes", cap)
+                                 .field("hit_rate",
+                                        result.overallHitRate())
+                                 .field("analytic_hit_rate", analytic)
+                                 .field("lookup_ns", model.lookupNs(0))
+                                 .field("evictions",
+                                        result.total.evictions);
+            }
+            row.push_back(TablePrinter::num(lru_lookup_us, 1));
+            table.addRow(row);
+        }
+        std::cout << table.render() << "\n";
+    }
+
+    std::cout << "Frequency-aware policies (LFU, 2Q) beat LRU hardest at "
+                 "small budgets under\nhigh skew; every policy converges "
+                 "to the analytic curve as the budget\napproaches the "
+                 "working set. JSON rows above are grep-able with '^{'.\n";
+    return 0;
+}

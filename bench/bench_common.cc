@@ -1,8 +1,122 @@
 #include "bench_common.h"
 
+#include <cmath>
+#include <cstdio>
 #include <functional>
+#include <ostream>
 
 namespace dri::bench {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size() + 2);
+    for (const char c : value) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+JsonRow::JsonRow(const std::string &bench)
+{
+    out_ = "{\"bench\":\"" + jsonEscape(bench) + "\"";
+}
+
+JsonRow &
+JsonRow::field(const std::string &key, const std::string &value)
+{
+    appendKey(key);
+    out_ += "\"" + jsonEscape(value) + "\"";
+    return *this;
+}
+
+JsonRow &
+JsonRow::field(const std::string &key, const char *value)
+{
+    // Null C strings (e.g. an unset getenv) render as "" rather than UB.
+    return field(key, std::string(value ? value : ""));
+}
+
+JsonRow &
+JsonRow::field(const std::string &key, double value)
+{
+    appendKey(key);
+    if (std::isfinite(value)) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.10g", value);
+        out_ += buf;
+    } else {
+        out_ += "null"; // JSON has no NaN/inf
+    }
+    return *this;
+}
+
+JsonRow &
+JsonRow::field(const std::string &key, std::int64_t value)
+{
+    appendKey(key);
+    out_ += std::to_string(value);
+    return *this;
+}
+
+JsonRow &
+JsonRow::field(const std::string &key, int value)
+{
+    return field(key, static_cast<std::int64_t>(value));
+}
+
+JsonRow &
+JsonRow::field(const std::string &key, std::uint64_t value)
+{
+    appendKey(key);
+    out_ += std::to_string(value);
+    return *this;
+}
+
+std::string
+JsonRow::str() const
+{
+    return out_ + "}";
+}
+
+void
+JsonRow::appendKey(const std::string &key)
+{
+    out_ += ",\"" + jsonEscape(key) + "\":";
+}
+
+std::ostream &
+operator<<(std::ostream &os, const JsonRow &row)
+{
+    return os << row.str() << "\n";
+}
 
 core::ServingConfig
 defaultServingConfig()

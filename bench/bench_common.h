@@ -6,6 +6,8 @@
  */
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -69,5 +71,36 @@ standardRequests(const model::ModelSpec &spec, std::size_t n);
 
 /** Pooling-factor estimates from the standard generator. */
 std::vector<double> standardPooling(const model::ModelSpec &spec);
+
+/**
+ * One machine-readable perf row: a single-line JSON object, emitted on a
+ * line of its own so downstream tooling can grep "^{" out of bench output
+ * (JSONL) and track metric trajectories across commits. The "bench" field
+ * always comes first.
+ */
+class JsonRow
+{
+  public:
+    explicit JsonRow(const std::string &bench);
+
+    JsonRow &field(const std::string &key, const std::string &value);
+    JsonRow &field(const std::string &key, const char *value);
+    JsonRow &field(const std::string &key, double value);
+    JsonRow &field(const std::string &key, std::int64_t value);
+    JsonRow &field(const std::string &key, int value);
+    /** Unsigned overload: keeps size_t/uint64 calls unambiguous. */
+    JsonRow &field(const std::string &key, std::uint64_t value);
+
+    /** The rendered object, e.g. {"bench":"x","p50_ms":1.25}. */
+    std::string str() const;
+
+  private:
+    void appendKey(const std::string &key);
+
+    std::string out_;
+};
+
+/** Writes the row plus a trailing newline. */
+std::ostream &operator<<(std::ostream &os, const JsonRow &row);
 
 } // namespace dri::bench

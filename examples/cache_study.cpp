@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Trace-driven embedding-cache study (the Bandana methodology of Section
+ * IX, end to end):
+ *
+ *  1. Policy separation — replay one Zipf-skewed access trace through
+ *     LRU / LFU / 2Q caches across a range of byte budgets and show the
+ *     measured hit rates diverge by policy; then interleave a cold
+ *     one-touch scan and show 2Q's probation queue protects the hot set
+ *     that flushes straight through LRU.
+ *  2. Degenerate-case validation — the LRU hit rate measured on the trace
+ *     must match the closed-form dc::hitRate skew curve within 5%
+ *     absolute at several cache sizes, tying the simulator back to the
+ *     analytic paging model it generalizes.
+ *  3. Paging integration — dc::pagedLookupNsTraced vs the analytic
+ *     dc::pagedLookupNs for an over-capacity model on a custom platform.
+ *
+ * Exits non-zero if the degenerate-case validation fails, so this example
+ * doubles as an acceptance check.
+ */
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "dc/paging_traced.h"
+#include "model/generators.h"
+#include "stats/table_printer.h"
+#include "workload/access_trace.h"
+#include "workload/request_generator.h"
+
+namespace {
+
+using namespace dri;
+
+workload::AccessTrace
+makeTrace(const model::ModelSpec &spec, std::size_t n_requests, double skew,
+          std::uint64_t seed)
+{
+    workload::RequestGenerator gen(spec, workload::GeneratorConfig{seed});
+    return workload::recordTrace(spec, gen.generate(n_requests), skew, seed);
+}
+
+double
+simulatedHitRate(const model::ModelSpec &spec,
+                 const workload::AccessTrace &trace, cache::Policy policy,
+                 std::int64_t capacity_bytes)
+{
+    return cache::replayTrace(spec, trace, policy, capacity_bytes)
+        .overallHitRate();
+}
+
+/** A trace whose second half interleaves a cold one-touch scan. */
+workload::AccessTrace
+withScan(const model::ModelSpec &spec, const workload::AccessTrace &base)
+{
+    workload::AccessTrace mixed;
+    std::int64_t scan_row = spec.tables[0].rows - 1;
+    std::size_t i = 0;
+    for (const auto &rec : base.records()) {
+        mixed.add(rec);
+        // From the midpoint on, every other access is a never-repeated row.
+        if (i > base.size() / 2 && i % 2 == 0)
+            mixed.add(workload::AccessRecord{rec.request_id, 0, scan_row--});
+        ++i;
+    }
+    return mixed;
+}
+
+} // namespace
+
+int
+main()
+{
+    using stats::TablePrinter;
+
+    const auto spec = model::makeCacheStudySpec();
+    const double skew = 0.6;
+    const auto trace = makeTrace(spec, 600, skew, 17);
+    const std::int64_t universe =
+        workload::traceFootprint(spec, trace).universe_bytes;
+
+    std::cout << stats::banner("Cache study: trace-driven hit rates");
+    std::cout << "trace: " << trace.size() << " accesses, universe "
+              << universe / 1024 << " KiB, popularity skew " << skew
+              << "\n\n";
+
+    // ---- 1. Policy separation on the skewed trace -----------------------
+    std::cout << "Policy separation (hit rate by DRAM budget):\n";
+    TablePrinter sep({"capacity", "lru", "lfu", "2q"});
+    const std::vector<cache::Policy> policies{
+        cache::Policy::Lru, cache::Policy::Lfu, cache::Policy::TwoQueue};
+    for (const double f : {0.05, 0.1, 0.2, 0.4}) {
+        const auto cap = static_cast<std::int64_t>(
+            f * static_cast<double>(universe));
+        std::vector<std::string> row{TablePrinter::pct(f)};
+        for (const auto policy : policies)
+            row.push_back(TablePrinter::pct(
+                simulatedHitRate(spec, trace, policy, cap)));
+        sep.addRow(row);
+    }
+    std::cout << sep.render() << "\n";
+
+    // ---- 1b. Scan resistance --------------------------------------------
+    std::cout << "Scan resistance (same budgets, one-touch scan "
+                 "interleaved):\n";
+    const auto scan_trace = withScan(spec, trace);
+    TablePrinter scan({"capacity", "lru", "lfu", "2q"});
+    for (const double f : {0.1, 0.2}) {
+        const auto cap = static_cast<std::int64_t>(
+            f * static_cast<double>(universe));
+        std::vector<std::string> row{TablePrinter::pct(f)};
+        for (const auto policy : policies)
+            row.push_back(TablePrinter::pct(
+                simulatedHitRate(spec, scan_trace, policy, cap)));
+        scan.addRow(row);
+    }
+    std::cout << scan.render() << "\n";
+
+    // ---- 2. Degenerate case: LRU vs the analytic skew curve -------------
+    // The closed-form curve is the *frequency-stationary* mass captured by
+    // the hottest fraction f of rows. LRU samples by recency, not
+    // frequency, so below the working set it sits measurably under the
+    // formula (the "analytic hit rates mislead" regime the subsystem
+    // exists for); as the cache approaches the working set the two
+    // converge, and there the simulator must reproduce the formula.
+    std::cout << "Degenerate-case validation (LRU vs dc::hitRate, "
+                 "tolerance 5% absolute):\n";
+    TablePrinter check(
+        {"resident", "analytic", "lru simulated", "abs delta", "verdict"});
+    bool all_pass = true;
+    for (const double f : {0.75, 0.85, 0.95}) {
+        const auto cap = static_cast<std::int64_t>(
+            f * static_cast<double>(universe));
+        const double analytic = dc::hitRate(f, skew);
+        const double simulated =
+            simulatedHitRate(spec, trace, cache::Policy::Lru, cap);
+        const double delta = std::abs(analytic - simulated);
+        const bool pass = delta <= 0.05;
+        all_pass = all_pass && pass;
+        check.addRow({TablePrinter::pct(f), TablePrinter::pct(analytic),
+                      TablePrinter::pct(simulated),
+                      TablePrinter::num(delta, 3),
+                      pass ? "PASS" : "FAIL"});
+    }
+    std::cout << check.render() << "\n";
+
+    // ---- 3. Paging integration ------------------------------------------
+    std::cout << "Paged-lookup cost, analytic vs trace-driven "
+                 "(over-capacity model):\n";
+    dc::Platform platform = dc::scLarge();
+    dc::PagingConfig paging;
+    paging.access_skew = skew;
+    TablePrinter paged({"resident", "analytic lookup (us)",
+                        "lru traced (us)", "2q traced (us)"});
+    for (const double f : {0.25, 0.5, 0.75}) {
+        // Model sized so the platform's usable DRAM is the fraction f.
+        const auto model_bytes = static_cast<std::int64_t>(
+            static_cast<double>(platform.usableModelBytes()) / f);
+        const double analytic =
+            dc::pagedLookupNs(model_bytes, platform, paging);
+        const auto lru = dc::pagedLookupNsTraced(
+            model_bytes, platform, paging, spec, trace,
+            cache::Policy::Lru);
+        const auto two_q = dc::pagedLookupNsTraced(
+            model_bytes, platform, paging, spec, trace,
+            cache::Policy::TwoQueue);
+        paged.addRow({TablePrinter::pct(lru.resident_fraction),
+                      TablePrinter::num(analytic / 1000.0, 1),
+                      TablePrinter::num(lru.lookup_ns / 1000.0, 1),
+                      TablePrinter::num(two_q.lookup_ns / 1000.0, 1)});
+    }
+    std::cout << paged.render() << "\n";
+
+    if (!all_pass) {
+        std::cout << "FAIL: LRU curve deviates from the analytic skew "
+                     "curve beyond tolerance.\n";
+        return EXIT_FAILURE;
+    }
+    std::cout << "All degenerate-case checks passed: the trace-driven "
+                 "simulator reproduces the\nanalytic curve where it "
+                 "should, and separates policies where the formula\n"
+                 "cannot.\n";
+    return EXIT_SUCCESS;
+}

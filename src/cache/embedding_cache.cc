@@ -1,0 +1,391 @@
+#include "cache/embedding_cache.h"
+
+#include <cassert>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+namespace dri::cache {
+
+namespace {
+
+/** Cache key: one row of one table. */
+struct Key
+{
+    int table = 0;
+    std::int64_t row = 0;
+
+    bool
+    operator==(const Key &other) const
+    {
+        return table == other.table && row == other.row;
+    }
+};
+
+struct KeyHash
+{
+    std::size_t
+    operator()(const Key &k) const
+    {
+        // splitmix64 finalizer over the packed (table, row) pair.
+        std::uint64_t x =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.table))
+             << 48) ^
+            static_cast<std::uint64_t>(k.row);
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return static_cast<std::size_t>(x);
+    }
+};
+
+/** Shared budget/stats plumbing. */
+class CacheBase : public EmbeddingCache
+{
+  public:
+    CacheBase(Policy policy, std::int64_t capacity_bytes)
+        : policy_(policy), capacity_(capacity_bytes > 0 ? capacity_bytes : 0)
+    {
+    }
+
+    std::int64_t capacityBytes() const override { return capacity_; }
+    std::int64_t usedBytes() const override { return used_; }
+    const CacheStats &stats() const override { return stats_; }
+    void resetStats() override { stats_ = CacheStats{}; }
+    Policy policy() const override { return policy_; }
+
+    void
+    setEvictionHook(
+        std::function<void(int, std::int64_t, std::int64_t)> hook) override
+    {
+        eviction_hook_ = std::move(hook);
+    }
+
+  protected:
+    void
+    evicted(const Key &key, std::int64_t bytes)
+    {
+        used_ -= bytes;
+        ++stats_.evictions;
+        if (eviction_hook_)
+            eviction_hook_(key.table, key.row, bytes);
+    }
+
+    Policy policy_;
+    std::int64_t capacity_ = 0;
+    std::int64_t used_ = 0;
+    CacheStats stats_;
+    std::function<void(int, std::int64_t, std::int64_t)> eviction_hook_;
+};
+
+// ---------------------------------------------------------------------------
+// LRU: one recency list, evict the tail.
+// ---------------------------------------------------------------------------
+class LruCache : public CacheBase
+{
+  public:
+    using CacheBase::CacheBase;
+
+    bool
+    access(int table, std::int64_t row, std::int64_t row_bytes) override
+    {
+        ++stats_.accesses;
+        const Key key{table, row};
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            ++stats_.hits;
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return true;
+        }
+        ++stats_.misses;
+        if (row_bytes > capacity_)
+            return false; // unadmittable: larger than the whole budget
+        while (used_ + row_bytes > capacity_) {
+            const Entry &victim = lru_.back();
+            index_.erase(victim.key);
+            evicted(victim.key, victim.bytes);
+            lru_.pop_back();
+        }
+        lru_.push_front(Entry{key, row_bytes});
+        index_[key] = lru_.begin();
+        used_ += row_bytes;
+        return false;
+    }
+
+    bool
+    contains(int table, std::int64_t row) const override
+    {
+        return index_.count(Key{table, row}) > 0;
+    }
+
+    std::size_t residentRows() const override { return index_.size(); }
+
+  private:
+    struct Entry
+    {
+        Key key;
+        std::int64_t bytes;
+    };
+    std::list<Entry> lru_; //!< front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+};
+
+// ---------------------------------------------------------------------------
+// LFU: frequency buckets; evict the least-recently-used entry of the
+// least-frequent bucket (classic O(1) LFU with an ordered bucket map).
+// ---------------------------------------------------------------------------
+class LfuCache : public CacheBase
+{
+  public:
+    using CacheBase::CacheBase;
+
+    bool
+    access(int table, std::int64_t row, std::int64_t row_bytes) override
+    {
+        ++stats_.accesses;
+        const Key key{table, row};
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            ++stats_.hits;
+            bump(it->second, key);
+            return true;
+        }
+        ++stats_.misses;
+        if (row_bytes > capacity_)
+            return false;
+        while (used_ + row_bytes > capacity_)
+            evictColdest();
+        Info info;
+        info.bytes = row_bytes;
+        info.freq = 1;
+        auto &bucket = buckets_[1];
+        bucket.push_back(key);
+        info.pos = std::prev(bucket.end());
+        index_[key] = info;
+        used_ += row_bytes;
+        return false;
+    }
+
+    bool
+    contains(int table, std::int64_t row) const override
+    {
+        return index_.count(Key{table, row}) > 0;
+    }
+
+    std::size_t residentRows() const override { return index_.size(); }
+
+  private:
+    struct Info
+    {
+        std::int64_t bytes = 0;
+        std::int64_t freq = 0;
+        std::list<Key>::iterator pos;
+    };
+
+    void
+    bump(Info &info, const Key &key)
+    {
+        auto bucket_it = buckets_.find(info.freq);
+        bucket_it->second.erase(info.pos);
+        if (bucket_it->second.empty())
+            buckets_.erase(bucket_it);
+        ++info.freq;
+        auto &next = buckets_[info.freq];
+        next.push_back(key);
+        info.pos = std::prev(next.end());
+    }
+
+    void
+    evictColdest()
+    {
+        assert(!buckets_.empty());
+        auto bucket_it = buckets_.begin(); // least-frequent bucket
+        const Key victim = bucket_it->second.front();
+        bucket_it->second.pop_front(); // oldest within the bucket
+        if (bucket_it->second.empty())
+            buckets_.erase(bucket_it);
+        auto idx = index_.find(victim);
+        const std::int64_t bytes = idx->second.bytes;
+        index_.erase(idx);
+        evicted(victim, bytes);
+    }
+
+    /** freq -> keys at that freq, oldest first. */
+    std::map<std::int64_t, std::list<Key>> buckets_;
+    std::unordered_map<Key, Info, KeyHash> index_;
+};
+
+// ---------------------------------------------------------------------------
+// TwoQueue: scan-resistant 2Q. New rows enter the A1in FIFO (targeted at
+// 1/4 of the byte budget); a hit there — or a miss whose key is remembered
+// in the A1out ghost list — promotes to the protected Am LRU. One-touch
+// scan rows flow through A1in and the ghost list without ever displacing
+// the Am hot set.
+// ---------------------------------------------------------------------------
+class TwoQueueCache : public CacheBase
+{
+  public:
+    using CacheBase::CacheBase;
+
+    bool
+    access(int table, std::int64_t row, std::int64_t row_bytes) override
+    {
+        ++stats_.accesses;
+        const Key key{table, row};
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            ++stats_.hits;
+            if (it->second.where == Where::In) {
+                // Re-referenced while on probation: promote to Am.
+                Entry entry = *it->second.pos;
+                in_bytes_ -= entry.bytes;
+                a1in_.erase(it->second.pos);
+                am_.push_front(entry);
+                it->second.where = Where::Main;
+                it->second.pos = am_.begin();
+            } else {
+                am_.splice(am_.begin(), am_, it->second.pos);
+            }
+            return true;
+        }
+        ++stats_.misses;
+        if (row_bytes > capacity_)
+            return false;
+        const bool remembered = eraseGhost(key);
+        if (remembered) {
+            am_.push_front(Entry{key, row_bytes});
+            index_[key] = Info{Where::Main, am_.begin()};
+        } else {
+            a1in_.push_back(Entry{key, row_bytes});
+            index_[key] = Info{Where::In, std::prev(a1in_.end())};
+            in_bytes_ += row_bytes;
+        }
+        used_ += row_bytes;
+        while (used_ > capacity_)
+            evictOne();
+        return false;
+    }
+
+    bool
+    contains(int table, std::int64_t row) const override
+    {
+        return index_.count(Key{table, row}) > 0;
+    }
+
+    std::size_t residentRows() const override { return index_.size(); }
+
+  private:
+    enum class Where
+    {
+        In,
+        Main,
+    };
+
+    struct Entry
+    {
+        Key key;
+        std::int64_t bytes;
+    };
+
+    struct Info
+    {
+        Where where;
+        std::list<Entry>::iterator pos;
+    };
+
+    std::int64_t inTargetBytes() const { return capacity_ / 4; }
+    std::int64_t ghostBudgetBytes() const { return capacity_ / 2; }
+
+    void
+    evictOne()
+    {
+        if (!a1in_.empty() && (in_bytes_ > inTargetBytes() || am_.empty())) {
+            // Probation victim: drop the payload, remember the identity.
+            const Entry victim = a1in_.front();
+            a1in_.pop_front();
+            in_bytes_ -= victim.bytes;
+            index_.erase(victim.key);
+            evicted(victim.key, victim.bytes);
+            rememberGhost(victim);
+        } else {
+            assert(!am_.empty());
+            const Entry victim = am_.back();
+            am_.pop_back();
+            index_.erase(victim.key);
+            evicted(victim.key, victim.bytes);
+        }
+    }
+
+    void
+    rememberGhost(const Entry &entry)
+    {
+        ghost_.push_back(entry);
+        ghost_index_[entry.key] = std::prev(ghost_.end());
+        ghost_bytes_ += entry.bytes;
+        while (ghost_bytes_ > ghostBudgetBytes() && !ghost_.empty()) {
+            const Entry &old = ghost_.front();
+            ghost_bytes_ -= old.bytes;
+            ghost_index_.erase(old.key);
+            ghost_.pop_front();
+        }
+    }
+
+    bool
+    eraseGhost(const Key &key)
+    {
+        auto it = ghost_index_.find(key);
+        if (it == ghost_index_.end())
+            return false;
+        ghost_bytes_ -= it->second->bytes;
+        ghost_.erase(it->second);
+        ghost_index_.erase(it);
+        return true;
+    }
+
+    std::list<Entry> a1in_; //!< probation FIFO, front = oldest
+    std::list<Entry> am_;   //!< protected LRU, front = most recent
+    std::int64_t in_bytes_ = 0;
+
+    /** A1out: identities of recent probation victims (no payload bytes). */
+    std::list<Entry> ghost_;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash>
+        ghost_index_;
+    std::int64_t ghost_bytes_ = 0;
+
+    std::unordered_map<Key, Info, KeyHash> index_;
+};
+
+} // namespace
+
+std::string
+policyName(Policy policy)
+{
+    switch (policy) {
+    case Policy::Lru:
+        return "lru";
+    case Policy::Lfu:
+        return "lfu";
+    case Policy::TwoQueue:
+        return "2q";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<EmbeddingCache>
+makeCache(Policy policy, std::int64_t capacity_bytes)
+{
+    switch (policy) {
+    case Policy::Lru:
+        return std::make_unique<LruCache>(policy, capacity_bytes);
+    case Policy::Lfu:
+        return std::make_unique<LfuCache>(policy, capacity_bytes);
+    case Policy::TwoQueue:
+        return std::make_unique<TwoQueueCache>(policy, capacity_bytes);
+    }
+    return nullptr;
+}
+
+} // namespace dri::cache

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Byte-budgeted embedding-row caches with pluggable eviction policies
+ * (Section IX's trace-driven direction: "explorations [of] table placement
+ * and frequency-based caching are also valuable directions enabled with
+ * trace-based analyses" — the Bandana line of work).
+ *
+ * An EmbeddingCache models the DRAM tier of a paged or tiered deployment:
+ * rows are admitted on miss and evicted under a byte budget according to
+ * the configured policy. Three policies cover the design space the
+ * literature argues over for embedding traffic:
+ *
+ *  - LRU: recency only; the classic baseline, vulnerable to scans.
+ *  - LFU: frequency only; near-optimal for static Zipf popularity but slow
+ *    to adapt when the hot set drifts.
+ *  - TwoQueue: scan-resistant 2Q — new rows enter a small FIFO probation
+ *    queue and must be re-referenced to reach the protected LRU main
+ *    queue, so one-touch scans cannot flush the hot set.
+ *
+ * Caches are purely functional simulators: they track row *identities* and
+ * byte sizes, never payloads, so replaying billion-access traces is cheap.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace dri::cache {
+
+/** Eviction policy selector. */
+enum class Policy
+{
+    Lru,
+    Lfu,
+    TwoQueue,
+};
+
+/** Human-readable policy name ("lru", "lfu", "2q"). */
+std::string policyName(Policy policy);
+
+/** Hit/miss/eviction counters. */
+struct CacheStats
+{
+    std::int64_t accesses = 0;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+
+    double
+    hitRate() const
+    {
+        return accesses > 0
+                   ? static_cast<double>(hits) / static_cast<double>(accesses)
+                   : 0.0;
+    }
+
+    void
+    merge(const CacheStats &other)
+    {
+        accesses += other.accesses;
+        hits += other.hits;
+        misses += other.misses;
+        evictions += other.evictions;
+    }
+};
+
+/**
+ * Interface of a byte-budgeted (table, row) cache. Implementations are
+ * obtained from makeCache(); all enforce usedBytes() <= capacityBytes()
+ * after every access.
+ */
+class EmbeddingCache
+{
+  public:
+    virtual ~EmbeddingCache() = default;
+
+    /**
+     * Record one access to `row` of `table`, whose stored size is
+     * `row_bytes`. Returns true on hit. On miss the row is admitted (and
+     * colder rows evicted until the budget holds) unless it alone exceeds
+     * the whole budget, in which case it bypasses the cache.
+     */
+    virtual bool access(int table, std::int64_t row,
+                        std::int64_t row_bytes) = 0;
+
+    /** Whether (table, row) is currently resident. */
+    virtual bool contains(int table, std::int64_t row) const = 0;
+
+    virtual std::int64_t capacityBytes() const = 0;
+    virtual std::int64_t usedBytes() const = 0;
+    virtual std::size_t residentRows() const = 0;
+
+    virtual const CacheStats &stats() const = 0;
+    /** Zero the counters; resident rows are untouched (warmup support). */
+    virtual void resetStats() = 0;
+
+    /**
+     * Install a callback invoked on every eviction with (table, row,
+     * row_bytes) — how TieredCacheSim attributes evictions per table.
+     */
+    virtual void
+    setEvictionHook(std::function<void(int, std::int64_t, std::int64_t)>
+                        hook) = 0;
+
+    virtual Policy policy() const = 0;
+};
+
+/** Construct a cache with the given policy and byte budget. */
+std::unique_ptr<EmbeddingCache> makeCache(Policy policy,
+                                          std::int64_t capacity_bytes);
+
+} // namespace dri::cache

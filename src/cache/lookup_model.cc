@@ -1,0 +1,54 @@
+#include "cache/lookup_model.h"
+
+#include <algorithm>
+
+namespace dri::cache {
+
+CachedLookupModel::CachedLookupModel(const CacheSimResult &sim,
+                                     TierCosts costs)
+    : costs_(costs), overall_(sim.overallHitRate())
+{
+    rates_.reserve(sim.per_table.size());
+    for (const auto &ts : sim.per_table)
+        rates_.push_back(ts.accesses > 0 ? ts.hitRate() : -1.0);
+}
+
+CachedLookupModel
+CachedLookupModel::fromHitRate(std::size_t num_tables, double hit_rate,
+                               TierCosts costs)
+{
+    CachedLookupModel model;
+    model.costs_ = costs;
+    const double h = std::clamp(hit_rate, 0.0, 1.0);
+    model.rates_.assign(num_tables, h);
+    model.overall_ = h;
+    return model;
+}
+
+bool
+CachedLookupModel::hasTable(int table) const
+{
+    return table >= 0 && static_cast<std::size_t>(table) < rates_.size() &&
+           rates_[static_cast<std::size_t>(table)] >= 0.0;
+}
+
+double
+CachedLookupModel::hitRate(int table) const
+{
+    return hasTable(table) ? rates_[static_cast<std::size_t>(table)] : 0.0;
+}
+
+double
+CachedLookupModel::lookupNs(int table) const
+{
+    return lookupNs(table, costs_.hit_ns);
+}
+
+double
+CachedLookupModel::lookupNs(int table, double hit_ns) const
+{
+    const double h = hitRate(table);
+    return h * hit_ns + (1.0 - h) * costs_.miss_ns;
+}
+
+} // namespace dri::cache

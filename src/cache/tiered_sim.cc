@@ -1,0 +1,90 @@
+#include "cache/tiered_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dri::cache {
+
+TieredCacheSim::TieredCacheSim(const model::ModelSpec &spec,
+                               TieredCacheConfig config)
+    : config_(config)
+{
+    row_bytes_.reserve(spec.tables.size());
+    for (const auto &t : spec.tables)
+        row_bytes_.push_back(t.storedRowBytes());
+    cache_ = makeCache(config_.policy, config_.capacity_bytes);
+}
+
+CacheSimResult
+TieredCacheSim::replay(const workload::AccessTrace &trace)
+{
+    CacheSimResult result;
+    result.per_table.resize(row_bytes_.size());
+
+    // Attribute evictions to the table losing the row.
+    std::vector<std::int64_t> evictions(row_bytes_.size(), 0);
+    cache_->setEvictionHook(
+        [&evictions](int table, std::int64_t, std::int64_t) {
+            if (table >= 0 &&
+                static_cast<std::size_t>(table) < evictions.size())
+                ++evictions[static_cast<std::size_t>(table)];
+        });
+
+    const auto &records = trace.records();
+    const double clamped_warmup =
+        std::clamp(config_.warmup_fraction, 0.0, 1.0);
+    const std::size_t warm = static_cast<std::size_t>(
+        std::llround(clamped_warmup * static_cast<double>(records.size())));
+
+    cache_->resetStats();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto &rec = records[i];
+        if (i == warm && i > 0) {
+            // Warmup boundary: discard counters, keep the resident set.
+            cache_->resetStats();
+            std::fill(evictions.begin(), evictions.end(), 0);
+        }
+        if (rec.table_id < 0 ||
+            static_cast<std::size_t>(rec.table_id) >= row_bytes_.size())
+            continue; // trace rows for tables this model does not define
+        const auto t = static_cast<std::size_t>(rec.table_id);
+        const bool hit = cache_->access(rec.table_id, rec.row, row_bytes_[t]);
+        if (i < warm)
+            continue; // warm the resident set without counting
+        auto &ts = result.per_table[t];
+        ++ts.accesses;
+        if (hit)
+            ++ts.hits;
+        else
+            ++ts.misses;
+    }
+    cache_->setEvictionHook(nullptr);
+    if (warm >= records.size()) {
+        // The whole trace was warmup: the boundary reset never fired, so
+        // discard the warmup-window evictions too — the post-warmup
+        // window is empty and must report all-zero statistics.
+        std::fill(evictions.begin(), evictions.end(), 0);
+    }
+
+    for (std::size_t t = 0; t < result.per_table.size(); ++t) {
+        result.per_table[t].evictions = evictions[t];
+        result.total.merge(result.per_table[t]);
+    }
+    return result;
+}
+
+CacheSimResult
+replayTrace(const model::ModelSpec &spec,
+            const workload::AccessTrace &trace, Policy policy,
+            std::int64_t capacity_bytes, double warmup_fraction)
+{
+    TieredCacheConfig config;
+    config.policy = policy;
+    config.capacity_bytes = capacity_bytes;
+    config.warmup_fraction = warmup_fraction;
+    TieredCacheSim sim(spec, config);
+    return sim.replay(trace);
+}
+
+} // namespace dri::cache

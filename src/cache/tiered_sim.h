@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace replay through a byte-budgeted embedding cache. TieredCacheSim is
+ * the measurement half of the Bandana-style methodology the paper points
+ * academics at: feed a recorded workload::AccessTrace through a DRAM-tier
+ * cache and read off per-table hit/miss/eviction counts, instead of
+ * trusting the closed-form skew curve in dc/paging. The resulting
+ * CacheSimResult feeds CachedLookupModel, which converts hit rates into
+ * the per-lookup cost coefficients the serving simulation consumes.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/embedding_cache.h"
+#include "model/model_spec.h"
+#include "workload/access_trace.h"
+
+namespace dri::cache {
+
+/** Replay configuration. */
+struct TieredCacheConfig
+{
+    Policy policy = Policy::Lru;
+    /** DRAM-tier byte budget. */
+    std::int64_t capacity_bytes = 0;
+    /**
+     * Leading fraction of the trace replayed to warm the cache before
+     * counters engage, removing compulsory-miss bias from the reported
+     * rates (0 = cold start; 0.5 is typical for stationarity studies).
+     */
+    double warmup_fraction = 0.0;
+};
+
+/** Post-warmup replay statistics. */
+struct CacheSimResult
+{
+    CacheStats total;
+    /** Indexed by table id; tables never accessed stay all-zero. */
+    std::vector<CacheStats> per_table;
+
+    double
+    hitRate(int table) const
+    {
+        if (table < 0 || static_cast<std::size_t>(table) >= per_table.size())
+            return 0.0;
+        return per_table[static_cast<std::size_t>(table)].hitRate();
+    }
+
+    double overallHitRate() const { return total.hitRate(); }
+};
+
+/**
+ * Replays access traces against one cache instance. The cache's resident
+ * set persists across replay() calls (counters reset each call), so a
+ * trace can be replayed twice for an explicit warm-start measurement.
+ */
+class TieredCacheSim
+{
+  public:
+    TieredCacheSim(const model::ModelSpec &spec, TieredCacheConfig config);
+
+    /** Replay the trace; returns post-warmup per-table statistics. */
+    CacheSimResult replay(const workload::AccessTrace &trace);
+
+    const EmbeddingCache &cache() const { return *cache_; }
+
+  private:
+    TieredCacheConfig config_;
+    /** Stored row bytes per table id, copied from the spec. */
+    std::vector<std::int64_t> row_bytes_;
+    std::unique_ptr<EmbeddingCache> cache_;
+};
+
+/**
+ * One-shot replay: build a cold cache of the given policy and byte budget,
+ * replay the trace, return the post-warmup statistics. The single entry
+ * point the bench, example, and property tests share, so their hit-rate
+ * curves stay cross-comparable by construction.
+ */
+CacheSimResult replayTrace(const model::ModelSpec &spec,
+                           const workload::AccessTrace &trace,
+                           Policy policy, std::int64_t capacity_bytes,
+                           double warmup_fraction = 0.5);
+
+} // namespace dri::cache

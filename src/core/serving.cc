@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 
+#include "cache/lookup_model.h"
 #include "netsim/message.h"
 #include "rpc/discovery.h"
 
@@ -161,12 +162,32 @@ struct ServingSimulation::Impl
                                            : spec.default_batch_size;
     }
 
+    /**
+     * Per-row gather cost for a table served by `shard` (-1 = main shard /
+     * inline SLS). With a cache model configured, the flat coefficient
+     * becomes the DRAM-hit cost and misses pay the model's backing-tier
+     * cost, weighted by the table's simulated hit rate.
+     */
     double
-    tableLookupNs(const model::TableSpec &t) const
+    tableLookupNs(const model::TableSpec &t, int shard = -1) const
     {
-        return cfg.lookup_base_ns +
-               cfg.lookup_ns_per_row_byte *
-                   static_cast<double>(t.storedRowBytes());
+        const double flat =
+            cfg.lookup_base_ns +
+            cfg.lookup_ns_per_row_byte *
+                static_cast<double>(t.storedRowBytes());
+        const cache::CachedLookupModel *model = nullptr;
+        if (shard >= 0 &&
+            static_cast<std::size_t>(shard) <
+                cfg.shard_cache_models.size() &&
+            cfg.shard_cache_models[static_cast<std::size_t>(shard)])
+            model =
+                cfg.shard_cache_models[static_cast<std::size_t>(shard)]
+                    .get();
+        else if (cfg.cache_model)
+            model = cfg.cache_model.get();
+        if (model && model->hasTable(t.id))
+            return model->lookupNs(t.id, flat);
+        return flat;
     }
 
     void
@@ -218,7 +239,7 @@ struct ServingSimulation::Impl
                             spec.tables[static_cast<std::size_t>(tid)];
                         const double p = t.expectedLookups(spec.mean_items);
                         pool += p;
-                        cost += p * tableLookupNs(t);
+                        cost += p * tableLookupNs(t, g.shard);
                         g.sum_dims += static_cast<double>(t.dim);
                     }
                     for (const auto &piece : g.pieces) {
@@ -227,7 +248,7 @@ struct ServingSimulation::Impl
                         const double p = t.expectedLookups(spec.mean_items) /
                                          static_cast<double>(piece.ways);
                         pool += p;
-                        cost += p * tableLookupNs(t);
+                        cost += p * tableLookupNs(t, g.shard);
                         g.sum_dims += static_cast<double>(t.dim);
                     }
                     g.lookup_ns =

@@ -38,6 +38,10 @@
 #include "trace/collector.h"
 #include "workload/request_generator.h"
 
+namespace dri::cache {
+class CachedLookupModel;
+}
+
 namespace dri::core {
 
 /** Deployment + cost-model configuration. */
@@ -80,6 +84,23 @@ struct ServingConfig
      * on a different replica combination).
      */
     int sparse_replicas = 1;
+
+    /**
+     * Optional measured-locality model (src/cache). When set, the
+     * per-table gather cost blends the platform-calibrated DRAM cost with
+     * the model's miss cost by the table's simulated hit rate, instead of
+     * charging the flat lookup_base_ns coefficient for every row. Tables
+     * the model has no data for keep the flat cost.
+     */
+    std::shared_ptr<const cache::CachedLookupModel> cache_model;
+    /**
+     * Per-shard overrides indexed by shard id (entries may be null to fall
+     * back to cache_model) — shards replay their own trace slices, so
+     * locality legitimately differs per shard. Singular/inline SLS always
+     * uses cache_model.
+     */
+    std::vector<std::shared_ptr<const cache::CachedLookupModel>>
+        shard_cache_models;
 
     std::uint64_t seed = 1234;
     /** Retain raw spans (needed for trace rendering; memory-heavy). */

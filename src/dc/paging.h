@@ -39,12 +39,17 @@ struct PagingConfig
 /** Fraction of the model resident in DRAM. */
 double residentFraction(std::int64_t model_bytes, const Platform &platform);
 
-/** Expected DRAM hit rate given the resident fraction and access skew. */
+/**
+ * Expected DRAM hit rate given the resident fraction and access skew.
+ * Inputs are clamped: resident_fraction to [0, 1]; access_skew below 0 is
+ * treated as uniform, and access_skew >= 1 takes the skew -> 1 limit of
+ * f^(1-skew), which is 1 for any positive resident fraction.
+ */
 double hitRate(double resident_fraction, double access_skew);
 
 /**
  * Expected per-lookup cost (ns) for a paged singular deployment of
- * `model_bytes` on `platform`.
+ * `model_bytes` on `platform`, from the closed-form skew curve.
  */
 double pagedLookupNs(std::int64_t model_bytes, const Platform &platform,
                      const PagingConfig &config);

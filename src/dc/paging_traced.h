@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Trace-driven sibling of the analytic paging model (dc/paging.h). Split
+ * into its own header so consumers of the closed-form curve alone do not
+ * drag in the cache/workload/model stack.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "cache/tiered_sim.h"
+#include "dc/paging.h"
+#include "dc/platform.h"
+#include "model/model_spec.h"
+#include "workload/access_trace.h"
+
+namespace dri::dc {
+
+/** Outcome of the trace-driven paging path. */
+struct TracedPagingResult
+{
+    /** Blended per-lookup cost (same meaning as pagedLookupNs). */
+    double lookup_ns = 0.0;
+    /** Measured DRAM hit rate over the post-warmup trace window. */
+    double hit_rate = 0.0;
+    /** Analytic resident fraction the DRAM budget corresponds to. */
+    double resident_fraction = 0.0;
+    /** DRAM byte budget applied to the traced row universe. */
+    std::int64_t cache_bytes = 0;
+    /** Bytes of the distinct rows the trace touches. */
+    std::int64_t universe_bytes = 0;
+    /** Full per-table replay statistics for further analysis. */
+    cache::CacheSimResult sim;
+};
+
+/**
+ * Trace-driven alternative to pagedLookupNs: instead of trusting the
+ * closed-form skew curve, replay `trace` through a byte-budgeted cache
+ * with the given eviction policy (the Bandana methodology) and blend the
+ * measured hit rate. The DRAM budget is the analytic resident fraction
+ * applied to the byte size of the distinct-row universe the trace
+ * touches, so the analytic and measured curves are directly comparable.
+ * The leading `warmup_fraction` of the trace only warms the cache. If the
+ * post-warmup window contains no in-model accesses (empty trace, foreign
+ * table ids, or warmup_fraction == 1), the hit rate falls back to the
+ * analytic hitRate curve rather than reporting a spurious all-miss 0.
+ */
+TracedPagingResult pagedLookupNsTraced(std::int64_t model_bytes,
+                                       const Platform &platform,
+                                       const PagingConfig &config,
+                                       const model::ModelSpec &spec,
+                                       const workload::AccessTrace &trace,
+                                       cache::Policy policy,
+                                       double warmup_fraction = 0.5);
+
+} // namespace dri::dc

@@ -227,6 +227,26 @@ makeAllModels()
     return {makeDrm1(), makeDrm2(), makeDrm3()};
 }
 
+ModelSpec
+makeCacheStudySpec()
+{
+    ModelSpec spec;
+    spec.name = "cache-study";
+    spec.mean_items = 64.0;
+    spec.items_alpha = 1.3;
+    spec.items_min = 16.0;
+    spec.items_max = 256.0;
+    spec.nets = {{0, "net", 1.0, 0.0}};
+    TableSpec t;
+    t.id = 0;
+    t.name = "emb";
+    t.rows = 200000;
+    t.dim = 32;
+    t.pooling_per_item = 2.0;
+    spec.tables.push_back(t);
+    return spec;
+}
+
 std::vector<GrowthPoint>
 modelGrowthSeries()
 {

@@ -31,6 +31,14 @@ ModelSpec makeDrm3();
 std::vector<ModelSpec> makeAllModels();
 
 /**
+ * Single-table model for trace-driven cache studies: 200k rows x dim 32,
+ * Zipf-distributed item counts. One table keeps per-policy behavior
+ * legible, and the cache bench, example, and property tests must all
+ * measure the same spec for their hit-rate curves to cross-validate.
+ */
+ModelSpec makeCacheStudySpec();
+
+/**
  * Power-law size ladder: n positive values with the given maximum and total
  * (largest first). Solves for the exponent by bisection; requires
  * largest <= total <= n * largest.

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <set>
 #include <sstream>
+#include <unordered_set>
 
 #include "stats/distributions.h"
 
@@ -121,6 +122,25 @@ recordTrace(const model::ModelSpec &spec,
         }
     }
     return trace;
+}
+
+TraceFootprint
+traceFootprint(const model::ModelSpec &spec, const AccessTrace &trace)
+{
+    std::vector<std::unordered_set<std::int64_t>> distinct(
+        spec.tables.size());
+    for (const auto &rec : trace.records())
+        if (rec.table_id >= 0 &&
+            static_cast<std::size_t>(rec.table_id) < distinct.size())
+            distinct[static_cast<std::size_t>(rec.table_id)].insert(rec.row);
+
+    TraceFootprint footprint;
+    for (std::size_t t = 0; t < distinct.size(); ++t) {
+        const auto rows = static_cast<std::int64_t>(distinct[t].size());
+        footprint.distinct_rows += rows;
+        footprint.universe_bytes += rows * spec.tables[t].storedRowBytes();
+    }
+    return footprint;
 }
 
 } // namespace dri::workload

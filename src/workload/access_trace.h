@@ -73,6 +73,22 @@ class AccessTrace
 };
 
 /**
+ * Distinct-row footprint of a trace: rows counted per (table, row) pair,
+ * bytes via each table's stored row size — the cacheable universe that
+ * capacity fractions and analytic-vs-measured comparisons are taken
+ * against. Records naming tables outside the spec are ignored, matching
+ * TieredCacheSim::replay.
+ */
+struct TraceFootprint
+{
+    std::int64_t distinct_rows = 0;
+    std::int64_t universe_bytes = 0;
+};
+
+TraceFootprint traceFootprint(const model::ModelSpec &spec,
+                              const AccessTrace &trace);
+
+/**
  * Record a trace by expanding requests into row accesses. Row ids within
  * each table follow a Zipf(popularity_skew) distribution over the table's
  * logical rows — embedding traffic is popularity-skewed but heavy-tailed.

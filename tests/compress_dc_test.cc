@@ -5,7 +5,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "compress/compression.h"
+#include "dc/paging.h"
 #include "dc/platform.h"
 #include "dc/replication.h"
 #include "model/generators.h"
@@ -13,6 +16,50 @@
 namespace {
 
 using namespace dri;
+
+TEST(Paging, HitRateClampsResidentFraction)
+{
+    // Out-of-range resident fractions (e.g. from a rounding-error caller)
+    // must clamp instead of tripping UB or exceeding [0, 1].
+    EXPECT_DOUBLE_EQ(dc::hitRate(-0.25, 0.6), 0.0);
+    EXPECT_DOUBLE_EQ(dc::hitRate(1.5, 0.6), 1.0);
+    EXPECT_DOUBLE_EQ(dc::hitRate(0.0, 0.6), 0.0);
+    EXPECT_DOUBLE_EQ(dc::hitRate(1.0, 0.6), 1.0);
+}
+
+TEST(Paging, HitRateHandlesSkewApproachingOne)
+{
+    // Regression: skew == 1 used to violate the [0, 1) contract; the
+    // continuous limit of f^(1-s) as s -> 1 is 1 for any f > 0.
+    EXPECT_DOUBLE_EQ(dc::hitRate(0.3, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(dc::hitRate(0.3, 1.5), 1.0);
+    EXPECT_DOUBLE_EQ(dc::hitRate(0.0, 1.0), 0.0);
+    // Approaching the limit from below stays finite and monotone in skew.
+    double prev = 0.0;
+    for (const double s : {0.9, 0.99, 0.999, 0.9999}) {
+        const double h = dc::hitRate(0.3, s);
+        EXPECT_TRUE(std::isfinite(h));
+        EXPECT_GE(h, prev);
+        EXPECT_LE(h, 1.0);
+        prev = h;
+    }
+    // Negative skew degrades gracefully to uniform (hit rate == fraction).
+    EXPECT_DOUBLE_EQ(dc::hitRate(0.3, -2.0), 0.3);
+}
+
+TEST(Paging, PagedLookupFiniteAcrossConfigSpace)
+{
+    const auto platform = dc::scLarge();
+    for (const double skew : {0.0, 0.5, 0.99, 1.0, 2.0}) {
+        dc::PagingConfig config;
+        config.access_skew = skew;
+        const double ns = dc::pagedLookupNs(
+            4 * platform.usableModelBytes(), platform, config);
+        EXPECT_TRUE(std::isfinite(ns));
+        EXPECT_GE(ns, config.dram_lookup_ns);
+        EXPECT_LE(ns, config.ssd_lookup_ns);
+    }
+}
 
 TEST(Compression, Drm1RatioNearPaper)
 {
