@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Scheduling-policy study on a DRM2-class deployment, in three acts:
+ *
+ *  1. Replica load balancing under load: round-robin vs
+ *     least-outstanding vs power-of-two-choices on a sparse-bound
+ *     deployment (wide main pool, two workers per sparse replica,
+ *     expensive gathers). Near saturation the load-aware policies dodge
+ *     busy replicas that blind rotation keeps feeding.
+ *  2. Dynamic batching: size-capped vs timeout-capped vs adaptive
+ *     request coalescing against the unbatched open loop, at a low rate
+ *     (where waiting for batches is pure latency loss) and a high rate
+ *     (where batches form for free).
+ *  3. Admission control at overload: a queue cap plus deadline-aware
+ *     shedding trades a bounded drop rate for served-request tail
+ *     latency an uncontrolled queue cannot approach.
+ *
+ * Self-checking (exit 1 on violation): at high QPS both load-aware
+ * policies beat round-robin's served P99 and power-of-two's worst
+ * replica backlog never exceeds round-robin's; adaptive batching beats
+ * timeout batching's P50 at low rate; admission control beats the
+ * uncontrolled served P99 at overload. Emits JSONL rows (grep "^{").
+ * `--smoke` runs a reduced stream for CI.
+ */
+#include <cstring>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analysis.h"
+#include "sched/batcher.h"
+#include "sched/capacity_search.h"
+#include "stats/table_printer.h"
+
+namespace {
+
+using namespace dri;
+
+double
+meanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += x;
+    return acc / static_cast<double>(v.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using stats::TablePrinter;
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    const std::size_t n_requests = smoke ? 400 : 1000;
+
+    std::cout << stats::banner(
+        "Scheduling policies: replica LB, dynamic batching, admission");
+    const auto spec = model::makeDrm2();
+    const auto pooling = bench::standardPooling(spec);
+    const auto plan = core::makeLoadBalanced(spec, 4, pooling);
+    const auto requests = bench::standardRequests(spec, n_requests);
+    bool ok = true;
+
+    // ---- 1. Replica load-balancing policies --------------------------------
+    const std::vector<rpc::LoadBalancePolicy> lb_policies{
+        rpc::LoadBalancePolicy::RoundRobin,
+        rpc::LoadBalancePolicy::LeastOutstanding,
+        rpc::LoadBalancePolicy::PowerOfTwoChoices};
+    const std::vector<double> rates = smoke ? std::vector<double>{700.0}
+                                            : std::vector<double>{400.0,
+                                                                  700.0};
+    for (const double qps : rates) {
+        std::cout << "--- replica LB on " << spec.name << ", "
+                  << plan.label() << " x3 replicas, " << qps << " QPS ---\n";
+        TablePrinter table({"policy", "P50", "P99", "P99.9", "max queue",
+                            "sparse util"});
+        double rr_p99 = 0.0;
+        std::size_t rr_peak = 0;
+        for (const auto policy : lb_policies) {
+            core::ServingSimulation sim(
+                spec, plan, sched::sparseBoundStudyConfig(policy, 3));
+            const auto stats = sim.replayOpenLoop(requests, qps);
+            const auto q = core::latencyQuantiles(stats);
+            const auto peaks = sim.serverPeakQueue();
+            std::size_t max_peak = 0;
+            for (const auto p : peaks)
+                max_peak = std::max(max_peak, p);
+            const double util = meanOf(sim.serverUtilization());
+
+            table.addRow({rpc::policyName(policy),
+                          TablePrinter::num(q.p50_ms),
+                          TablePrinter::num(q.p99_ms),
+                          TablePrinter::num(q.p999_ms),
+                          std::to_string(max_peak),
+                          TablePrinter::pct(util)});
+            std::cout << bench::JsonRow("sched_policies")
+                             .field("section", "replica_lb")
+                             .field("policy", rpc::policyName(policy))
+                             .field("qps", qps)
+                             .field("p50_ms", q.p50_ms)
+                             .field("p99_ms", q.p99_ms)
+                             .field("p999_ms", q.p999_ms)
+                             .field("max_peak_queue",
+                                    static_cast<std::int64_t>(max_peak))
+                             .field("sparse_util", util)
+                             .field("main_util", sim.mainUtilization());
+
+            const bool high = qps >= 700.0;
+            if (policy == rpc::LoadBalancePolicy::RoundRobin) {
+                rr_p99 = q.p99_ms;
+                rr_peak = max_peak;
+            } else if (high && q.p99_ms >= rr_p99) {
+                std::cout << "SELF-CHECK FAIL: " << rpc::policyName(policy)
+                          << " P99 " << q.p99_ms
+                          << " ms does not beat round-robin " << rr_p99
+                          << " ms at " << qps << " QPS\n";
+                ok = false;
+            }
+            if (high &&
+                policy == rpc::LoadBalancePolicy::PowerOfTwoChoices &&
+                max_peak > rr_peak) {
+                std::cout << "SELF-CHECK FAIL: power-of-two max queue "
+                          << max_peak << " exceeds round-robin " << rr_peak
+                          << "\n";
+                ok = false;
+            }
+        }
+        std::cout << table.render() << "\n";
+    }
+
+    // ---- 2. Dynamic batching policies --------------------------------------
+    const std::vector<double> batch_rates =
+        smoke ? std::vector<double>{50.0}
+              : std::vector<double>{50.0, 400.0};
+    for (const double qps : batch_rates) {
+        std::cout << "--- dynamic batching, default deployment, " << qps
+                  << " QPS ---\n";
+        TablePrinter table({"policy", "P50", "P99", "req/batch",
+                            "cpu/req (ms)"});
+        double adaptive_p50 = 0.0, timeout_p50 = 0.0;
+        for (const char *name :
+             {"none", "size-capped", "timeout-capped", "adaptive"}) {
+            core::ServingConfig cfg = bench::defaultServingConfig();
+            core::ServingSimulation sim(spec, plan, cfg);
+            std::vector<core::RequestStats> stats;
+            double coalesced = 1.0;
+            if (std::strcmp(name, "none") == 0) {
+                stats = sim.replayOpenLoop(requests, qps);
+            } else {
+                sched::BatcherConfig bc;
+                bc.max_batch_items = 1024;
+                bc.max_queue_delay_ns = 10 * sim::kMillisecond;
+                if (std::strcmp(name, "size-capped") == 0)
+                    bc.policy = sched::BatchPolicy::SizeCapped;
+                else if (std::strcmp(name, "timeout-capped") == 0)
+                    bc.policy = sched::BatchPolicy::TimeoutCapped;
+                else
+                    bc.policy = sched::BatchPolicy::Adaptive;
+                stats = sched::runBatchedOpenLoop(sim, requests, qps, bc);
+                // Batch-weighted mean: every rider of a k-rider batch
+                // carries coalesced=k, so summing 1/k over riders counts
+                // the batches (a plain mean over riders would be
+                // size-biased toward big batches).
+                double batches = 0.0;
+                for (const auto &s : stats)
+                    batches += 1.0 / static_cast<double>(s.coalesced);
+                coalesced = static_cast<double>(stats.size()) / batches;
+            }
+            const auto q = core::latencyQuantiles(stats);
+            table.addRow({name, TablePrinter::num(q.p50_ms),
+                          TablePrinter::num(q.p99_ms),
+                          TablePrinter::num(coalesced, 2),
+                          TablePrinter::num(core::meanCpuMs(stats), 2)});
+            std::cout << bench::JsonRow("sched_policies")
+                             .field("section", "batching")
+                             .field("policy", name)
+                             .field("qps", qps)
+                             .field("p50_ms", q.p50_ms)
+                             .field("p99_ms", q.p99_ms)
+                             .field("mean_coalesced", coalesced)
+                             .field("cpu_ms", core::meanCpuMs(stats));
+            if (qps <= 50.0) {
+                if (std::strcmp(name, "adaptive") == 0)
+                    adaptive_p50 = q.p50_ms;
+                if (std::strcmp(name, "timeout-capped") == 0)
+                    timeout_p50 = q.p50_ms;
+            }
+        }
+        std::cout << table.render() << "\n";
+        if (qps <= 50.0 && adaptive_p50 >= timeout_p50) {
+            std::cout << "SELF-CHECK FAIL: adaptive P50 " << adaptive_p50
+                      << " ms does not beat timeout-capped " << timeout_p50
+                      << " ms at low rate\n";
+            ok = false;
+        }
+    }
+
+    // ---- 3. Admission control at overload ----------------------------------
+    {
+        // Default deployment (8 main workers) far past its knee: the
+        // main-shard queue grows without bound unless admission caps it.
+        const double qps = 700.0;
+        std::cout << "--- admission control, default deployment, " << qps
+                  << " QPS (overload) ---\n";
+        TablePrinter table(
+            {"admission", "served P99", "served P99.9", "shed rate"});
+        double open_p99 = 0.0, controlled_p99 = 0.0;
+        for (const bool controlled : {false, true}) {
+            core::ServingConfig cfg = bench::defaultServingConfig();
+            if (controlled) {
+                cfg.admission.max_main_queue = 32;
+                cfg.admission.deadline_ns = 50 * sim::kMillisecond;
+            }
+            core::ServingSimulation sim(spec, plan, cfg);
+            const auto stats = sim.replayOpenLoop(requests, qps);
+            const auto q = core::latencyQuantiles(stats);
+            const double shed = core::shedRate(stats);
+            table.addRow({controlled ? "cap 32 + 50 ms deadline" : "none",
+                          TablePrinter::num(q.p99_ms),
+                          TablePrinter::num(q.p999_ms),
+                          TablePrinter::pct(shed)});
+            bench::JsonRow row("sched_policies");
+            row.field("section", "admission")
+                .field("controlled", static_cast<int>(controlled))
+                .field("qps", qps)
+                .field("served_p99_ms", q.p99_ms)
+                .field("served_p999_ms", q.p999_ms)
+                .field("shed_rate", shed);
+            for (const auto reason : {core::ShedReason::QueueFull,
+                                      core::ShedReason::DeadlineExceeded}) {
+                std::int64_t n = 0;
+                for (const auto &s : stats)
+                    n += s.shed_reason == reason ? 1 : 0;
+                row.field(std::string("shed_") +
+                              core::shedReasonName(reason),
+                          n);
+            }
+            std::cout << row;
+            (controlled ? controlled_p99 : open_p99) = q.p99_ms;
+        }
+        std::cout << table.render() << "\n";
+        if (controlled_p99 >= open_p99) {
+            std::cout << "SELF-CHECK FAIL: admission control served P99 "
+                      << controlled_p99
+                      << " ms does not beat uncontrolled " << open_p99
+                      << " ms at overload\n";
+            ok = false;
+        }
+    }
+
+    if (!ok) {
+        std::cout << "FAIL: scheduling-policy self-checks violated\n";
+        return 1;
+    }
+    std::cout << "Load-aware replica selection beats blind rotation once "
+                 "sparse queues form;\nadaptive batching recovers unbatched "
+                 "latency at low rate; admission control\nconverts an "
+                 "unbounded overload tail into a bounded shed rate. OK.\n";
+    return 0;
+}

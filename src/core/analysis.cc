@@ -43,17 +43,31 @@ meanOf(const std::vector<const RequestStats *> &reqs,
 
 } // namespace
 
+namespace {
+
+LatencyQuantiles
+quantilesOf(const stats::QuantileEstimator &q)
+{
+    LatencyQuantiles out;
+    if (q.empty())
+        return out;
+    out.p50_ms = q.p50();
+    out.p90_ms = q.p90();
+    out.p99_ms = q.p99();
+    out.p999_ms = q.p999();
+    return out;
+}
+
+} // namespace
+
 LatencyQuantiles
 latencyQuantiles(const std::vector<RequestStats> &stats)
 {
     stats::QuantileEstimator q;
     for (const auto &s : stats)
-        q.add(sim::toMillis(s.e2e));
-    LatencyQuantiles out;
-    out.p50_ms = q.p50();
-    out.p90_ms = q.p90();
-    out.p99_ms = q.p99();
-    return out;
+        if (!s.shed())
+            q.add(sim::toMillis(s.e2e));
+    return quantilesOf(q);
 }
 
 LatencyQuantiles
@@ -61,12 +75,21 @@ cpuQuantiles(const std::vector<RequestStats> &stats)
 {
     stats::QuantileEstimator q;
     for (const auto &s : stats)
-        q.add(s.cpuTotalNs() / 1e6);
-    LatencyQuantiles out;
-    out.p50_ms = q.p50();
-    out.p90_ms = q.p90();
-    out.p99_ms = q.p99();
-    return out;
+        if (!s.shed())
+            q.add(s.cpuTotalNs() / 1e6);
+    return quantilesOf(q);
+}
+
+double
+shedRate(const std::vector<RequestStats> &stats)
+{
+    if (stats.empty())
+        return 0.0;
+    std::size_t shed = 0;
+    for (const auto &s : stats)
+        if (s.shed())
+            ++shed;
+    return static_cast<double>(shed) / static_cast<double>(stats.size());
 }
 
 OverheadReport
@@ -175,14 +198,19 @@ std::vector<double>
 perShardOpLatency(const std::vector<RequestStats> &stats, int num_shards)
 {
     std::vector<double> out(static_cast<std::size_t>(num_shards), 0.0);
-    if (stats.empty())
-        return out;
-    for (const auto &s : stats)
+    std::size_t served = 0;
+    for (const auto &s : stats) {
+        if (s.shed())
+            continue;
+        ++served;
         for (std::size_t i = 0;
              i < out.size() && i < s.shard_op_ns.size(); ++i)
             out[i] += s.shard_op_ns[i];
+    }
+    if (served == 0)
+        return out;
     for (auto &v : out)
-        v /= static_cast<double>(stats.size()) * 1e6; // -> ms
+        v /= static_cast<double>(served) * 1e6; // -> ms
     return out;
 }
 
@@ -193,9 +221,11 @@ perShardOpLatencyByNet(const std::vector<RequestStats> &stats,
     std::vector<std::vector<double>> out(
         static_cast<std::size_t>(num_shards),
         std::vector<double>(static_cast<std::size_t>(num_nets), 0.0));
-    if (stats.empty())
-        return out;
-    for (const auto &s : stats)
+    std::size_t served = 0;
+    for (const auto &s : stats) {
+        if (s.shed())
+            continue;
+        ++served;
         for (int sh = 0; sh < num_shards; ++sh)
             for (int n = 0; n < num_nets; ++n) {
                 const std::size_t idx =
@@ -207,43 +237,58 @@ perShardOpLatencyByNet(const std::vector<RequestStats> &stats,
                        [static_cast<std::size_t>(n)] +=
                         s.shard_net_op_ns[idx];
             }
+    }
+    if (served == 0)
+        return out;
     for (auto &row : out)
         for (auto &v : row)
-            v /= static_cast<double>(stats.size()) * 1e6;
+            v /= static_cast<double>(served) * 1e6;
     return out;
 }
+
+namespace {
+
+/**
+ * Mean of `get` over served requests only — shed requests never executed,
+ * so counting their zeroed measurements would deflate per-request means
+ * (consistent with the quantile helpers above).
+ */
+double
+servedMean(const std::vector<RequestStats> &stats,
+           double (*get)(const RequestStats &))
+{
+    double acc = 0.0;
+    std::size_t served = 0;
+    for (const auto &s : stats)
+        if (!s.shed()) {
+            acc += get(s);
+            ++served;
+        }
+    return served == 0 ? 0.0 : acc / static_cast<double>(served);
+}
+
+} // namespace
 
 double
 meanRpcCount(const std::vector<RequestStats> &stats)
 {
-    if (stats.empty())
-        return 0.0;
-    double acc = 0.0;
-    for (const auto &s : stats)
-        acc += static_cast<double>(s.rpc_count);
-    return acc / static_cast<double>(stats.size());
+    return servedMean(stats, [](const RequestStats &s) {
+        return static_cast<double>(s.rpc_count);
+    });
 }
 
 double
 meanCpuMs(const std::vector<RequestStats> &stats)
 {
-    if (stats.empty())
-        return 0.0;
-    double acc = 0.0;
-    for (const auto &s : stats)
-        acc += s.cpuTotalNs() / 1e6;
-    return acc / static_cast<double>(stats.size());
+    return servedMean(
+        stats, [](const RequestStats &s) { return s.cpuTotalNs() / 1e6; });
 }
 
 double
 meanMainOpMs(const std::vector<RequestStats> &stats)
 {
-    if (stats.empty())
-        return 0.0;
-    double acc = 0.0;
-    for (const auto &s : stats)
-        acc += s.main_op_ns / 1e6;
-    return acc / static_cast<double>(stats.size());
+    return servedMean(
+        stats, [](const RequestStats &s) { return s.main_op_ns / 1e6; });
 }
 
 double
@@ -251,9 +296,11 @@ slaViolationRate(const std::vector<RequestStats> &stats, double sla_ms)
 {
     if (stats.empty())
         return 0.0;
+    // Shed requests are answered by the lower-quality fallback, exactly
+    // like SLA-violating ones — both count as quality degradation.
     std::size_t over = 0;
     for (const auto &s : stats)
-        if (sim::toMillis(s.e2e) > sla_ms)
+        if (s.shed() || sim::toMillis(s.e2e) > sla_ms)
             ++over;
     return static_cast<double>(over) / static_cast<double>(stats.size());
 }

@@ -31,12 +31,22 @@ struct LatencyQuantiles
     double p50_ms = 0.0;
     double p90_ms = 0.0;
     double p99_ms = 0.0;
+    /** Extreme tail; the overload experiments' headline metric. */
+    double p999_ms = 0.0;
 };
 
+/**
+ * E2E latency quantiles over *served* requests only — shed requests never
+ * executed, so their (tiny) residence times would corrupt the tail.
+ * Returns zeros if every request was shed.
+ */
 LatencyQuantiles latencyQuantiles(const std::vector<RequestStats> &stats);
 
 /** Quantiles of per-request total CPU time, in milliseconds. */
 LatencyQuantiles cpuQuantiles(const std::vector<RequestStats> &stats);
+
+/** Fraction of requests dropped by admission control. */
+double shedRate(const std::vector<RequestStats> &stats);
 
 /** Overhead of `config` vs `baseline` at P50/P90/P99. */
 OverheadReport computeOverhead(const std::string &label,

@@ -15,6 +15,31 @@
 
 namespace dri::core {
 
+/** Why admission control rejected a request (None = it was served). */
+enum class ShedReason : std::uint8_t
+{
+    None = 0,
+    /** Main-shard admission queue exceeded its configured cap on arrival. */
+    QueueFull,
+    /** Deadline already blown while waiting for a worker core. */
+    DeadlineExceeded,
+};
+
+/** Short lower-case reason name for tables and JSON rows. */
+inline const char *
+shedReasonName(ShedReason reason)
+{
+    switch (reason) {
+    case ShedReason::None:
+        return "none";
+    case ShedReason::QueueFull:
+        return "queue-full";
+    case ShedReason::DeadlineExceeded:
+        return "deadline";
+    }
+    return "unknown";
+}
+
 /** Everything measured about one served request. */
 struct RequestStats
 {
@@ -26,6 +51,23 @@ struct RequestStats
     sim::SimTime arrival = 0;
     sim::SimTime completion = 0;
     sim::Duration e2e = 0;
+
+    /**
+     * Load shedding: a shed request never executed (its latency buckets
+     * are meaningless beyond queue_wait) and would be answered by the
+     * serving tier's lower-quality fallback (Section II). Latency
+     * summaries must exclude shed requests; shedRate() accounts them.
+     */
+    ShedReason shed_reason = ShedReason::None;
+    bool shed() const { return shed_reason != ShedReason::None; }
+
+    /**
+     * Time spent coalescing in the dynamic batcher before injection
+     * (zero outside sched-driven replays). Included in e2e.
+     */
+    sim::Duration batch_wait = 0;
+    /** Original requests merged into the injected request (>= 1). */
+    int coalesced = 1;
 
     // ---- E2E latency stack at the main shard (Fig. 8a). The buckets sum
     //      (with queue_wait) to e2e; lat_dense is the critical-path

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <deque>
 #include <functional>
 #include <map>
@@ -10,6 +11,7 @@
 #include "cache/lookup_model.h"
 #include "netsim/message.h"
 #include "rpc/discovery.h"
+#include "stats/summary.h"
 
 namespace dri::core {
 
@@ -94,7 +96,7 @@ struct ServingSimulation::Impl
         trace::RpcRecord bounding;
         bool has_bounding = false;
         sim::Duration max_inline_sparse = 0;
-        std::function<void()> on_complete;
+        std::function<void(const RequestStats &)> on_complete;
 
         // Intra-request batch-slot pool (framework worker threads).
         int slots_free = 0;
@@ -106,24 +108,34 @@ struct ServingSimulation::Impl
         : spec(spec), plan(plan), cfg(cfg), collector(collector),
           link(cfg.link), service(cfg.service), rng(cfg.seed)
     {
-        const auto pool = [&](const dc::Platform &platform) {
-            const int threads = cfg.worker_threads > 0
-                                    ? std::min(cfg.worker_threads,
-                                               platform.cores)
-                                    : platform.cores;
-            return static_cast<std::size_t>(threads);
+        const auto pool = [&](const dc::Platform &platform, int threads) {
+            const int t = threads > 0 ? std::min(threads, platform.cores)
+                                      : platform.cores;
+            return static_cast<std::size_t>(t);
         };
         main_cores = std::make_unique<sim::Resource>(
-            engine, pool(cfg.main_platform), "main");
+            engine, pool(cfg.main_platform, cfg.worker_threads), "main");
+        const int sparse_threads = cfg.sparse_worker_threads > 0
+                                       ? cfg.sparse_worker_threads
+                                       : cfg.worker_threads;
         const int replicas = std::max(1, cfg.sparse_replicas);
         for (int s = 0; s < plan.numShards(); ++s)
             for (int r = 0; r < replicas; ++r) {
                 directory.registerReplica(
                     s, static_cast<int>(sparse_cores.size()));
                 sparse_cores.push_back(std::make_unique<sim::Resource>(
-                    engine, pool(cfg.sparse_platform),
+                    engine, pool(cfg.sparse_platform, sparse_threads),
                     "sparse" + std::to_string(s) + "." + std::to_string(r)));
             }
+        peak_queue.assign(sparse_cores.size(), 0);
+        directory.setPolicy(cfg.lb_policy, cfg.seed ^ 0x10adbau);
+        // Load-aware replica selection reads live queue depth from the
+        // worker pools (in-flight + queued), i.e. "outstanding requests".
+        directory.setLoadProbe([this](int server) {
+            const auto &r = *sparse_cores[static_cast<std::size_t>(server)];
+            return r.inUse() + r.queued();
+        });
+        results = &collected;
         buildNetInfos();
     }
 
@@ -142,7 +154,12 @@ struct ServingSimulation::Impl
     stats::Rng rng;
 
     std::vector<NetInfo> nets;
+    /** Where finished stats land; defaults to `collected` (driver API). */
     std::vector<RequestStats> *results = nullptr;
+    /** Results of externally injected requests, drained by takeResults. */
+    std::vector<RequestStats> collected;
+    /** Peak (in-flight + queued) per replica server, observed at dispatch. */
+    std::vector<std::size_t> peak_queue;
 
     double
     mainScale() const
@@ -358,8 +375,25 @@ struct ServingSimulation::Impl
 
     // -- Request lifecycle ----------------------------------------------------
 
+    /** Drop a request without executing it; stats record the reason. */
     void
-    inject(const workload::Request &req, std::function<void()> on_complete)
+    shedRequest(Active *a, ShedReason reason)
+    {
+        a->st.shed_reason = reason;
+        a->st.completion = engine.now();
+        a->st.e2e = a->st.completion - a->st.arrival;
+        results->push_back(a->st);
+        const RequestStats st = a->st;
+        auto on_complete = std::move(a->on_complete);
+        delete a;
+        if (on_complete)
+            on_complete(st);
+    }
+
+    void
+    inject(const workload::Request &req,
+           std::function<void(const RequestStats &)> on_complete,
+           sim::SimTime arrival = -1)
     {
         auto *a = new Active();
         a->req = &req;
@@ -376,11 +410,27 @@ struct ServingSimulation::Impl
             0.0);
         a->on_complete = std::move(on_complete);
         a->slots_free = std::max(1, cfg.request_parallelism);
-        a->st.arrival = engine.now();
+        a->st.arrival = arrival >= 0 ? arrival : engine.now();
+
+        // Admission control: cap the main-shard wait queue at arrival.
+        if (cfg.admission.max_main_queue > 0 &&
+            main_cores->queued() >=
+                static_cast<std::size_t>(cfg.admission.max_main_queue)) {
+            shedRequest(a, ShedReason::QueueFull);
+            return;
+        }
 
         const sim::SimTime q0 = engine.now();
         main_cores->acquire([this, a, q0] {
             a->st.queue_wait += engine.now() - q0;
+            // Deadline-aware shedding: don't burn a worker core on a
+            // request whose deadline already passed while it queued.
+            if (cfg.admission.deadline_ns > 0 &&
+                engine.now() - a->st.arrival > cfg.admission.deadline_ns) {
+                main_cores->release();
+                shedRequest(a, ShedReason::DeadlineExceeded);
+                return;
+            }
             const sim::Duration handler =
                 scaled(service.handlerNs() / 2, mainScale());
             const std::int64_t req_bytes = netsim::rankingRequestBytes(
@@ -578,7 +628,19 @@ struct ServingSimulation::Impl
         const Group &g = ni.groups[gi];
         const NetInfo *nip = &ni;
         const sim::SimTime q0 = engine.now();
-        const int server = directory.resolve(g.shard);
+        const std::optional<int> resolved = directory.resolve(g.shard);
+        // Every plan shard registers replicas at construction, so a
+        // resolution failure is a broken invariant; fail loudly rather
+        // than dropping the RPC (which would silently hang the request).
+        if (!resolved) {
+            assert(false && "unresolvable shard in serving deployment");
+            std::abort();
+        }
+        const int server = *resolved;
+        const auto srv_idx = static_cast<std::size_t>(server);
+        const std::size_t depth = sparse_cores[srv_idx]->inUse() +
+                                  sparse_cores[srv_idx]->queued() + 1;
+        peak_queue[srv_idx] = std::max(peak_queue[srv_idx], depth);
         sparse_cores[static_cast<std::size_t>(server)]->acquire(
             [this, bt, nip, gi, lookups, req_bytes, rec, q0,
              server]() mutable {
@@ -738,10 +800,11 @@ struct ServingSimulation::Impl
         }
 
         results->push_back(a->st);
+        const RequestStats st = a->st;
         auto on_complete = std::move(a->on_complete);
         delete a;
         if (on_complete)
-            on_complete();
+            on_complete(st);
     }
 };
 
@@ -776,14 +839,14 @@ ServingSimulation::replaySerial(const std::vector<workload::Request> &requests)
     std::function<void(std::size_t)> launch = [&](std::size_t i) {
         if (i >= requests.size())
             return;
-        impl_->inject(requests[i], [this, &launch, i] {
+        impl_->inject(requests[i], [this, &launch, i](const RequestStats &) {
             impl_->engine.schedule(config_.serial_gap_ns,
                                    [&launch, i] { launch(i + 1); });
         });
     };
     launch(0);
     impl_->engine.run();
-    impl_->results = nullptr;
+    impl_->results = &impl_->collected;
     return results;
 }
 
@@ -806,8 +869,63 @@ ServingSimulation::replayOpenLoop(
         });
     }
     impl_->engine.run();
-    impl_->results = nullptr;
+    impl_->results = &impl_->collected;
     return results;
+}
+
+sim::Engine &
+ServingSimulation::engine()
+{
+    return impl_->engine;
+}
+
+void
+ServingSimulation::inject(
+    const workload::Request &request,
+    std::function<void(const RequestStats &)> on_complete,
+    sim::SimTime arrival)
+{
+    impl_->inject(request, std::move(on_complete), arrival);
+}
+
+std::vector<RequestStats>
+ServingSimulation::takeResults()
+{
+    std::vector<RequestStats> out;
+    out.swap(impl_->collected);
+    return out;
+}
+
+std::size_t
+ServingSimulation::serverCount() const
+{
+    return impl_->sparse_cores.size();
+}
+
+std::vector<double>
+ServingSimulation::serverUtilization() const
+{
+    const auto elapsed = static_cast<double>(impl_->engine.now());
+    std::vector<double> out;
+    out.reserve(impl_->sparse_cores.size());
+    for (const auto &r : impl_->sparse_cores)
+        out.push_back(stats::utilizationFraction(r->busyIntegral(),
+                                                 r->capacity(), elapsed));
+    return out;
+}
+
+double
+ServingSimulation::mainUtilization() const
+{
+    return stats::utilizationFraction(
+        impl_->main_cores->busyIntegral(), impl_->main_cores->capacity(),
+        static_cast<double>(impl_->engine.now()));
+}
+
+std::vector<std::size_t>
+ServingSimulation::serverPeakQueue() const
+{
+    return impl_->peak_queue;
 }
 
 } // namespace dri::core

@@ -24,6 +24,7 @@
  */
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "core/sharding_plan.h"
 #include "dc/platform.h"
 #include "netsim/link_model.h"
+#include "rpc/discovery.h"
 #include "rpc/service.h"
 #include "sim/engine.h"
 #include "sim/resource.h"
@@ -43,6 +45,28 @@ class CachedLookupModel;
 }
 
 namespace dri::core {
+
+/**
+ * Admission control / load shedding at the main shard (src/sched's
+ * overload experiments). Both mechanisms are off by default so every
+ * pre-existing experiment is unchanged.
+ */
+struct AdmissionConfig
+{
+    /**
+     * Reject arrivals outright once this many requests are waiting for a
+     * main-shard worker core (0 = unbounded queue). The classic
+     * queue-length cap: bounds memory and worst-case queueing delay.
+     */
+    int max_main_queue = 0;
+    /**
+     * Deadline-aware shedding: a request that is still queued when its
+     * age exceeds this deadline is dropped at core-grant time instead of
+     * executed (0 = disabled). Sheds exactly the work that could no
+     * longer meet its SLO, so capacity is not wasted on doomed requests.
+     */
+    sim::Duration deadline_ns = 0;
+};
 
 /** Deployment + cost-model configuration. */
 struct ServingConfig
@@ -70,6 +94,14 @@ struct ServingConfig
      */
     int worker_threads = 8;
     /**
+     * Worker threads of the Thrift service on each sparse-shard replica;
+     * 0 inherits worker_threads. Sparse shards run small pools in
+     * practice (they co-locate many shards per host and may use the
+     * SC-Small SKU), and small pools are what make the replica
+     * load-balancing policy matter under overload.
+     */
+    int sparse_worker_threads = 0;
+    /**
      * Maximum batches of one request executing CPU phases concurrently
      * (the framework's intra-request worker pool). Asynchronous RPC ops
      * release the slot while waiting — the paper's mechanism for hiding
@@ -78,12 +110,20 @@ struct ServingConfig
      */
     int request_parallelism = 8;
     /**
-     * Replica servers behind each sparse shard, resolved round-robin via
-     * service discovery (Section III-A2: shards are replicated
-     * independently based on load; statelessness lets every request land
-     * on a different replica combination).
+     * Replica servers behind each sparse shard, resolved via service
+     * discovery (Section III-A2: shards are replicated independently
+     * based on load; statelessness lets every request land on a
+     * different replica combination).
      */
     int sparse_replicas = 1;
+    /**
+     * Replica-selection policy used by the service directory. The
+     * load-aware policies read live per-server queue depth from the sim
+     * engine (in-flight + queued work on each replica's worker pool).
+     */
+    rpc::LoadBalancePolicy lb_policy = rpc::LoadBalancePolicy::RoundRobin;
+    /** Main-shard admission control (off by default). */
+    AdmissionConfig admission;
 
     /**
      * Optional measured-locality model (src/cache). When set, the
@@ -135,6 +175,54 @@ class ServingSimulation
     std::vector<RequestStats>
     replayOpenLoop(const std::vector<workload::Request> &requests,
                    double qps);
+
+    // -- Low-level driver API (src/sched) ---------------------------------
+    //
+    // External schedulers (the dynamic batcher, capacity search) drive the
+    // simulation directly: schedule injections on engine(), call
+    // engine().run(), then collect with takeResults().
+
+    /** The discrete-event engine: clock + scheduler. */
+    sim::Engine &engine();
+
+    /**
+     * Inject one request at the current simulated time. `on_complete`
+     * (may be null) fires with the request's final stats — including shed
+     * requests, whose stats carry the shed reason. The request object
+     * must outlive its completion.
+     *
+     * `arrival` (>= 0) backdates the request's recorded arrival — the
+     * dynamic batcher passes its oldest rider's queue-entry time so that
+     * E2E and the admission deadline both see the time spent coalescing,
+     * not just the time since injection.
+     */
+    void inject(const workload::Request &request,
+                std::function<void(const RequestStats &)> on_complete,
+                sim::SimTime arrival = -1);
+
+    /** Stats of requests completed via inject() since the last call. */
+    std::vector<RequestStats> takeResults();
+
+    // -- Load observability -----------------------------------------------
+
+    /** Replica server worker pools in the deployment (shards x replicas). */
+    std::size_t serverCount() const;
+
+    /**
+     * Worker-pool utilization per replica server in [0, 1]: busy
+     * core-time over capacity x elapsed simulated time.
+     */
+    std::vector<double> serverUtilization() const;
+
+    /** Main-shard worker-pool utilization in [0, 1]. */
+    double mainUtilization() const;
+
+    /**
+     * Peak (in-flight + queued) depth observed at each replica server at
+     * RPC dispatch, the load-balancing quality signal: a policy that
+     * spreads load keeps the max across replicas low.
+     */
+    std::vector<std::size_t> serverPeakQueue() const;
 
     const trace::TraceCollector &collector() const { return collector_; }
     const ShardingPlan &plan() const { return plan_; }

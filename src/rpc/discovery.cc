@@ -1,8 +1,20 @@
 #include "rpc/discovery.h"
 
-#include <cassert>
-
 namespace dri::rpc {
+
+const char *
+policyName(LoadBalancePolicy policy)
+{
+    switch (policy) {
+    case LoadBalancePolicy::RoundRobin:
+        return "round-robin";
+    case LoadBalancePolicy::LeastOutstanding:
+        return "least-outstanding";
+    case LoadBalancePolicy::PowerOfTwoChoices:
+        return "power-of-two";
+    }
+    return "unknown";
+}
 
 void
 ServiceDirectory::registerReplica(int shard_id, int server_id)
@@ -17,22 +29,85 @@ ServiceDirectory::replicaCount(int shard_id) const
     return it == replicas_.end() ? 0 : it->second.size();
 }
 
+void
+ServiceDirectory::setPolicy(LoadBalancePolicy policy, std::uint64_t seed)
+{
+    policy_ = policy;
+    rng_ = stats::Rng(seed);
+}
+
+void
+ServiceDirectory::setLoadProbe(LoadProbe probe)
+{
+    probe_ = std::move(probe);
+}
+
 int
+ServiceDirectory::pickRoundRobin(int shard_id, const std::vector<int> &servers)
+{
+    const std::size_t idx = next_[shard_id] % servers.size();
+    next_[shard_id] = idx + 1;
+    return servers[idx];
+}
+
+int
+ServiceDirectory::pickLeastOutstanding(const std::vector<int> &servers)
+{
+    int best = servers.front();
+    std::size_t best_load = probe_(best);
+    for (std::size_t i = 1; i < servers.size(); ++i) {
+        const std::size_t load = probe_(servers[i]);
+        if (load < best_load) {
+            best = servers[i];
+            best_load = load;
+        }
+    }
+    return best;
+}
+
+int
+ServiceDirectory::pickPowerOfTwo(const std::vector<int> &servers)
+{
+    const auto n = static_cast<std::int64_t>(servers.size());
+    const auto a = static_cast<std::size_t>(rng_.uniformInt(0, n - 1));
+    // Second choice drawn from the remaining n-1, so a != b always.
+    auto b = static_cast<std::size_t>(rng_.uniformInt(0, n - 2));
+    if (b >= a)
+        ++b;
+    return probe_(servers[b]) < probe_(servers[a]) ? servers[b] : servers[a];
+}
+
+std::optional<int>
 ServiceDirectory::resolve(int shard_id)
 {
     auto it = replicas_.find(shard_id);
-    assert(it != replicas_.end() && !it->second.empty());
-    const std::size_t idx = next_[shard_id] % it->second.size();
-    next_[shard_id] = idx + 1;
-    return it->second[idx];
+    if (it == replicas_.end() || it->second.empty())
+        return std::nullopt;
+    const std::vector<int> &servers = it->second;
+    if (servers.size() == 1)
+        return servers.front();
+
+    switch (policy_) {
+    case LoadBalancePolicy::LeastOutstanding:
+        if (probe_)
+            return pickLeastOutstanding(servers);
+        break;
+    case LoadBalancePolicy::PowerOfTwoChoices:
+        if (probe_)
+            return pickPowerOfTwo(servers);
+        break;
+    case LoadBalancePolicy::RoundRobin:
+        break;
+    }
+    return pickRoundRobin(shard_id, servers);
 }
 
 const std::vector<int> &
 ServiceDirectory::replicas(int shard_id) const
 {
+    static const std::vector<int> kEmpty;
     auto it = replicas_.find(shard_id);
-    assert(it != replicas_.end());
-    return it->second;
+    return it == replicas_.end() ? kEmpty : it->second;
 }
 
 } // namespace dri::rpc

@@ -2,22 +2,49 @@
  * @file
  * Universal service-discovery stub: maps a logical shard id to one of its
  * replica server instances (Section III-C routes intermediate requests via
- * a universal service discovery protocol). Selection is round-robin, which
- * is what makes stateless shards a hard requirement — consecutive requests
- * may land on different replicas.
+ * a universal service discovery protocol). Statelessness lets consecutive
+ * requests land on different replicas, which is what makes the replica-
+ * selection policy a free design axis: the directory supports blind
+ * round-robin plus two load-aware policies (least-outstanding-requests and
+ * power-of-two-choices) driven by a caller-installed load probe.
  */
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <vector>
+
+#include "stats/rng.h"
 
 namespace dri::rpc {
 
-/** Replica registry and round-robin resolver. */
+/** Replica-selection policy used by ServiceDirectory::resolve. */
+enum class LoadBalancePolicy
+{
+    /** Blind rotation across replicas (the paper's baseline). */
+    RoundRobin,
+    /** Pick the replica with the fewest in-flight + queued requests. */
+    LeastOutstanding,
+    /** Sample two distinct replicas uniformly, pick the less loaded. */
+    PowerOfTwoChoices,
+};
+
+/** Short lower-case policy name for labels and JSON rows. */
+const char *policyName(LoadBalancePolicy policy);
+
+/** Replica registry and pluggable load-balancing resolver. */
 class ServiceDirectory
 {
   public:
+    /**
+     * Live load of a server instance (in-flight + queued requests).
+     * Installed by the simulation; load-aware policies fall back to
+     * round-robin while no probe is set.
+     */
+    using LoadProbe = std::function<std::size_t(int server_id)>;
+
     /** Register a replica server instance for a logical shard. */
     void registerReplica(int shard_id, int server_id);
 
@@ -25,17 +52,35 @@ class ServiceDirectory
     std::size_t replicaCount(int shard_id) const;
 
     /**
-     * Resolve the shard to a server id, rotating across replicas.
-     * Asserts if the shard has no replicas.
+     * Resolve the shard to a server id under the configured policy.
+     * Returns std::nullopt if the shard has no registered replicas
+     * (unknown shards are a caller error but must not crash the library).
      */
-    int resolve(int shard_id);
+    std::optional<int> resolve(int shard_id);
 
-    /** All server ids registered for a shard. */
+    /**
+     * All server ids registered for a shard; empty for unknown shards.
+     */
     const std::vector<int> &replicas(int shard_id) const;
 
+    /** Select the replica-choice policy (round-robin by default). */
+    void setPolicy(LoadBalancePolicy policy, std::uint64_t seed = 0x10ad);
+
+    LoadBalancePolicy policy() const { return policy_; }
+
+    /** Install (or clear, with nullptr) the live-load probe. */
+    void setLoadProbe(LoadProbe probe);
+
   private:
+    int pickLeastOutstanding(const std::vector<int> &servers);
+    int pickPowerOfTwo(const std::vector<int> &servers);
+    int pickRoundRobin(int shard_id, const std::vector<int> &servers);
+
     std::map<int, std::vector<int>> replicas_;
     std::map<int, std::size_t> next_;
+    LoadBalancePolicy policy_ = LoadBalancePolicy::RoundRobin;
+    LoadProbe probe_;
+    stats::Rng rng_{0x10ad};
 };
 
 } // namespace dri::rpc

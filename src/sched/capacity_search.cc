@@ -1,0 +1,95 @@
+#include "sched/capacity_search.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/analysis.h"
+
+namespace dri::sched {
+
+core::ServingConfig
+sparseBoundStudyConfig(rpc::LoadBalancePolicy policy, int sparse_replicas,
+                       std::uint64_t seed)
+{
+    core::ServingConfig cfg;
+    cfg.seed = seed;
+    cfg.worker_threads = 40;
+    cfg.sparse_worker_threads = 2;
+    cfg.lookup_base_ns = 400.0;
+    cfg.lookup_ns_per_row_byte = 0.8;
+    cfg.sparse_replicas = sparse_replicas;
+    cfg.lb_policy = policy;
+    return cfg;
+}
+
+CapacitySearch::CapacitySearch(const model::ModelSpec &spec,
+                               const core::ShardingPlan &plan,
+                               core::ServingConfig serving,
+                               CapacitySearchConfig search)
+    : spec_(spec), plan_(plan), serving_(std::move(serving)),
+      search_(std::move(search))
+{
+    assert(search_.qps_lo > 0.0 && search_.qps_hi >= search_.qps_lo);
+    assert(search_.grid_step > 1.0);
+}
+
+CapacityProbe
+CapacitySearch::probe(double qps,
+                      const std::vector<workload::Request> &requests)
+{
+    core::ServingSimulation sim(spec_, plan_, serving_);
+    std::vector<core::RequestStats> stats;
+    if (search_.use_batcher)
+        stats = runBatchedOpenLoop(sim, requests, qps, search_.batcher,
+                                   search_.arrival_seed);
+    else
+        stats = sim.replayOpenLoop(requests, qps);
+
+    const auto q = core::latencyQuantiles(stats);
+    CapacityProbe p;
+    p.qps = qps;
+    p.p99_ms = q.p99_ms;
+    p.p999_ms = q.p999_ms;
+    p.shed_rate = core::shedRate(stats);
+    p.feasible = q.p99_ms <= search_.slo.p99_ms &&
+                 p.shed_rate <= search_.slo.max_shed_rate;
+    return p;
+}
+
+CapacityResult
+CapacitySearch::run(const std::vector<workload::Request> &requests)
+{
+    // Geometric QPS grid, endpoints included.
+    std::vector<double> grid;
+    for (double q = search_.qps_lo; q < search_.qps_hi;
+         q *= search_.grid_step)
+        grid.push_back(q);
+    grid.push_back(search_.qps_hi);
+
+    CapacityResult result;
+    const auto record = [&](std::size_t idx) {
+        result.probes.push_back(probe(grid[idx], requests));
+        return result.probes.back().feasible;
+    };
+
+    if (!record(0))
+        return result; // max_qps = 0: even the floor rate misses the SLO
+    if (record(grid.size() - 1)) {
+        result.max_qps = grid.back();
+        return result; // capacity exceeds the search range
+    }
+
+    // Invariant: grid[lo] feasible, grid[hi] infeasible.
+    std::size_t lo = 0, hi = grid.size() - 1;
+    while (hi - lo > 1) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (record(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    result.max_qps = grid[lo];
+    return result;
+}
+
+} // namespace dri::sched

@@ -41,6 +41,8 @@ class QuantileEstimator
     double p50() const { return quantile(0.50); }
     double p90() const { return quantile(0.90); }
     double p99() const { return quantile(0.99); }
+    /** P99.9 — the overload experiments' extreme-tail metric. */
+    double p999() const { return quantile(0.999); }
 
     double min() const { return quantile(0.0); }
     double max() const { return quantile(1.0); }

@@ -9,6 +9,13 @@
 
 namespace dri::stats {
 
+/**
+ * Worker-pool utilization from a busy-time integral: busy unit-time over
+ * capacity x elapsed, clamped to [0, 1]. Returns 0 when nothing elapsed.
+ */
+double utilizationFraction(double busy_integral, std::size_t capacity,
+                           double elapsed);
+
 /** Online mean / variance / min / max accumulator. */
 class RunningSummary
 {

@@ -25,6 +25,21 @@ Request::lookupsForNet(const model::ModelSpec &spec, int net_id) const
     return total;
 }
 
+Request
+mergeRequests(const std::vector<Request> &parts)
+{
+    assert(!parts.empty());
+    Request merged = parts.front();
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const Request &p = parts[i];
+        assert(p.table_lookups.size() == merged.table_lookups.size());
+        merged.items += p.items;
+        for (std::size_t t = 0; t < merged.table_lookups.size(); ++t)
+            merged.table_lookups[t] += p.table_lookups[t];
+    }
+    return merged;
+}
+
 RequestGenerator::RequestGenerator(const model::ModelSpec &spec,
                                    GeneratorConfig config)
     : spec_(spec), config_(config), rng_(config.seed),

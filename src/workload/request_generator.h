@@ -34,6 +34,14 @@ struct Request
                                int net_id) const;
 };
 
+/**
+ * Coalesce several requests into one batched request: items and per-table
+ * lookup counts sum; the id is taken from the first part (the oldest
+ * request in a dynamic batch names the merged batch). Requires at least
+ * one part; all parts must describe the same model (equal table counts).
+ */
+Request mergeRequests(const std::vector<Request> &parts);
+
 /** Configuration for request synthesis. */
 struct GeneratorConfig
 {

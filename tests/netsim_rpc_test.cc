@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "netsim/link_model.h"
 #include "netsim/message.h"
 #include "rpc/discovery.h"
@@ -110,6 +112,64 @@ TEST(Discovery, IndependentShards)
     EXPECT_EQ(dir.resolve(0), 1);
     EXPECT_EQ(dir.resolve(5), 2);
     EXPECT_EQ(dir.replicas(5).size(), 1u);
+}
+
+TEST(Discovery, UnknownShardIsAnErrorNotACrash)
+{
+    // Regression: resolve() used to assert on unknown shards.
+    rpc::ServiceDirectory dir;
+    EXPECT_EQ(dir.resolve(7), std::nullopt);
+    EXPECT_TRUE(dir.replicas(7).empty());
+    dir.registerReplica(7, 42);
+    EXPECT_EQ(dir.resolve(7), 42);
+}
+
+TEST(Discovery, LeastOutstandingPicksIdlestReplica)
+{
+    rpc::ServiceDirectory dir;
+    dir.registerReplica(0, 10);
+    dir.registerReplica(0, 11);
+    dir.registerReplica(0, 12);
+    dir.setPolicy(rpc::LoadBalancePolicy::LeastOutstanding);
+    std::map<int, std::size_t> load{{10, 4}, {11, 1}, {12, 9}};
+    dir.setLoadProbe([&](int server) { return load[server]; });
+    EXPECT_EQ(dir.resolve(0), 11);
+    load[11] = 6;
+    EXPECT_EQ(dir.resolve(0), 10);
+}
+
+TEST(Discovery, PowerOfTwoPicksLessLoadedOfPair)
+{
+    // With exactly two replicas the sampled pair is always {both}, so the
+    // choice is fully determined by the probe.
+    rpc::ServiceDirectory dir;
+    dir.registerReplica(0, 20);
+    dir.registerReplica(0, 21);
+    dir.setPolicy(rpc::LoadBalancePolicy::PowerOfTwoChoices, 99);
+    std::map<int, std::size_t> load{{20, 5}, {21, 0}};
+    dir.setLoadProbe([&](int server) { return load[server]; });
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(dir.resolve(0), 21);
+}
+
+TEST(Discovery, LoadAwarePoliciesFallBackWithoutProbe)
+{
+    rpc::ServiceDirectory dir;
+    dir.registerReplica(0, 1);
+    dir.registerReplica(0, 2);
+    dir.setPolicy(rpc::LoadBalancePolicy::LeastOutstanding);
+    EXPECT_EQ(dir.resolve(0), 1); // round-robin fallback
+    EXPECT_EQ(dir.resolve(0), 2);
+}
+
+TEST(Discovery, PolicyNames)
+{
+    EXPECT_STREQ(rpc::policyName(rpc::LoadBalancePolicy::RoundRobin),
+                 "round-robin");
+    EXPECT_STREQ(rpc::policyName(rpc::LoadBalancePolicy::LeastOutstanding),
+                 "least-outstanding");
+    EXPECT_STREQ(rpc::policyName(rpc::LoadBalancePolicy::PowerOfTwoChoices),
+                 "power-of-two");
 }
 
 } // namespace

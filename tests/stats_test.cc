@@ -316,6 +316,28 @@ TEST(Summary, MergeWithEmpty)
     EXPECT_DOUBLE_EQ(b.mean(), 1.0);
 }
 
+TEST(Quantile, P999TracksExtremeTail)
+{
+    QuantileEstimator q;
+    for (int i = 1; i <= 10000; ++i)
+        q.add(static_cast<double>(i));
+    EXPECT_NEAR(q.p999(), 9991.0, 1.0);
+    EXPECT_GT(q.p999(), q.p99());
+    EXPECT_GT(q.p99(), q.p90());
+}
+
+TEST(Summary, UtilizationFraction)
+{
+    // 8 workers busy half the time over 1000 ns: 4000 unit-ns busy.
+    EXPECT_DOUBLE_EQ(utilizationFraction(4000.0, 8, 1000.0), 0.5);
+    EXPECT_DOUBLE_EQ(utilizationFraction(0.0, 8, 1000.0), 0.0);
+    // Clamped: rounding can push the integral past capacity x elapsed.
+    EXPECT_DOUBLE_EQ(utilizationFraction(9000.0, 8, 1000.0), 1.0);
+    // Degenerate inputs don't divide by zero.
+    EXPECT_DOUBLE_EQ(utilizationFraction(100.0, 0, 1000.0), 0.0);
+    EXPECT_DOUBLE_EQ(utilizationFraction(100.0, 8, 0.0), 0.0);
+}
+
 TEST(TablePrinter, AlignsColumns)
 {
     TablePrinter t({"a", "bb"});
