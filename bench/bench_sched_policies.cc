@@ -1,26 +1,36 @@
 /**
  * @file
- * Scheduling-policy study on a DRM2-class deployment, in three acts:
+ * Scheduling-policy study on a DRM2-class deployment, in five acts:
  *
  *  1. Replica load balancing under load: round-robin vs
  *     least-outstanding vs power-of-two-choices on a sparse-bound
  *     deployment (wide main pool, two workers per sparse replica,
  *     expensive gathers). Near saturation the load-aware policies dodge
  *     busy replicas that blind rotation keeps feeding.
- *  2. Dynamic batching: size-capped vs timeout-capped vs adaptive
- *     request coalescing against the unbatched open loop, at a low rate
- *     (where waiting for batches is pure latency loss) and a high rate
- *     (where batches form for free).
+ *  2. Dynamic batching: size-capped vs timeout-capped vs adaptive vs
+ *     queue-aware request coalescing against the unbatched open loop, at
+ *     a low rate (where waiting for batches is pure latency loss) and a
+ *     high rate (where batches form for free).
  *  3. Admission control at overload: a queue cap plus deadline-aware
  *     shedding trades a bounded drop rate for served-request tail
  *     latency an uncontrolled queue cannot approach.
+ *  4. Hedged sparse RPCs on a straggler-prone deployment: a backup to a
+ *     second replica when the primary exceeds a quantile-tracked
+ *     deadline, tied-request cancellation reclaiming the loser's
+ *     remaining service time.
+ *  5. Utilization-driven provisioning: the provision->simulate->
+ *     re-provision loop's heterogeneous replica vector vs the even split
+ *     at equal budget.
  *
  * Self-checking (exit 1 on violation): at high QPS both load-aware
  * policies beat round-robin's served P99 and power-of-two's worst
  * replica backlog never exceeds round-robin's; adaptive batching beats
  * timeout batching's P50 at low rate; admission control beats the
- * uncontrolled served P99 at overload. Emits JSONL rows (grep "^{").
- * `--smoke` runs a reduced stream for CI.
+ * uncontrolled served P99 at overload; hedging lowers P99 at high load
+ * without collapsing goodput (bounded wasted work and CPU inflation);
+ * the provision loop converges and beats the even split. Emits JSONL
+ * rows (grep "^{") including hedge rate, wasted-work fraction, and the
+ * per-shard replica vector. `--smoke` runs a reduced stream for CI.
  */
 #include <cstring>
 #include <iostream>
@@ -29,6 +39,7 @@
 #include "core/analysis.h"
 #include "sched/batcher.h"
 #include "sched/capacity_search.h"
+#include "sched/provision_loop.h"
 #include "stats/table_printer.h"
 
 namespace {
@@ -139,9 +150,10 @@ main(int argc, char **argv)
                   << " QPS ---\n";
         TablePrinter table({"policy", "P50", "P99", "req/batch",
                             "cpu/req (ms)"});
-        double adaptive_p50 = 0.0, timeout_p50 = 0.0;
+        double adaptive_p50 = 0.0, timeout_p50 = 0.0, qaware_p50 = 0.0;
         for (const char *name :
-             {"none", "size-capped", "timeout-capped", "adaptive"}) {
+             {"none", "size-capped", "timeout-capped", "adaptive",
+              "queue-aware"}) {
             core::ServingConfig cfg = bench::defaultServingConfig();
             core::ServingSimulation sim(spec, plan, cfg);
             std::vector<core::RequestStats> stats;
@@ -156,8 +168,10 @@ main(int argc, char **argv)
                     bc.policy = sched::BatchPolicy::SizeCapped;
                 else if (std::strcmp(name, "timeout-capped") == 0)
                     bc.policy = sched::BatchPolicy::TimeoutCapped;
-                else
+                else if (std::strcmp(name, "adaptive") == 0)
                     bc.policy = sched::BatchPolicy::Adaptive;
+                else
+                    bc.policy = sched::BatchPolicy::QueueAware;
                 stats = sched::runBatchedOpenLoop(sim, requests, qps, bc);
                 // Batch-weighted mean: every rider of a k-rider batch
                 // carries coalesced=k, so summing 1/k over riders counts
@@ -186,11 +200,21 @@ main(int argc, char **argv)
                     adaptive_p50 = q.p50_ms;
                 if (std::strcmp(name, "timeout-capped") == 0)
                     timeout_p50 = q.p50_ms;
+                if (std::strcmp(name, "queue-aware") == 0)
+                    qaware_p50 = q.p50_ms;
             }
         }
         std::cout << table.render() << "\n";
         if (qps <= 50.0 && adaptive_p50 >= timeout_p50) {
             std::cout << "SELF-CHECK FAIL: adaptive P50 " << adaptive_p50
+                      << " ms does not beat timeout-capped " << timeout_p50
+                      << " ms at low rate\n";
+            ok = false;
+        }
+        // An idle main pool means coalescing delay is pure loss; the
+        // queue-aware policy must flush straight through like adaptive.
+        if (qps <= 50.0 && qaware_p50 >= timeout_p50) {
+            std::cout << "SELF-CHECK FAIL: queue-aware P50 " << qaware_p50
                       << " ms does not beat timeout-capped " << timeout_p50
                       << " ms at low rate\n";
             ok = false;
@@ -250,13 +274,150 @@ main(int argc, char **argv)
         }
     }
 
+    // ---- 4. Hedged sparse RPCs on a straggler-prone deployment -------------
+    {
+        // A P99 comparison over a 400-request smoke stream rides on ~4
+        // order statistics; the hedge study always replays 1000 requests
+        // so the self-check measures the policy, not sampling noise.
+        const auto hedge_requests = bench::standardRequests(spec, 1000);
+        const std::vector<double> hedge_rates =
+            smoke ? std::vector<double>{2200.0}
+                  : std::vector<double>{1400.0, 2200.0};
+        for (const double qps : hedge_rates) {
+            std::cout << "--- hedging, straggler-prone sparse tier "
+                         "(least-outstanding x3 replicas), "
+                      << qps << " QPS ---\n";
+            TablePrinter table({"hedging", "P99", "P99.9", "hedge rate",
+                                "wasted work", "cpu/req (ms)"});
+            double off_p99 = 0.0, on_p99 = 0.0;
+            double off_cpu = 0.0, on_cpu = 0.0, on_wasted = 0.0;
+            for (const bool hedged : {false, true}) {
+                core::ServingSimulation sim(
+                    spec, plan,
+                    sched::hedgeStudyConfig(
+                        rpc::LoadBalancePolicy::LeastOutstanding, 3,
+                        hedged));
+                const auto stats = sim.replayOpenLoop(hedge_requests, qps);
+                const auto q = core::latencyQuantiles(stats);
+                const auto h = sim.hedgeStats();
+                const double cpu = core::meanCpuMs(stats);
+                table.addRow({hedged ? "on" : "off",
+                              TablePrinter::num(q.p99_ms),
+                              TablePrinter::num(q.p999_ms),
+                              TablePrinter::pct(h.hedgeRate()),
+                              TablePrinter::pct(h.wastedFraction()),
+                              TablePrinter::num(cpu, 2)});
+                std::cout << bench::JsonRow("sched_policies")
+                                 .field("section", "hedging")
+                                 .field("hedged", static_cast<int>(hedged))
+                                 .field("qps", qps)
+                                 .field("p99_ms", q.p99_ms)
+                                 .field("p999_ms", q.p999_ms)
+                                 .field("hedge_rate", h.hedgeRate())
+                                 .field("wasted_work_frac",
+                                        h.wastedFraction())
+                                 .field("hedge_wins", h.wins)
+                                 .field("hedge_losses", h.losses)
+                                 .field("hedge_cancelled", h.cancelled)
+                                 .field("hedge_suppressed", h.suppressed)
+                                 .field("sparse_util",
+                                        meanOf(sim.serverUtilization()))
+                                 .field("cpu_ms", cpu);
+                if (hedged) {
+                    on_p99 = q.p99_ms;
+                    on_cpu = cpu;
+                    on_wasted = h.wastedFraction();
+                } else {
+                    off_p99 = q.p99_ms;
+                    off_cpu = cpu;
+                }
+            }
+            std::cout << table.render() << "\n";
+            if (on_p99 >= off_p99) {
+                std::cout << "SELF-CHECK FAIL: hedged P99 " << on_p99
+                          << " ms does not beat unhedged " << off_p99
+                          << " ms at " << qps << " QPS\n";
+                ok = false;
+            }
+            // Goodput guard: tied-request cancellation must keep the
+            // duplicate work bounded — no more than the hedge budget in
+            // wasted sparse busy time, and no meaningful per-request CPU
+            // inflation.
+            if (on_wasted > 0.10) {
+                std::cout << "SELF-CHECK FAIL: wasted-work fraction "
+                          << on_wasted << " exceeds the 10% hedge budget\n";
+                ok = false;
+            }
+            if (on_cpu > 1.10 * off_cpu) {
+                std::cout << "SELF-CHECK FAIL: hedging inflates CPU/req "
+                          << off_cpu << " -> " << on_cpu << " ms\n";
+                ok = false;
+            }
+        }
+    }
+
+    // ---- 5. Utilization-driven provisioning --------------------------------
+    {
+        std::cout << "--- provision loop, capacity-balanced plan (skewed "
+                     "compute), 600 QPS ---\n";
+        const auto cap_plan = core::makeCapacityBalanced(spec, 4);
+        sched::ProvisionLoopConfig pc;
+        pc.qps = 600.0;
+        pc.target_utilization = 0.6;
+        sched::ProvisionLoop loop(
+            spec, cap_plan,
+            sched::sparseBoundStudyConfig(
+                rpc::LoadBalancePolicy::LeastOutstanding, 2),
+            pc);
+        const auto result = loop.run(requests);
+        const auto even = sched::evenReplicaSplit(result.totalReplicas(),
+                                                  cap_plan.numShards());
+        const auto baseline = loop.evaluate(even, requests);
+
+        TablePrinter table(
+            {"replicas", "total", "P99 (ms)", "converged"});
+        table.addRow({TablePrinter::intList(result.replicas),
+                      std::to_string(result.totalReplicas()),
+                      TablePrinter::num(result.p99_ms),
+                      result.converged ? "yes" : "no"});
+        table.addRow({TablePrinter::intList(even),
+                      std::to_string(result.totalReplicas()),
+                      TablePrinter::num(baseline.p99_ms), "-"});
+        std::cout << table.render() << "\n";
+        std::cout << bench::JsonRow("sched_policies")
+                         .field("section", "provision")
+                         .field("replica_vector",
+                                TablePrinter::intList(result.replicas))
+                         .field("total_replicas", static_cast<std::int64_t>(
+                                                      result.totalReplicas()))
+                         .field("converged",
+                                static_cast<int>(result.converged))
+                         .field("iterations", result.iterations)
+                         .field("p99_ms", result.p99_ms)
+                         .field("even_split_p99_ms", baseline.p99_ms);
+        if (!result.converged) {
+            std::cout << "SELF-CHECK FAIL: provision loop did not reach a "
+                         "replica-vector fixed point\n";
+            ok = false;
+        }
+        if (result.p99_ms > baseline.p99_ms) {
+            std::cout << "SELF-CHECK FAIL: load-proportional replicas P99 "
+                      << result.p99_ms << " ms exceeds even split "
+                      << baseline.p99_ms << " ms\n";
+            ok = false;
+        }
+    }
+
     if (!ok) {
         std::cout << "FAIL: scheduling-policy self-checks violated\n";
         return 1;
     }
     std::cout << "Load-aware replica selection beats blind rotation once "
-                 "sparse queues form;\nadaptive batching recovers unbatched "
-                 "latency at low rate; admission control\nconverts an "
-                 "unbounded overload tail into a bounded shed rate. OK.\n";
+                 "sparse queues form;\nadaptive and queue-aware batching "
+                 "recover unbatched latency at low rate;\nadmission control "
+                 "converts an unbounded overload tail into a bounded shed\n"
+                 "rate; hedging with tied-request cancellation dodges "
+                 "stragglers within its\nbudget; measured-load provisioning "
+                 "beats even replication at equal cost. OK.\n";
     return 0;
 }

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Provisioning feedback loop: close the measure->provision cycle the
+ * paper's capacity argument implies (Section VII-C: sparse shards are
+ * replicated independently, based on load).
+ *
+ * The fixed `sparse_replicas` knob gives every shard the same replica
+ * count, but a sharding plan that balances *memory* (capacity-balanced)
+ * deliberately skews *compute* across shards — so homogeneous replication
+ * either wastes replicas on cold shards or starves hot ones.
+ * sched::ProvisionLoop simulates the deployment at the target rate,
+ * measures each shard's busy core-time, feeds the measured demand through
+ * dc::provision, and re-simulates until the per-shard replica vector is a
+ * fixed point.
+ *
+ * Self-checking (exit 1 on violation):
+ *  - the loop converges to a replica-vector fixed point;
+ *  - the converged heterogeneous vector's served P99 is <= the
+ *    homogeneous (even-split) baseline's P99 at the same total replica
+ *    budget;
+ *  - per-shard utilization spread (max - min) shrinks vs the even split.
+ */
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/strategies.h"
+#include "model/generators.h"
+#include "sched/capacity_search.h"
+#include "sched/provision_loop.h"
+#include "stats/table_printer.h"
+#include "workload/request_generator.h"
+
+namespace {
+
+double
+spread(const std::vector<double> &v)
+{
+    const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    return *hi - *lo;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace dri;
+    using stats::TablePrinter;
+
+    const auto spec = model::makeDrm2();
+    workload::GeneratorConfig gc;
+    gc.seed = 0xbeef;
+    workload::RequestGenerator gen(spec, gc);
+    const auto requests = gen.generate(600);
+    // Capacity-balanced: equal bytes per shard, deliberately unequal
+    // compute — the plan where load-proportional replication matters.
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+
+    auto serving = sched::sparseBoundStudyConfig(
+        rpc::LoadBalancePolicy::LeastOutstanding, 2);
+
+    sched::ProvisionLoopConfig pc;
+    pc.qps = 600.0;
+    pc.target_utilization = 0.6;
+    pc.max_iterations = 6;
+
+    std::cout << "Provision loop: per-shard replicas from measured load\n"
+              << spec.name << " on " << plan.label() << ", target "
+              << pc.qps << " QPS at <= " << pc.target_utilization * 100
+              << "% pool utilization per replica.\n\n";
+
+    sched::ProvisionLoop loop(spec, plan, serving, pc);
+    const auto result = loop.run(requests);
+
+    TablePrinter table({"iteration", "replicas", "P99 (ms)",
+                        "util spread", "-> provisioned"});
+    for (std::size_t i = 0; i < result.trace.size(); ++i) {
+        const auto &it = result.trace[i];
+        table.addRow({std::to_string(i),
+                      TablePrinter::intList(it.replicas),
+                      TablePrinter::num(it.p99_ms),
+                      TablePrinter::num(spread(it.shard_utilization), 3),
+                      TablePrinter::intList(it.provisioned)});
+    }
+    std::cout << table.render();
+    std::cout << "fixed point " << TablePrinter::intList(result.replicas)
+              << " ("
+              << result.totalReplicas() << " replicas) after "
+              << result.iterations << " iterations, P99 "
+              << TablePrinter::num(result.p99_ms) << " ms\n\n";
+
+    bool ok = true;
+    if (!result.converged) {
+        std::cout << "SELF-CHECK FAIL: no replica-vector fixed point "
+                     "within "
+                  << pc.max_iterations << " iterations\n";
+        ok = false;
+    }
+
+    // Homogeneous baseline at the same replica budget.
+    const auto even = sched::evenReplicaSplit(result.totalReplicas(),
+                                              plan.numShards());
+    const auto baseline = loop.evaluate(even, requests);
+    std::cout << "even-split baseline " << TablePrinter::intList(even)
+              << ": P99 "
+              << TablePrinter::num(baseline.p99_ms) << " ms, util spread "
+              << TablePrinter::num(spread(baseline.shard_utilization), 3)
+              << " (loop: "
+              << TablePrinter::num(
+                     spread(result.trace.back().shard_utilization), 3)
+              << ")\n\n";
+
+    if (result.p99_ms > baseline.p99_ms) {
+        std::cout << "SELF-CHECK FAIL: load-proportional replicas P99 "
+                  << result.p99_ms << " ms exceeds even-split baseline "
+                  << baseline.p99_ms << " ms at equal budget\n";
+        ok = false;
+    }
+    if (spread(result.trace.back().shard_utilization) >=
+        spread(baseline.shard_utilization)) {
+        std::cout << "SELF-CHECK FAIL: utilization spread did not shrink "
+                     "vs the even split\n";
+        ok = false;
+    }
+
+    if (!ok) {
+        std::cout << "FAIL: provision-loop self-checks violated\n";
+        return 1;
+    }
+    std::cout << "Measured per-shard demand reproduces itself under "
+                 "re-provisioning (fixed\npoint), and load-proportional "
+                 "replication beats even replication at the same\nbudget "
+                 "on both tail latency and utilization balance. OK.\n";
+    return 0;
+}

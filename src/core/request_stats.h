@@ -48,6 +48,14 @@ struct RequestStats
     int batches = 0;
     int rpc_count = 0;
 
+    // ---- Hedged sparse RPCs (tail mitigation; zero when hedging is off).
+    /** Backup requests launched for this request's sparse RPCs. */
+    int hedges = 0;
+    /** Backups that answered before their primary (tail saves). */
+    int hedge_wins = 0;
+    /** Replica CPU burned by losing attempts (duplicate work). */
+    double hedge_wasted_cpu_ns = 0.0;
+
     sim::SimTime arrival = 0;
     sim::SimTime completion = 0;
     sim::Duration e2e = 0;

@@ -81,6 +81,47 @@ struct ServingSimulation::Impl
         std::int64_t response_bytes = 0;
     };
 
+    /**
+     * Execution state of one attempt of a (possibly hedged) RPC, kept on
+     * the op so the winning attempt can cancel an executing sibling
+     * mid-service (tied requests: the servers tell each other when one
+     * finishes, so the loser's remaining busy time is reclaimed).
+     */
+    struct AttemptExec
+    {
+        bool executing = false;
+        bool finished = false;  //!< ran its busy period to completion
+        bool cancelled = false; //!< aborted mid-execution by the winner
+        int server = -1;
+        sim::SimTime exec_start = 0;
+        sim::Duration busy = 0;
+        /** Busy components for proportional refund on cancellation. */
+        sim::Duration service = 0, serde = 0, overhead = 0, op_ns = 0;
+        std::size_t sidx = 0, nidx = 0;
+    };
+
+    /**
+     * One logical sparse RPC — a fan-out group of one batch — possibly
+     * raced by two attempts (primary + hedge). Reference-counted: each
+     * in-flight attempt and the pending hedge timer hold one ref; exactly
+     * one attempt wins (first to finish remote service) and delivers the
+     * response, the rest cancel (before, during, or after execution).
+     */
+    struct RpcOp
+    {
+        BatchState *bt = nullptr;
+        const NetInfo *ni = nullptr;
+        std::size_t gi = 0;
+        std::int64_t lookups = 0;
+        std::int64_t req_bytes = 0;
+        sim::SimTime dispatched = 0; //!< primary dispatch (client clock)
+        int primary_server = -1;     //!< replica the primary landed on
+        bool won = false;            //!< an attempt finished remote service
+        int refs = 0;
+        /** [0] = primary, [1] = hedge. */
+        AttemptExec exec[2];
+    };
+
     struct Active
     {
         workload::Request const *req = nullptr;
@@ -106,7 +147,8 @@ struct ServingSimulation::Impl
     Impl(const model::ModelSpec &spec, const ShardingPlan &plan,
          const ServingConfig &cfg, trace::TraceCollector &collector)
         : spec(spec), plan(plan), cfg(cfg), collector(collector),
-          link(cfg.link), service(cfg.service), rng(cfg.seed)
+          link(cfg.link), service(cfg.service), rng(cfg.seed),
+          hedge_tracker(cfg.hedge.window)
     {
         const auto pool = [&](const dc::Platform &platform, int threads) {
             const int t = threads > 0 ? std::min(threads, platform.cores)
@@ -118,15 +160,22 @@ struct ServingSimulation::Impl
         const int sparse_threads = cfg.sparse_worker_threads > 0
                                        ? cfg.sparse_worker_threads
                                        : cfg.worker_threads;
-        const int replicas = std::max(1, cfg.sparse_replicas);
-        for (int s = 0; s < plan.numShards(); ++s)
+        const int default_replicas = std::max(1, cfg.sparse_replicas);
+        for (int s = 0; s < plan.numShards(); ++s) {
+            int replicas = default_replicas;
+            const auto si = static_cast<std::size_t>(s);
+            if (si < cfg.sparse_replicas_per_shard.size() &&
+                cfg.sparse_replicas_per_shard[si] > 0)
+                replicas = cfg.sparse_replicas_per_shard[si];
             for (int r = 0; r < replicas; ++r) {
                 directory.registerReplica(
                     s, static_cast<int>(sparse_cores.size()));
+                server_shard.push_back(s);
                 sparse_cores.push_back(std::make_unique<sim::Resource>(
                     engine, pool(cfg.sparse_platform, sparse_threads),
                     "sparse" + std::to_string(s) + "." + std::to_string(r)));
             }
+        }
         peak_queue.assign(sparse_cores.size(), 0);
         directory.setPolicy(cfg.lb_policy, cfg.seed ^ 0x10adbau);
         // Load-aware replica selection reads live queue depth from the
@@ -160,6 +209,21 @@ struct ServingSimulation::Impl
     std::vector<RequestStats> collected;
     /** Peak (in-flight + queued) per replica server, observed at dispatch. */
     std::vector<std::size_t> peak_queue;
+    /** Logical shard of each replica server (parallel to sparse_cores). */
+    std::vector<int> server_shard;
+
+    // -- Hedging state -------------------------------------------------------
+
+    /** Observed client-side RPC latencies; the hedge deadline's source. */
+    rpc::LatencyTracker hedge_tracker;
+    std::uint64_t primary_rpcs = 0;
+    std::uint64_t hedges_launched = 0;
+    std::uint64_t hedge_wins = 0;
+    std::uint64_t hedge_losses = 0;
+    std::uint64_t hedge_cancelled = 0;
+    std::uint64_t hedge_suppressed = 0;
+    /** Replica busy time burned by attempts that lost their race. */
+    double wasted_busy_ns = 0.0;
 
     double
     mainScale() const
@@ -590,6 +654,41 @@ struct ServingSimulation::Impl
     std::map<BatchState *, sim::Duration> pending_top_;
 
     void
+    derefOp(RpcOp *op)
+    {
+        if (--op->refs == 0)
+            delete op;
+    }
+
+    /** Is a backup dispatch within the hedge budget right now? */
+    bool
+    hedgeBudgetAllows() const
+    {
+        return static_cast<double>(hedges_launched + 1) <=
+               cfg.hedge.max_hedge_fraction *
+                   static_cast<double>(primary_rpcs);
+    }
+
+    /**
+     * Queue-aware suppression: would the backup replica start this
+     * attempt promptly? Peeks at the replica resolveBackup would choose;
+     * the real resolution happens after the network delay and may differ,
+     * but the headroom answer is the same load signal either way.
+     */
+    bool
+    backupHasHeadroom(const RpcOp *op)
+    {
+        if (cfg.hedge.max_backup_outstanding == 0)
+            return true;
+        const auto backup = directory.resolveBackup(
+            op->ni->groups[op->gi].shard, op->primary_server);
+        if (!backup)
+            return false;
+        const auto &r = *sparse_cores[static_cast<std::size_t>(*backup)];
+        return r.inUse() + r.queued() <= cfg.hedge.max_backup_outstanding;
+    }
+
+    void
     sendRpc(BatchState *bt, const NetInfo &ni, std::size_t gi)
     {
         Active *a = bt->req;
@@ -602,102 +701,322 @@ struct ServingSimulation::Impl
         a->st.cpu_serde_ns += service.serdeNs(req_bytes) * mainScale();
         a->st.cpu_service_ns += static_cast<double>(scaled(
             service.clientDispatchNs(), mainScale()));
+        ++a->st.rpc_count;
+        ++primary_rpcs;
 
+        auto *op = new RpcOp();
+        op->bt = bt;
+        op->ni = &ni;
+        op->gi = gi;
+        op->lookups = lk;
+        op->req_bytes = req_bytes;
+        op->dispatched = engine.now();
+        op->refs = 1; // the primary attempt
+        launchAttempt(op, /*is_hedge=*/false);
+        maybeScheduleHedge(op);
+    }
+
+    /**
+     * Arm the hedge timer at dispatch: if the primary is still unresolved
+     * when the quantile-tracked deadline passes, race a backup against it
+     * on a different replica. The deadline is frozen at dispatch time (the
+     * tail-at-scale formulation); the budget is rechecked at fire time so
+     * bursts cannot overshoot the cap.
+     */
+    void
+    maybeScheduleHedge(RpcOp *op)
+    {
+        const rpc::HedgeConfig &hc = cfg.hedge;
+        if (!hc.enabled)
+            return;
+        if (directory.replicaCount(op->ni->groups[op->gi].shard) < 2)
+            return;
+        if (hedge_tracker.count() < std::max<std::size_t>(1, hc.min_samples))
+            return;
+        const sim::Duration deadline = std::max(
+            hc.min_deadline_ns, hedge_tracker.quantile(hc.quantile));
+        ++op->refs; // the timer (held across re-arms)
+        engine.schedule(deadline,
+                        [this, op, deadline] { hedgeTimerFired(op, deadline); });
+    }
+
+    void
+    hedgeTimerFired(RpcOp *op, sim::Duration deadline)
+    {
+        if (op->won) {
+            derefOp(op);
+            return;
+        }
+        // Primary still on the wire (its one-way delay exceeded the
+        // deadline — exactly the big-payload outliers hedging is for):
+        // re-arm rather than silently dropping the hedge. The wire delay
+        // is finite, so this terminates.
+        if (op->primary_server < 0) {
+            engine.schedule(deadline, [this, op, deadline] {
+                hedgeTimerFired(op, deadline);
+            });
+            return;
+        }
+        // Hedge only if budget remains and the backup would not just
+        // sink into another deep queue; count the skip either way so
+        // under-hedging is visible in the stats.
+        if (hedgeBudgetAllows() && backupHasHeadroom(op)) {
+            ++hedges_launched;
+            Active *a = op->bt->req;
+            ++a->st.hedges;
+            // Backup dispatch CPU; the serialized payload is reused,
+            // so no second serde charge.
+            a->st.cpu_service_ns += static_cast<double>(
+                scaled(service.clientDispatchNs(), mainScale()));
+            ++op->refs; // the backup attempt
+            launchAttempt(op, /*is_hedge=*/true);
+        } else {
+            ++hedge_suppressed;
+        }
+        derefOp(op);
+    }
+
+    void
+    launchAttempt(RpcOp *op, bool is_hedge)
+    {
+        Active *a = op->bt->req;
+        const Group &g = op->ni->groups[op->gi];
         trace::RpcRecord rec;
         rec.request_id = a->st.id;
         rec.shard_id = g.shard;
-        rec.net_id = ni.net_id;
-        rec.batch_id = bt->batch_id;
+        rec.net_id = op->ni->net_id;
+        rec.batch_id = op->bt->batch_id;
         rec.dispatched = engine.now();
-        ++a->st.rpc_count;
 
-        const sim::Duration out_delay = link.oneWayDelay(req_bytes, rng);
-        span(trace::Layer::Network, g.shard, ni.net_id, bt->batch_id,
-             engine.now(), engine.now() + out_delay, a->st.id);
-        const NetInfo *nip = &ni;
-        engine.schedule(out_delay, [this, bt, nip, gi, lk, req_bytes, rec] {
-            remoteArrive(bt, *nip, gi, lk, req_bytes, rec);
+        // Common random numbers: every stochastic component of an attempt
+        // (wire jitter out/back, interference) draws from a stream that is
+        // a pure function of the attempt's identity, not of global draw
+        // order. Paired runs — hedging on vs off, one batching policy vs
+        // another — then face identical per-attempt randomness, so their
+        // deltas measure the policy, not reshuffled noise.
+        std::uint64_t salt = a->st.id + 1;
+        salt = salt * 0x100000001b3ULL ^
+               static_cast<std::uint64_t>(op->ni->net_id + 1);
+        salt = salt * 0x100000001b3ULL ^
+               static_cast<std::uint64_t>(op->bt->batch_id + 1);
+        salt = salt * 0x100000001b3ULL ^ (op->gi + 1);
+        salt = salt * 0x100000001b3ULL ^ (is_hedge ? 2u : 1u);
+        stats::Rng arng = rng.fork(salt);
+
+        const sim::Duration out_delay =
+            link.oneWayDelay(op->req_bytes, arng);
+        span(trace::Layer::Network, g.shard, op->ni->net_id,
+             op->bt->batch_id, engine.now(), engine.now() + out_delay,
+             a->st.id);
+        engine.schedule(out_delay, [this, op, rec, is_hedge, arng] {
+            attemptArrive(op, rec, is_hedge, arng);
         });
     }
 
     void
-    remoteArrive(BatchState *bt, const NetInfo &ni, std::size_t gi,
-                 std::int64_t lookups, std::int64_t req_bytes,
-                 trace::RpcRecord rec)
+    attemptArrive(RpcOp *op, trace::RpcRecord rec, bool is_hedge,
+                  stats::Rng arng)
     {
-        const Group &g = ni.groups[gi];
-        const NetInfo *nip = &ni;
-        const sim::SimTime q0 = engine.now();
-        const std::optional<int> resolved = directory.resolve(g.shard);
+        // Race already decided while this attempt was on the wire.
+        if (op->won) {
+            if (is_hedge)
+                ++hedge_cancelled;
+            derefOp(op);
+            return;
+        }
+        const Group &g = op->ni->groups[op->gi];
+        const std::optional<int> resolved =
+            is_hedge ? directory.resolveBackup(g.shard, op->primary_server)
+                     : directory.resolve(g.shard);
         // Every plan shard registers replicas at construction, so a
         // resolution failure is a broken invariant; fail loudly rather
         // than dropping the RPC (which would silently hang the request).
+        // (A hedge resolve cannot fail either: hedging requires >= 2
+        // replicas, so excluding the primary leaves a candidate.)
         if (!resolved) {
             assert(false && "unresolvable shard in serving deployment");
             std::abort();
         }
         const int server = *resolved;
+        if (!is_hedge)
+            op->primary_server = server;
         const auto srv_idx = static_cast<std::size_t>(server);
         const std::size_t depth = sparse_cores[srv_idx]->inUse() +
                                   sparse_cores[srv_idx]->queued() + 1;
         peak_queue[srv_idx] = std::max(peak_queue[srv_idx], depth);
-        sparse_cores[static_cast<std::size_t>(server)]->acquire(
-            [this, bt, nip, gi, lookups, req_bytes, rec, q0,
-             server]() mutable {
-                Active *a2 = bt->req;
-                const Group &g2 = nip->groups[gi];
-                rec.remote_queue_ns = engine.now() - q0;
-                rec.remote_service_ns =
-                    scaled(service.handlerNs(), sparseScale());
-                rec.remote_serde_ns =
-                    scaled(service.serdeNs(req_bytes), sparseScale());
-                rec.remote_net_overhead_ns =
-                    scaled(service.netOverheadNs(0), sparseScale());
-                rec.remote_sparse_op_ns =
-                    scaled(static_cast<double>(lookups) * g2.lookup_ns,
-                           sparseScale());
-                const std::int64_t resp_bytes = netsim::sparseResponseBytes(
-                    static_cast<std::int64_t>(g2.sum_dims), bt->batch_items);
-                const sim::Duration resp_serde =
-                    scaled(service.serdeNs(resp_bytes), sparseScale());
-                rec.remote_serde_ns += resp_serde;
+        const sim::SimTime q0 = engine.now();
+        sparse_cores[srv_idx]->acquire([this, op, rec, is_hedge, q0,
+                                        server, arng]() mutable {
+            // Cancelled while queued: the winner returned before this
+            // attempt reached a core, so it costs nothing but its slot.
+            if (op->won) {
+                sparse_cores[static_cast<std::size_t>(server)]->release();
+                if (is_hedge)
+                    ++hedge_cancelled;
+                derefOp(op);
+                return;
+            }
+            Active *a2 = op->bt->req;
+            const Group &g2 = op->ni->groups[op->gi];
+            // Transient interference: this attempt (not the logical RPC)
+            // drew a slow event, so a hedged re-roll on another replica
+            // escapes it.
+            const double interference =
+                cfg.straggler_prob > 0.0 &&
+                        arng.bernoulli(cfg.straggler_prob)
+                    ? cfg.straggler_multiplier
+                    : 1.0;
+            const double remote_scale = sparseScale() * interference;
+            rec.remote_queue_ns = engine.now() - q0;
+            rec.remote_service_ns =
+                scaled(service.handlerNs(), remote_scale);
+            rec.remote_serde_ns =
+                scaled(service.serdeNs(op->req_bytes), remote_scale);
+            rec.remote_net_overhead_ns =
+                scaled(service.netOverheadNs(0), remote_scale);
+            rec.remote_sparse_op_ns =
+                scaled(static_cast<double>(op->lookups) * g2.lookup_ns,
+                       remote_scale);
+            const std::int64_t resp_bytes = netsim::sparseResponseBytes(
+                static_cast<std::int64_t>(g2.sum_dims),
+                op->bt->batch_items);
+            const sim::Duration resp_serde =
+                scaled(service.serdeNs(resp_bytes), remote_scale);
+            rec.remote_serde_ns += resp_serde;
 
-                // CPU accounting on the sparse shard.
-                a2->st.cpu_service_ns += static_cast<double>(
-                    rec.remote_service_ns + rec.remote_net_overhead_ns);
-                a2->st.cpu_serde_ns +=
-                    static_cast<double>(rec.remote_serde_ns);
-                a2->st.cpu_ops_ns +=
-                    static_cast<double>(rec.remote_sparse_op_ns);
-                const auto sidx = static_cast<std::size_t>(g2.shard);
-                a2->st.shard_op_ns[sidx] +=
-                    static_cast<double>(rec.remote_sparse_op_ns);
-                a2->st.shard_net_op_ns[sidx * spec.nets.size() +
-                                       static_cast<std::size_t>(
-                                           bt->net_idx)] +=
-                    static_cast<double>(rec.remote_sparse_op_ns);
+            // CPU accounting on the sparse shard — charged for every
+            // executing attempt: duplicate hedge work is real work. A
+            // mid-execution cancellation refunds the unexecuted part.
+            a2->st.cpu_service_ns += static_cast<double>(
+                rec.remote_service_ns + rec.remote_net_overhead_ns);
+            a2->st.cpu_serde_ns += static_cast<double>(rec.remote_serde_ns);
+            a2->st.cpu_ops_ns +=
+                static_cast<double>(rec.remote_sparse_op_ns);
+            const auto sidx = static_cast<std::size_t>(g2.shard);
+            const auto nidx = static_cast<std::size_t>(op->bt->net_idx);
+            a2->st.shard_op_ns[sidx] +=
+                static_cast<double>(rec.remote_sparse_op_ns);
+            a2->st.shard_net_op_ns[sidx * spec.nets.size() + nidx] +=
+                static_cast<double>(rec.remote_sparse_op_ns);
 
-                const sim::Duration busy =
-                    rec.remote_service_ns + rec.remote_serde_ns +
-                    rec.remote_net_overhead_ns + rec.remote_sparse_op_ns;
-                span(trace::Layer::SparseOp, g2.shard, nip->net_id,
-                     bt->batch_id, engine.now(),
-                     engine.now() + busy, a2->st.id);
-                engine.schedule(busy, [this, bt, nip, gi, resp_bytes, rec,
-                                       server] {
-                    const Group &g3 = nip->groups[gi];
-                    sparse_cores[static_cast<std::size_t>(server)]
-                        ->release();
-                    const sim::Duration back =
-                        link.oneWayDelay(resp_bytes, rng);
-                    span(trace::Layer::Network, g3.shard, nip->net_id,
-                         bt->batch_id, engine.now(), engine.now() + back,
-                         bt->req->st.id);
-                    engine.schedule(back, [this, bt, resp_bytes, rec] {
-                        responseArrive(bt, resp_bytes, rec);
-                    });
+            const sim::Duration busy =
+                rec.remote_service_ns + rec.remote_serde_ns +
+                rec.remote_net_overhead_ns + rec.remote_sparse_op_ns;
+            // Pre-charge this attempt's busy time as wasted; the winning
+            // attempt reverses it below. A losing attempt may outlive its
+            // request (the winner's response completes it), so the loser's
+            // completion must not touch request state — only the
+            // pre-charge/reversal protocol keeps per-request wasted-work
+            // accounting memory-safe.
+            a2->st.hedge_wasted_cpu_ns += static_cast<double>(busy);
+            AttemptExec &ex = op->exec[is_hedge ? 1 : 0];
+            ex.executing = true;
+            ex.server = server;
+            ex.exec_start = engine.now();
+            ex.busy = busy;
+            ex.service = rec.remote_service_ns;
+            ex.serde = rec.remote_serde_ns;
+            ex.overhead = rec.remote_net_overhead_ns;
+            ex.op_ns = rec.remote_sparse_op_ns;
+            ex.sidx = sidx;
+            ex.nidx = nidx;
+            span(trace::Layer::SparseOp, g2.shard, op->ni->net_id,
+                 op->bt->batch_id, engine.now(), engine.now() + busy,
+                 a2->st.id);
+            engine.schedule(busy, [this, op, rec, resp_bytes, busy,
+                                   is_hedge, server, arng]() mutable {
+                AttemptExec &self = op->exec[is_hedge ? 1 : 0];
+                self.executing = false;
+                if (self.cancelled) {
+                    // The winner aborted this attempt mid-service and
+                    // already released the core and settled accounting.
+                    derefOp(op);
+                    return;
+                }
+                self.finished = true;
+                sparse_cores[static_cast<std::size_t>(server)]->release();
+                if (op->won) {
+                    // Lost the race after executing to completion (the
+                    // winner finished in the same event round): wasted
+                    // duplicate work. The request may already be
+                    // finalized, so only simulation-level counters are
+                    // touched here.
+                    wasted_busy_ns += static_cast<double>(busy);
+                    if (is_hedge)
+                        ++hedge_losses;
+                    derefOp(op);
+                    return;
+                }
+                op->won = true;
+                op->bt->req->st.hedge_wasted_cpu_ns -=
+                    static_cast<double>(busy);
+                if (is_hedge) {
+                    ++hedge_wins;
+                    ++op->bt->req->st.hedge_wins;
+                }
+                cancelSibling(op, is_hedge ? 1 : 0);
+                BatchState *bt = op->bt;
+                const sim::SimTime dispatched = op->dispatched;
+                derefOp(op); // response path only needs the batch
+                const sim::Duration back =
+                    link.oneWayDelay(resp_bytes, arng);
+                span(trace::Layer::Network, rec.shard_id, rec.net_id,
+                     rec.batch_id, engine.now(), engine.now() + back,
+                     bt->req->st.id);
+                engine.schedule(back, [this, bt, resp_bytes, rec,
+                                       dispatched] {
+                    // The tracker sees the client-observed latency of the
+                    // *logical* RPC (primary dispatch to winning
+                    // response), which is what the next hedge deadline
+                    // must be quantile-of.
+                    hedge_tracker.add(engine.now() - dispatched);
+                    responseArrive(bt, resp_bytes, rec);
                 });
             });
+        });
+    }
+
+    /**
+     * Tied-request cancellation: the winning attempt aborts an executing
+     * sibling mid-service, reclaiming the remainder of its busy time (the
+     * servers notify each other, so the loser does not run to
+     * completion). This is what makes hedging capacity-positive under
+     * load — aborting a straggling primary after the fast backup answers
+     * refunds most of the straggler's inflated service time. Runs on the
+     * winner's completion path, where the request is guaranteed alive.
+     */
+    void
+    cancelSibling(RpcOp *op, int winner_idx)
+    {
+        AttemptExec &loser = op->exec[1 - winner_idx];
+        if (!loser.executing || loser.finished || loser.cancelled)
+            return;
+        loser.cancelled = true;
+        loser.executing = false;
+        const sim::Duration consumed = engine.now() - loser.exec_start;
+        const sim::Duration saved = loser.busy - consumed;
+        const double f =
+            loser.busy > 0
+                ? static_cast<double>(saved) /
+                      static_cast<double>(loser.busy)
+                : 0.0;
+        Active *a = op->bt->req;
+        a->st.cpu_service_ns -=
+            f * static_cast<double>(loser.service + loser.overhead);
+        a->st.cpu_serde_ns -= f * static_cast<double>(loser.serde);
+        a->st.cpu_ops_ns -= f * static_cast<double>(loser.op_ns);
+        a->st.shard_op_ns[loser.sidx] -=
+            f * static_cast<double>(loser.op_ns);
+        a->st.shard_net_op_ns[loser.sidx * spec.nets.size() +
+                              loser.nidx] -=
+            f * static_cast<double>(loser.op_ns);
+        // The pre-charge covered the full busy period; only the consumed
+        // part was actually wasted.
+        a->st.hedge_wasted_cpu_ns -= static_cast<double>(saved);
+        wasted_busy_ns += static_cast<double>(consumed);
+        if (winner_idx == 0)
+            ++hedge_losses; // the backup was the aborted attempt
+        sparse_cores[static_cast<std::size_t>(loser.server)]->release();
     }
 
     void
@@ -922,10 +1241,62 @@ ServingSimulation::mainUtilization() const
         static_cast<double>(impl_->engine.now()));
 }
 
+std::size_t
+ServingSimulation::mainQueueDepth() const
+{
+    return impl_->main_cores->queued();
+}
+
+std::size_t
+ServingSimulation::mainIdleWorkers() const
+{
+    return impl_->main_cores->capacity() - impl_->main_cores->inUse();
+}
+
 std::vector<std::size_t>
 ServingSimulation::serverPeakQueue() const
 {
     return impl_->peak_queue;
+}
+
+std::vector<int>
+ServingSimulation::serverShards() const
+{
+    return impl_->server_shard;
+}
+
+std::size_t
+ServingSimulation::sparseWorkerPoolSize() const
+{
+    return impl_->sparse_cores.empty()
+               ? 0
+               : impl_->sparse_cores.front()->capacity();
+}
+
+std::vector<double>
+ServingSimulation::serverBusyCoreNs() const
+{
+    std::vector<double> out;
+    out.reserve(impl_->sparse_cores.size());
+    for (const auto &r : impl_->sparse_cores)
+        out.push_back(r->busyIntegral());
+    return out;
+}
+
+rpc::HedgeStats
+ServingSimulation::hedgeStats() const
+{
+    rpc::HedgeStats h;
+    h.primary_rpcs = impl_->primary_rpcs;
+    h.hedges = impl_->hedges_launched;
+    h.wins = impl_->hedge_wins;
+    h.losses = impl_->hedge_losses;
+    h.cancelled = impl_->hedge_cancelled;
+    h.suppressed = impl_->hedge_suppressed;
+    h.wasted_busy_ns = impl_->wasted_busy_ns;
+    for (const auto &r : impl_->sparse_cores)
+        h.total_busy_ns += r->busyIntegral();
+    return h;
 }
 
 } // namespace dri::core

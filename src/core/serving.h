@@ -33,6 +33,7 @@
 #include "dc/platform.h"
 #include "netsim/link_model.h"
 #include "rpc/discovery.h"
+#include "rpc/hedge.h"
 #include "rpc/service.h"
 #include "sim/engine.h"
 #include "sim/resource.h"
@@ -117,6 +118,14 @@ struct ServingConfig
      */
     int sparse_replicas = 1;
     /**
+     * Heterogeneous replica counts indexed by shard id; when non-empty it
+     * overrides sparse_replicas per shard (entries < 1 fall back to
+     * sparse_replicas). This is what lets sched::ProvisionLoop size each
+     * shard's replication from its *measured* load instead of replicating
+     * every shard identically.
+     */
+    std::vector<int> sparse_replicas_per_shard;
+    /**
      * Replica-selection policy used by the service directory. The
      * load-aware policies read live per-server queue depth from the sim
      * engine (in-flight + queued work on each replica's worker pool).
@@ -124,6 +133,27 @@ struct ServingConfig
     rpc::LoadBalancePolicy lb_policy = rpc::LoadBalancePolicy::RoundRobin;
     /** Main-shard admission control (off by default). */
     AdmissionConfig admission;
+    /**
+     * Hedged sparse RPCs (off by default): a backup request to a second
+     * replica when the primary exceeds a quantile-tracked deadline, first
+     * response wins, loser cancelled (cancellation is best-effort — an
+     * attempt already executing runs to completion as wasted work).
+     */
+    rpc::HedgeConfig hedge;
+    /**
+     * Transient sparse-server interference (off by default): with this
+     * probability, an RPC attempt's remote execution runs
+     * straggler_multiplier x slower — the co-located-service/NUMA
+     * interference that makes one replica momentarily a straggler while
+     * its siblings stay fast. This is the tail phenomenon hedging exists
+     * to dodge: a re-rolled backup on another replica almost never hits
+     * the same slow event. Interference (like wire jitter) is drawn from
+     * a per-attempt identity stream — common random numbers — so paired
+     * policy comparisons face the identical straggler process.
+     */
+    double straggler_prob = 0.0;
+    /** Remote-execution slowdown of an interfered attempt. */
+    double straggler_multiplier = 8.0;
 
     /**
      * Optional measured-locality model (src/cache). When set, the
@@ -218,11 +248,42 @@ class ServingSimulation
     double mainUtilization() const;
 
     /**
+     * Requests currently waiting for a main-shard worker core. A live
+     * congestion signal for queue-aware batching: zero depth with idle
+     * workers means a new injection starts immediately.
+     */
+    std::size_t mainQueueDepth() const;
+
+    /** Main-shard worker cores currently idle. */
+    std::size_t mainIdleWorkers() const;
+
+    /**
      * Peak (in-flight + queued) depth observed at each replica server at
      * RPC dispatch, the load-balancing quality signal: a policy that
      * spreads load keeps the max across replicas low.
      */
     std::vector<std::size_t> serverPeakQueue() const;
+
+    /** Logical shard each replica server belongs to (size serverCount()). */
+    std::vector<int> serverShards() const;
+
+    /**
+     * Cumulative busy core-nanoseconds of each replica server's worker
+     * pool — the measured per-shard compute demand ProvisionLoop feeds
+     * back into dc::provision.
+     */
+    std::vector<double> serverBusyCoreNs() const;
+
+    /**
+     * Effective worker-pool size of a sparse replica server (the
+     * resolved sparse_worker_threads / worker_threads / platform-cores
+     * rule). Provisioning sizes replicas against this pool, not the
+     * whole SKU. Zero for singular deployments.
+     */
+    std::size_t sparseWorkerPoolSize() const;
+
+    /** Hedging outcome counters (all zero when hedging is disabled). */
+    rpc::HedgeStats hedgeStats() const;
 
     const trace::TraceCollector &collector() const { return collector_; }
     const ShardingPlan &plan() const { return plan_; }

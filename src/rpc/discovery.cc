@@ -1,5 +1,7 @@
 #include "rpc/discovery.h"
 
+#include <algorithm>
+
 namespace dri::rpc {
 
 const char *
@@ -51,8 +53,11 @@ ServiceDirectory::pickRoundRobin(int shard_id, const std::vector<int> &servers)
 }
 
 int
-ServiceDirectory::pickLeastOutstanding(const std::vector<int> &servers)
+ServiceDirectory::pickLeastOutstanding(const std::vector<int> &servers) const
 {
+    // Ties break toward the lowest replica index: the strict `<` keeps the
+    // earliest-registered server, so equal loads resolve identically on
+    // every platform (hedging depends on a reproducible second choice).
     int best = servers.front();
     std::size_t best_load = probe_(best);
     for (std::size_t i = 1; i < servers.size(); ++i) {
@@ -74,32 +79,78 @@ ServiceDirectory::pickPowerOfTwo(const std::vector<int> &servers)
     auto b = static_cast<std::size_t>(rng_.uniformInt(0, n - 2));
     if (b >= a)
         ++b;
-    return probe_(servers[b]) < probe_(servers[a]) ? servers[b] : servers[a];
+    const std::size_t load_a = probe_(servers[a]);
+    const std::size_t load_b = probe_(servers[b]);
+    if (load_a != load_b)
+        return load_b < load_a ? servers[b] : servers[a];
+    // Equal loads: take the lower replica index, not the first sample, so
+    // the outcome depends only on *which* pair was drawn.
+    return servers[std::min(a, b)];
 }
 
-std::optional<int>
-ServiceDirectory::resolve(int shard_id)
+/**
+ * The shard's replicas minus an optionally excluded server, in
+ * registration order (which the tie-breaks depend on). The common
+ * no-exclusion path returns the stored vector directly; only exclusion
+ * (the hedge path) materializes a filtered copy into `scratch`. Null
+ * when the shard is unknown or exclusion removes every candidate.
+ */
+const std::vector<int> *
+ServiceDirectory::candidates(int shard_id, int exclude_server,
+                             std::vector<int> &scratch) const
 {
     auto it = replicas_.find(shard_id);
     if (it == replicas_.end() || it->second.empty())
+        return nullptr;
+    if (exclude_server < 0)
+        return &it->second;
+    scratch.clear();
+    scratch.reserve(it->second.size());
+    for (int s : it->second)
+        if (s != exclude_server)
+            scratch.push_back(s);
+    return scratch.empty() ? nullptr : &scratch;
+}
+
+std::optional<int>
+ServiceDirectory::resolve(int shard_id, int exclude_server)
+{
+    std::vector<int> scratch;
+    const std::vector<int> *servers =
+        candidates(shard_id, exclude_server, scratch);
+    if (!servers)
         return std::nullopt;
-    const std::vector<int> &servers = it->second;
-    if (servers.size() == 1)
-        return servers.front();
+    if (servers->size() == 1)
+        return servers->front();
 
     switch (policy_) {
     case LoadBalancePolicy::LeastOutstanding:
         if (probe_)
-            return pickLeastOutstanding(servers);
+            return pickLeastOutstanding(*servers);
         break;
     case LoadBalancePolicy::PowerOfTwoChoices:
         if (probe_)
-            return pickPowerOfTwo(servers);
+            return pickPowerOfTwo(*servers);
         break;
     case LoadBalancePolicy::RoundRobin:
         break;
     }
-    return pickRoundRobin(shard_id, servers);
+    return pickRoundRobin(shard_id, *servers);
+}
+
+std::optional<int>
+ServiceDirectory::resolveBackup(int shard_id, int exclude_server)
+{
+    std::vector<int> scratch;
+    const std::vector<int> *servers =
+        candidates(shard_id, exclude_server, scratch);
+    if (!servers)
+        return std::nullopt;
+    if (servers->size() == 1)
+        return servers->front();
+    if (!probe_)
+        return resolve(shard_id, exclude_server);
+    return pickLeastOutstanding(*servers);
 }
 
 const std::vector<int> &

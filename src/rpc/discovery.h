@@ -7,6 +7,13 @@
  * selection policy a free design axis: the directory supports blind
  * round-robin plus two load-aware policies (least-outstanding-requests and
  * power-of-two-choices) driven by a caller-installed load probe.
+ *
+ * Load ties are broken deterministically toward the lowest replica index
+ * (registration order), so a given seed resolves identically on every
+ * platform — which is what makes hedging's second-choice replica
+ * reproducible. resolve() optionally excludes one server, the hedged
+ * request's primary, so a backup never lands on the replica it is trying
+ * to outrun.
  */
 #pragma once
 
@@ -55,8 +62,24 @@ class ServiceDirectory
      * Resolve the shard to a server id under the configured policy.
      * Returns std::nullopt if the shard has no registered replicas
      * (unknown shards are a caller error but must not crash the library).
+     *
+     * `exclude_server` (default: exclude nothing) removes one server from
+     * consideration — the hedging path's "a different replica than the
+     * primary". Returns std::nullopt if exclusion empties the candidate
+     * set (single-replica shards cannot be hedged).
      */
-    std::optional<int> resolve(int shard_id);
+    std::optional<int> resolve(int shard_id, int exclude_server = -1);
+
+    /**
+     * Resolve a *backup* (hedge) target: the least-outstanding replica of
+     * the shard other than `exclude_server`, regardless of the primary
+     * policy — the load probe power-of-two installs is exactly the signal
+     * the hedger needs, and a backup that lands blindly on another deep
+     * queue cannot outrun anything. Falls back to the configured policy
+     * when no probe is installed. Returns std::nullopt when no other
+     * replica exists.
+     */
+    std::optional<int> resolveBackup(int shard_id, int exclude_server);
 
     /**
      * All server ids registered for a shard; empty for unknown shards.
@@ -72,7 +95,9 @@ class ServiceDirectory
     void setLoadProbe(LoadProbe probe);
 
   private:
-    int pickLeastOutstanding(const std::vector<int> &servers);
+    const std::vector<int> *candidates(int shard_id, int exclude_server,
+                                       std::vector<int> &scratch) const;
+    int pickLeastOutstanding(const std::vector<int> &servers) const;
     int pickPowerOfTwo(const std::vector<int> &servers);
     int pickRoundRobin(int shard_id, const std::vector<int> &servers);
 

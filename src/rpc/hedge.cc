@@ -1,0 +1,42 @@
+#include "rpc/hedge.h"
+
+#include <algorithm>
+
+namespace dri::rpc {
+
+LatencyTracker::LatencyTracker(std::size_t window)
+    : window_(std::max<std::size_t>(1, window))
+{
+    samples_.reserve(window_);
+}
+
+void
+LatencyTracker::add(sim::Duration latency_ns)
+{
+    ++observed_;
+    if (samples_.size() < window_) {
+        samples_.push_back(latency_ns);
+        return;
+    }
+    samples_[next_] = latency_ns;
+    next_ = (next_ + 1) % window_;
+}
+
+sim::Duration
+LatencyTracker::quantile(double q) const
+{
+    // Enforced unconditionally (not assert-only): this is public API and
+    // an empty-window query in a Release build must not read OOB.
+    if (samples_.empty())
+        return 0;
+    q = std::min(1.0, std::max(0.0, q));
+    scratch_ = samples_;
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(scratch_.size() - 1) + 0.5);
+    std::nth_element(scratch_.begin(),
+                     scratch_.begin() + static_cast<std::ptrdiff_t>(rank),
+                     scratch_.end());
+    return scratch_[rank];
+}
+
+} // namespace dri::rpc

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Hedged (backup) requests against sparse-shard stragglers.
+ *
+ * The paper's scale-out finding is that a request's latency is bounded by
+ * its *slowest* sparse RPC (Section IV-B attributes the embedded portion to
+ * the bounding shard), so the P99 of a fan-out deployment is set by replica
+ * stragglers — a transiently deep queue on one replica delays every request
+ * routed there. The classic tail-at-scale mitigation is the hedged request:
+ * when a primary RPC has been outstanding longer than a quantile of recent
+ * RPC latencies, issue a backup to a *different* replica and take whichever
+ * response returns first, cancelling the loser. The hedge deadline tracks
+ * the measured latency distribution (a sliding window), so the policy
+ * self-tunes as load shifts; a budget caps the fraction of RPCs that may be
+ * hedged so duplicate work stays bounded at low load.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dri::rpc {
+
+/** When and how aggressively to hedge sparse-shard RPCs. */
+struct HedgeConfig
+{
+    /** Master switch; everything below is inert while false. */
+    bool enabled = false;
+    /**
+     * Hedge deadline quantile: a backup launches when the primary has been
+     * outstanding longer than this quantile of recently observed RPC
+     * latencies (dispatch to response at the client).
+     */
+    double quantile = 0.95;
+    /** Observed completions required before any hedge may launch. */
+    std::size_t min_samples = 64;
+    /** Sliding-window size of the latency tracker. */
+    std::size_t window = 512;
+    /**
+     * Hedge budget: backups may be at most this fraction of primary
+     * dispatches (the tail-at-scale "hedge no more than ~5%" rule).
+     * Bounds wasted duplicate work when the latency distribution is tight
+     * and the quantile deadline sits near the median.
+     */
+    double max_hedge_fraction = 0.05;
+    /** Floor on the hedge deadline (avoid hedging trivially fast RPCs). */
+    sim::Duration min_deadline_ns = 0;
+    /**
+     * Queue-aware suppression: skip the backup when the chosen backup
+     * replica already has more than this many outstanding requests
+     * (0 = no constraint). A backup that would sit behind a deep queue
+     * cannot outrun the primary — it only adds load exactly when the
+     * tier has no headroom to spare. The live LoadProbe the load-aware
+     * balancing policies install is what answers the question.
+     */
+    std::size_t max_backup_outstanding = 0;
+};
+
+/** Aggregate hedging outcome counters of one simulation run. */
+struct HedgeStats
+{
+    std::uint64_t primary_rpcs = 0; //!< primaries dispatched
+    std::uint64_t hedges = 0;       //!< backups launched
+    std::uint64_t wins = 0;         //!< backup answered first
+    std::uint64_t losses = 0;       //!< backup executed but lost the race
+    std::uint64_t cancelled = 0;    //!< backup cancelled before executing
+    /**
+     * Hedge deadlines that expired but launched no backup (budget
+     * exhausted or queue-aware suppression) — makes under-hedging
+     * visible instead of silently shrinking the hedge rate.
+     */
+    std::uint64_t suppressed = 0;
+    /** Replica-pool busy time consumed by losing attempts. */
+    double wasted_busy_ns = 0.0;
+    /** Total replica-pool busy time (denominator for wastedFraction). */
+    double total_busy_ns = 0.0;
+
+    /** Backups per primary dispatch. */
+    double hedgeRate() const
+    {
+        return primary_rpcs == 0
+                   ? 0.0
+                   : static_cast<double>(hedges) /
+                         static_cast<double>(primary_rpcs);
+    }
+
+    /** Fraction of sparse-tier busy time that was duplicate (wasted) work. */
+    double wastedFraction() const
+    {
+        return total_busy_ns <= 0.0 ? 0.0 : wasted_busy_ns / total_busy_ns;
+    }
+};
+
+/**
+ * Sliding-window latency tracker answering quantile queries for the hedge
+ * deadline. Keeps the last `window` samples in a ring; quantile queries
+ * sort a scratch copy (windows are small, queries are per-dispatch).
+ */
+class LatencyTracker
+{
+  public:
+    explicit LatencyTracker(std::size_t window = 512);
+
+    /** Record one observed RPC latency. */
+    void add(sim::Duration latency_ns);
+
+    /** Samples currently in the window. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Lifetime samples observed (monotone; count() saturates at window). */
+    std::uint64_t observed() const { return observed_; }
+
+    /**
+     * Quantile of the windowed samples (nearest-rank); q clamped to
+     * [0, 1]. Returns 0 while the window is empty.
+     */
+    sim::Duration quantile(double q) const;
+
+  private:
+    std::size_t window_;
+    std::size_t next_ = 0; //!< ring write cursor once the window is full
+    std::uint64_t observed_ = 0;
+    std::vector<sim::Duration> samples_;
+    /** Scratch buffer reused across quantile queries. */
+    mutable std::vector<sim::Duration> scratch_;
+};
+
+} // namespace dri::rpc

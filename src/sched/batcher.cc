@@ -16,6 +16,8 @@ policyName(BatchPolicy policy)
         return "timeout-capped";
     case BatchPolicy::Adaptive:
         return "adaptive";
+    case BatchPolicy::QueueAware:
+        return "queue-aware";
     }
     return "unknown";
 }
@@ -94,6 +96,21 @@ DynamicBatcher::offer(const workload::Request &request)
         }
         break;
     }
+    case BatchPolicy::QueueAware: {
+        // The delay bound follows *observed main-shard queueing*, not the
+        // arrival rate: an idle main pool means the batch would start
+        // executing right now, so holding it only adds latency — flush.
+        // A backlog means the riders would sit in the worker queue
+        // anyway; coalescing during that wait is free (and the bigger
+        // batch amortizes per-request overhead), so hold until the size
+        // cap fires or the delay bound expires.
+        if (sim_.mainQueueDepth() == 0 && sim_.mainIdleWorkers() > 0) {
+            flushNow();
+        } else if (!timer_armed_) {
+            armTimer(deadline);
+        }
+        break;
+    }
     }
 }
 
@@ -103,12 +120,32 @@ DynamicBatcher::armTimer(sim::SimTime deadline)
     sim::Engine &engine = sim_.engine();
     timer_armed_ = true;
     const std::uint64_t epoch = epoch_;
-    engine.schedule(std::max<sim::Duration>(0, deadline - engine.now()),
-                    [this, epoch] {
-                        if (epoch != epoch_ || pending_.empty())
-                            return; // batch already flushed
-                        flushNow();
-                    });
+    // Queue-aware holds are conditional on the backlog persisting, so
+    // they re-probe the main pool well before the delay bound: a drained
+    // backlog releases the batch within one recheck quantum instead of
+    // waiting out the full bound ("an idle main pool flushes
+    // immediately" must hold mid-hold, not just at offer time).
+    sim::SimTime when = deadline;
+    if (cfg_.policy == BatchPolicy::QueueAware) {
+        const sim::Duration recheck =
+            std::max<sim::Duration>(1, cfg_.max_queue_delay_ns / 8);
+        when = std::min(deadline, engine.now() + recheck);
+    }
+    engine.schedule(
+        std::max<sim::Duration>(0, when - engine.now()),
+        [this, epoch, deadline] {
+            if (epoch != epoch_ || pending_.empty())
+                return; // batch already flushed
+            if (cfg_.policy == BatchPolicy::QueueAware &&
+                sim_.engine().now() < deadline &&
+                !(sim_.mainQueueDepth() == 0 &&
+                  sim_.mainIdleWorkers() > 0)) {
+                timer_armed_ = false;
+                armTimer(deadline); // still backlogged: keep holding
+                return;
+            }
+            flushNow();
+        });
 }
 
 void
@@ -154,6 +191,7 @@ DynamicBatcher::onBatchComplete(InFlight &batch,
     // sum over riders equals the merged batch's count exactly.
     std::int64_t cum_items = 0;
     int rpc_assigned = 0, batches_assigned = 0;
+    int hedges_assigned = 0, hedge_wins_assigned = 0;
     const auto share = [&](int total) {
         return static_cast<int>(std::llround(
             static_cast<double>(total) * static_cast<double>(cum_items) /
@@ -176,11 +214,27 @@ DynamicBatcher::onBatchComplete(InFlight &batch,
         rpc_assigned += st.rpc_count;
         st.batches = share(merged_stats.batches) - batches_assigned;
         batches_assigned += st.batches;
+        st.hedges = share(merged_stats.hedges) - hedges_assigned;
+        hedges_assigned += st.hedges;
+        // Wins are a sub-population of the backups: apportion them by
+        // cumulative share of the hedges assigned so far (not by item
+        // share), so a rider can never report a win without a hedge and
+        // the sum over riders still telescopes to the merged total.
+        st.hedge_wins =
+            merged_stats.hedges == 0
+                ? 0
+                : static_cast<int>(std::llround(
+                      static_cast<double>(merged_stats.hedge_wins) *
+                      static_cast<double>(hedges_assigned) /
+                      static_cast<double>(merged_stats.hedges))) -
+                      hedge_wins_assigned;
+        hedge_wins_assigned += st.hedge_wins;
         const double frac = static_cast<double>(part.request.items) /
                             static_cast<double>(batch.merged.items);
         st.cpu_ops_ns *= frac;
         st.cpu_serde_ns *= frac;
         st.cpu_service_ns *= frac;
+        st.hedge_wasted_cpu_ns *= frac;
         st.main_op_ns *= frac;
         for (auto &v : st.shard_op_ns)
             v *= frac;

@@ -23,6 +23,14 @@
  *                   batch can fill before the delay bound; if it cannot,
  *                   flush immediately (low-load latency of no batching,
  *                   high-load throughput of SizeCapped).
+ *  - QueueAware:    bound the coalescing delay by *observed main-shard
+ *                   queueing* instead of the arrival rate: when the main
+ *                   pool has an idle worker and no backlog, waiting can
+ *                   only add latency, so flush immediately; while a
+ *                   backlog exists the riders would be queueing anyway,
+ *                   so coalescing is free — hold until the size cap or
+ *                   the delay bound. Reads the simulation's live
+ *                   mainQueueDepth()/mainIdleWorkers() probe.
  */
 #pragma once
 
@@ -43,6 +51,7 @@ enum class BatchPolicy
     SizeCapped,
     TimeoutCapped,
     Adaptive,
+    QueueAware,
 };
 
 /** Short lower-case policy name for labels and JSON rows. */

@@ -22,6 +22,29 @@ sparseBoundStudyConfig(rpc::LoadBalancePolicy policy, int sparse_replicas,
     return cfg;
 }
 
+core::ServingConfig
+hedgeStudyConfig(rpc::LoadBalancePolicy policy, int sparse_replicas,
+                 bool hedged, std::uint64_t seed)
+{
+    core::ServingConfig cfg = sparseBoundStudyConfig(policy,
+                                                     sparse_replicas, seed);
+    // Wider sparse pools than the LB study: queueing stays stable at high
+    // rates, so the tail is straggler-dominated — the regime hedging
+    // attacks (the LB study's 2-worker pools put the tail in chaotic
+    // queue excursions instead, which no backup can outrun).
+    cfg.sparse_worker_threads = 6;
+    // Transient co-located-service interference: ~2% of RPC attempts run
+    // 8x slower. This is the straggler tail the quantile deadline trips
+    // on; a re-rolled backup almost never hits the same event.
+    cfg.straggler_prob = 0.02;
+    cfg.straggler_multiplier = 8.0;
+    cfg.hedge.enabled = hedged;
+    cfg.hedge.quantile = 0.95;
+    cfg.hedge.min_samples = 64;
+    cfg.hedge.max_hedge_fraction = 0.10;
+    return cfg;
+}
+
 CapacitySearch::CapacitySearch(const model::ModelSpec &spec,
                                const core::ShardingPlan &plan,
                                core::ServingConfig serving,
@@ -53,6 +76,9 @@ CapacitySearch::probe(double qps,
     p.shed_rate = core::shedRate(stats);
     p.feasible = q.p99_ms <= search_.slo.p99_ms &&
                  p.shed_rate <= search_.slo.max_shed_rate;
+    const rpc::HedgeStats h = sim.hedgeStats();
+    p.hedge_rate = h.hedgeRate();
+    p.hedge_wasted_frac = h.wastedFraction();
     return p;
 }
 

@@ -38,6 +38,18 @@ core::ServingConfig
 sparseBoundStudyConfig(rpc::LoadBalancePolicy policy, int sparse_replicas,
                        std::uint64_t seed = 0xd15c0);
 
+/**
+ * The hedging-study deployment: sparseBoundStudyConfig plus transient
+ * sparse-server interference (the straggler phenomenon hedging dodges)
+ * and a hedge policy armed with the study's defaults. `hedged` toggles
+ * the hedger only — interference is on either way, so hedged/unhedged
+ * comparisons face the identical straggler process. Shared by
+ * bench_sched_policies and the hedge property tests.
+ */
+core::ServingConfig
+hedgeStudyConfig(rpc::LoadBalancePolicy policy, int sparse_replicas,
+                 bool hedged, std::uint64_t seed = 0xd15c0);
+
 /** The service-level objective a deployment must meet. */
 struct SloSpec
 {
@@ -70,6 +82,10 @@ struct CapacityProbe
     double p999_ms = 0.0;
     double shed_rate = 0.0;
     bool feasible = false;
+    /** Backups per primary RPC (zero when hedging is off). */
+    double hedge_rate = 0.0;
+    /** Fraction of sparse-tier busy time wasted on losing attempts. */
+    double hedge_wasted_frac = 0.0;
 };
 
 /** Outcome of a capacity search. */

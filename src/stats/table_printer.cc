@@ -37,6 +37,17 @@ TablePrinter::pct(double fraction, int precision)
 }
 
 std::string
+TablePrinter::intList(const std::vector<int> &values)
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < values.size(); ++i)
+        os << (i ? "," : "") << values[i];
+    os << "]";
+    return os.str();
+}
+
+std::string
 TablePrinter::render() const
 {
     std::vector<std::size_t> widths(headers_.size());

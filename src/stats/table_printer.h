@@ -24,6 +24,8 @@ class TablePrinter
     static std::string num(double v, int precision = 3);
     /** Format as a percentage with sign, e.g. "+7.3%". */
     static std::string pct(double fraction, int precision = 1);
+    /** Format an int list as "[1,2,3]" (replica vectors etc.). */
+    static std::string intList(const std::vector<int> &values);
 
     /** Render the table with a separator under the header. */
     std::string render() const;

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for hedged sparse RPCs (rpc/hedge + the serving engine's racing
+ * attempts): the latency tracker, hedge bookkeeping invariants, the
+ * queue-aware suppression knob, determinism, and the headline properties
+ * — hedged P99 no worse than unhedged at >= 90% mean sparse utilization
+ * across seeds, and wasted duplicate work bounded by the hedge budget at
+ * low load.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/analysis.h"
+#include "core/serving.h"
+#include "core/strategies.h"
+#include "model/generators.h"
+#include "rpc/hedge.h"
+#include "sched/capacity_search.h"
+#include "workload/request_generator.h"
+
+namespace {
+
+using namespace dri;
+
+std::vector<workload::Request>
+testRequests(const model::ModelSpec &spec, std::size_t n)
+{
+    workload::GeneratorConfig gc;
+    gc.seed = 0xbeef;
+    workload::RequestGenerator gen(spec, gc);
+    return gen.generate(n);
+}
+
+core::ShardingPlan
+testPlan(const model::ModelSpec &spec)
+{
+    workload::GeneratorConfig gc;
+    gc.seed = 0xbeef;
+    workload::RequestGenerator gen(spec, gc);
+    return core::makeLoadBalanced(spec, 4, gen.estimatePoolingFactors(500));
+}
+
+double
+meanUtil(const core::ServingSimulation &sim)
+{
+    double acc = 0.0;
+    const auto util = sim.serverUtilization();
+    for (double u : util)
+        acc += u;
+    return util.empty() ? 0.0 : acc / static_cast<double>(util.size());
+}
+
+TEST(LatencyTracker, WindowedQuantiles)
+{
+    rpc::LatencyTracker tracker(4);
+    tracker.add(10);
+    tracker.add(20);
+    tracker.add(30);
+    tracker.add(40);
+    EXPECT_EQ(tracker.count(), 4u);
+    EXPECT_EQ(tracker.quantile(0.0), 10);
+    EXPECT_EQ(tracker.quantile(1.0), 40);
+    // Ring overwrite: the oldest samples fall out of the window.
+    tracker.add(50);
+    tracker.add(60);
+    EXPECT_EQ(tracker.count(), 4u);
+    EXPECT_EQ(tracker.observed(), 6u);
+    EXPECT_EQ(tracker.quantile(0.0), 30);
+    EXPECT_EQ(tracker.quantile(1.0), 60);
+}
+
+TEST(Hedge, DisabledProducesNoHedgeActivity)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = testPlan(spec);
+    const auto requests = testRequests(spec, 100);
+
+    core::ServingSimulation sim(
+        spec, plan,
+        sched::hedgeStudyConfig(rpc::LoadBalancePolicy::LeastOutstanding,
+                                3, /*hedged=*/false));
+    const auto stats = sim.replayOpenLoop(requests, 500.0);
+    const auto h = sim.hedgeStats();
+    EXPECT_GT(h.primary_rpcs, 0u);
+    EXPECT_EQ(h.hedges, 0u);
+    EXPECT_EQ(h.wins, 0u);
+    EXPECT_EQ(h.wasted_busy_ns, 0.0);
+    EXPECT_EQ(h.hedgeRate(), 0.0);
+    for (const auto &s : stats) {
+        EXPECT_EQ(s.hedges, 0);
+        EXPECT_EQ(s.hedge_wins, 0);
+        EXPECT_EQ(s.hedge_wasted_cpu_ns, 0.0);
+    }
+}
+
+TEST(Hedge, SingleReplicaCannotHedge)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = testPlan(spec);
+    const auto requests = testRequests(spec, 100);
+
+    core::ServingSimulation sim(
+        spec, plan,
+        sched::hedgeStudyConfig(rpc::LoadBalancePolicy::LeastOutstanding,
+                                1, /*hedged=*/true));
+    sim.replayOpenLoop(requests, 500.0);
+    EXPECT_EQ(sim.hedgeStats().hedges, 0u);
+}
+
+TEST(Hedge, OutcomeCountersAreConserved)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = testPlan(spec);
+    const auto requests = testRequests(spec, 300);
+
+    core::ServingSimulation sim(
+        spec, plan,
+        sched::hedgeStudyConfig(rpc::LoadBalancePolicy::LeastOutstanding,
+                                3, /*hedged=*/true));
+    const auto stats = sim.replayOpenLoop(requests, 1500.0);
+    const auto h = sim.hedgeStats();
+    ASSERT_GT(h.hedges, 0u);
+    // Every launched backup ends exactly one way.
+    EXPECT_EQ(h.wins + h.losses + h.cancelled, h.hedges);
+    // The budget is a hard cap on the hedge rate.
+    EXPECT_LE(h.hedgeRate(), 0.10 + 1e-9);
+    // Per-request counters aggregate to the simulation totals.
+    std::uint64_t hedges = 0, wins = 0;
+    for (const auto &s : stats) {
+        ASSERT_GE(s.hedges, 0);
+        ASSERT_GE(s.hedge_wins, 0);
+        EXPECT_GE(s.hedge_wasted_cpu_ns, -1.0); // rounding-safe
+        hedges += static_cast<std::uint64_t>(s.hedges);
+        wins += static_cast<std::uint64_t>(s.hedge_wins);
+    }
+    EXPECT_EQ(hedges, h.hedges);
+    EXPECT_EQ(wins, h.wins);
+}
+
+TEST(Hedge, BatchedRidersNeverWinWithoutAHedge)
+{
+    // Regression: apportioning hedges and wins independently by item
+    // share could hand a rider a win with zero hedges. Wins are now a
+    // sub-share of the rider's assigned hedges.
+    const auto spec = model::makeDrm2();
+    const auto plan = testPlan(spec);
+    const auto requests = testRequests(spec, 300);
+
+    core::ServingSimulation sim(
+        spec, plan,
+        sched::hedgeStudyConfig(rpc::LoadBalancePolicy::LeastOutstanding,
+                                3, /*hedged=*/true));
+    sched::BatcherConfig bc;
+    bc.policy = sched::BatchPolicy::QueueAware;
+    const auto stats =
+        sched::runBatchedOpenLoop(sim, requests, 1500.0, bc);
+    const auto h = sim.hedgeStats();
+    ASSERT_GT(h.hedges, 0u);
+    std::uint64_t hedges = 0, wins = 0;
+    for (const auto &s : stats) {
+        EXPECT_LE(s.hedge_wins, s.hedges) << "request " << s.id;
+        hedges += static_cast<std::uint64_t>(s.hedges);
+        wins += static_cast<std::uint64_t>(s.hedge_wins);
+    }
+    EXPECT_EQ(hedges, h.hedges);
+    EXPECT_EQ(wins, h.wins);
+}
+
+TEST(Hedge, HedgedReplayIsDeterministic)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = testPlan(spec);
+    const auto requests = testRequests(spec, 200);
+
+    const auto run = [&] {
+        core::ServingSimulation sim(
+            spec, plan,
+            sched::hedgeStudyConfig(
+                rpc::LoadBalancePolicy::LeastOutstanding, 3, true));
+        return sim.replayOpenLoop(requests, 1500.0);
+    };
+    const auto a = run();
+    const auto b = run();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].e2e, b[i].e2e);
+        EXPECT_EQ(a[i].hedges, b[i].hedges);
+        EXPECT_EQ(a[i].hedge_wins, b[i].hedge_wins);
+    }
+}
+
+TEST(Hedge, BackupQueueSuppressionReducesHedges)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = testPlan(spec);
+    const auto requests = testRequests(spec, 300);
+
+    const auto hedges_with = [&](std::size_t max_backup_outstanding) {
+        auto cfg = sched::hedgeStudyConfig(
+            rpc::LoadBalancePolicy::LeastOutstanding, 3, true);
+        cfg.hedge.max_backup_outstanding = max_backup_outstanding;
+        core::ServingSimulation sim(spec, plan, cfg);
+        sim.replayOpenLoop(requests, 2200.0);
+        return sim.hedgeStats().hedges;
+    };
+    const auto unconstrained = hedges_with(0);
+    const auto suppressed = hedges_with(1);
+    ASSERT_GT(unconstrained, 0u);
+    // At high load backup queues are rarely nearly-empty, so the
+    // suppression knob must cut the hedge volume.
+    EXPECT_LT(suppressed, unconstrained / 2);
+}
+
+/**
+ * The headline property (tail-at-scale, Section VII of the paper's
+ * scale-out argument): with transient stragglers, hedging with
+ * tied-request cancellation improves the served P99 even with the sparse
+ * tier at >= 90% mean measured utilization, across seeds.
+ */
+TEST(HedgeProperty, HedgedP99NoWorseAtHighUtilizationAcrossSeeds)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = testPlan(spec);
+    const auto requests = testRequests(spec, 1000);
+    const double qps = 2200.0;
+
+    double util_sum = 0.0;
+    int seeds = 0;
+    for (const std::uint64_t seed :
+         {0xd15c0ull, 0x5eedull, 0xfaceull, 0x1111ull, 0x4444ull}) {
+        double p99_off = 0.0, p99_on = 0.0;
+        for (const bool hedged : {false, true}) {
+            core::ServingSimulation sim(
+                spec, plan,
+                sched::hedgeStudyConfig(
+                    rpc::LoadBalancePolicy::LeastOutstanding, 3, hedged,
+                    seed));
+            const auto stats = sim.replayOpenLoop(requests, qps);
+            const auto q = core::latencyQuantiles(stats);
+            if (hedged) {
+                p99_on = q.p99_ms;
+            } else {
+                p99_off = q.p99_ms;
+                const double u = meanUtil(sim);
+                EXPECT_GE(u, 0.85) << "seed=" << seed;
+                util_sum += u;
+                ++seeds;
+            }
+        }
+        EXPECT_LE(p99_on, p99_off) << "seed=" << seed;
+    }
+    // "High load" means it: the tier runs at >= 90% mean utilization
+    // over the studied seeds (each >= 85%).
+    EXPECT_GE(util_sum / seeds, 0.90);
+}
+
+/** Wasted duplicate work stays below the configured budget at low load. */
+TEST(HedgeProperty, WastedWorkBoundedByBudgetAtLowLoad)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = testPlan(spec);
+    const auto requests = testRequests(spec, 1000);
+
+    for (const std::uint64_t seed :
+         {0xd15c0ull, 0x5eedull, 0xfaceull, 0x1111ull, 0x2222ull}) {
+        auto cfg = sched::hedgeStudyConfig(
+            rpc::LoadBalancePolicy::LeastOutstanding, 3, true, seed);
+        core::ServingSimulation sim(spec, plan, cfg);
+        sim.replayOpenLoop(requests, 300.0);
+        const auto h = sim.hedgeStats();
+        ASSERT_GT(h.hedges, 0u) << "seed=" << seed;
+        EXPECT_LE(h.wastedFraction(), cfg.hedge.max_hedge_fraction)
+            << "seed=" << seed;
+    }
+}
+
+} // namespace

@@ -162,6 +162,90 @@ TEST(Discovery, LoadAwarePoliciesFallBackWithoutProbe)
     EXPECT_EQ(dir.resolve(0), 2);
 }
 
+TEST(Discovery, LeastOutstandingTiesBreakToLowestReplicaIndex)
+{
+    // Regression: hedging's second-choice replica must be reproducible
+    // across platforms, so equal loads always resolve to the earliest-
+    // registered (lowest-index) replica — never an iteration-order or
+    // rng-dependent pick.
+    rpc::ServiceDirectory dir;
+    dir.registerReplica(0, 30);
+    dir.registerReplica(0, 31);
+    dir.registerReplica(0, 32);
+    dir.setPolicy(rpc::LoadBalancePolicy::LeastOutstanding);
+    dir.setLoadProbe([](int) { return std::size_t{3}; });
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(dir.resolve(0), 30);
+    // A partial tie below the current best also resolves to the earlier
+    // of the tied replicas.
+    std::map<int, std::size_t> load{{30, 9}, {31, 2}, {32, 2}};
+    dir.setLoadProbe([&](int server) { return load[server]; });
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(dir.resolve(0), 31);
+}
+
+TEST(Discovery, PowerOfTwoTiesBreakToLowestSampledIndex)
+{
+    // With equal loads everywhere, the pick is min(sampled pair) — so the
+    // last-registered replica can only ever be chosen... never: every
+    // pair containing it also contains a lower index. Regression for the
+    // old behaviour of returning whichever sample was drawn first.
+    rpc::ServiceDirectory dir;
+    dir.registerReplica(0, 40);
+    dir.registerReplica(0, 41);
+    dir.registerReplica(0, 42);
+    dir.setPolicy(rpc::LoadBalancePolicy::PowerOfTwoChoices, 0x5eed);
+    dir.setLoadProbe([](int) { return std::size_t{2}; });
+    bool saw40 = false, saw41 = false;
+    for (int i = 0; i < 300; ++i) {
+        const auto r = dir.resolve(0);
+        ASSERT_TRUE(r.has_value());
+        EXPECT_NE(*r, 42);
+        saw40 = saw40 || *r == 40;
+        saw41 = saw41 || *r == 41;
+    }
+    EXPECT_TRUE(saw40);
+    EXPECT_TRUE(saw41);
+}
+
+TEST(Discovery, ResolveCanExcludeTheHedgePrimary)
+{
+    rpc::ServiceDirectory dir;
+    dir.registerReplica(0, 50);
+    dir.registerReplica(0, 51);
+    dir.registerReplica(0, 52);
+    dir.setPolicy(rpc::LoadBalancePolicy::LeastOutstanding);
+    std::map<int, std::size_t> load{{50, 0}, {51, 3}, {52, 5}};
+    dir.setLoadProbe([&](int server) { return load[server]; });
+    // The idlest replica is excluded (it is the hedge's primary): the
+    // next-least-loaded candidate wins.
+    EXPECT_EQ(dir.resolve(0, 50), 51);
+    // Excluding the only replica of a shard yields no candidate.
+    rpc::ServiceDirectory solo;
+    solo.registerReplica(1, 9);
+    EXPECT_EQ(solo.resolve(1, 9), std::nullopt);
+}
+
+TEST(Discovery, ResolveBackupIsLoadAwareUnderAnyPolicy)
+{
+    // The backup choice uses the probe even when the primary policy is
+    // blind round-robin: a backup that lands on another deep queue
+    // cannot outrun the primary.
+    rpc::ServiceDirectory dir;
+    dir.registerReplica(0, 60);
+    dir.registerReplica(0, 61);
+    dir.registerReplica(0, 62);
+    dir.setPolicy(rpc::LoadBalancePolicy::RoundRobin);
+    std::map<int, std::size_t> load{{60, 0}, {61, 7}, {62, 2}};
+    dir.setLoadProbe([&](int server) { return load[server]; });
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(dir.resolveBackup(0, 60), 62);
+    EXPECT_EQ(dir.resolveBackup(0, 62), 60);
+    // Ties among the candidates break to the lowest replica index.
+    load = {{60, 4}, {61, 1}, {62, 1}};
+    EXPECT_EQ(dir.resolveBackup(0, 60), 61);
+}
+
 TEST(Discovery, PolicyNames)
 {
     EXPECT_STREQ(rpc::policyName(rpc::LoadBalancePolicy::RoundRobin),

@@ -14,6 +14,7 @@
 #include "model/generators.h"
 #include "sched/batcher.h"
 #include "sched/capacity_search.h"
+#include "sched/provision_loop.h"
 #include "workload/request_generator.h"
 
 namespace {
@@ -205,9 +206,11 @@ TEST(Admission, QueueCapShedsUnderOverload)
     const double rate = core::shedRate(stats);
     EXPECT_GT(rate, 0.05);
     EXPECT_LT(rate, 1.0);
-    for (const auto &s : stats)
-        if (s.shed())
+    for (const auto &s : stats) {
+        if (s.shed()) {
             EXPECT_EQ(s.shed_reason, core::ShedReason::QueueFull);
+        }
+    }
 
     // Quantiles must come from served requests only: the shed entries'
     // near-zero residence times would otherwise deflate the percentiles.
@@ -278,9 +281,11 @@ TEST(Admission, DeadlineSeesBatcherWait)
 
     ASSERT_EQ(stats.size(), requests.size());
     EXPECT_GT(core::shedRate(stats), 0.9);
-    for (const auto &s : stats)
-        if (s.shed())
+    for (const auto &s : stats) {
+        if (s.shed()) {
             EXPECT_EQ(s.shed_reason, core::ShedReason::DeadlineExceeded);
+        }
+    }
 }
 
 /**
@@ -360,6 +365,153 @@ TEST(CapacitySearch, FindsFeasibleBoundary)
     }
     EXPECT_TRUE(found);
     EXPECT_TRUE(infeasible_above);
+}
+
+TEST(DynamicBatcher, QueueAwareFlushesImmediatelyWhenMainIdle)
+{
+    const auto spec = testSpec();
+    const auto plan = testPlan(spec);
+    const auto requests = testRequests(spec, 40);
+
+    // At 20 QPS the main pool is idle when each request arrives, so the
+    // queue-aware policy must behave like no batching while
+    // timeout-capped holds every batch the full delay bound.
+    sched::BatcherConfig qaware;
+    qaware.policy = sched::BatchPolicy::QueueAware;
+    qaware.max_batch_items = 4096;
+    qaware.max_queue_delay_ns = 20 * sim::kMillisecond;
+    sched::BatcherConfig timeout = qaware;
+    timeout.policy = sched::BatchPolicy::TimeoutCapped;
+
+    core::ServingConfig cfg;
+    cfg.seed = 0xd15c0;
+    core::ServingSimulation sim_q(spec, plan, cfg);
+    const auto stats_q =
+        sched::runBatchedOpenLoop(sim_q, requests, 20.0, qaware);
+    core::ServingSimulation sim_t(spec, plan, cfg);
+    const auto stats_t =
+        sched::runBatchedOpenLoop(sim_t, requests, 20.0, timeout);
+
+    EXPECT_LT(core::latencyQuantiles(stats_q).p50_ms,
+              core::latencyQuantiles(stats_t).p50_ms);
+    for (const auto &s : stats_q)
+        EXPECT_LT(s.batch_wait, sim::kMillisecond);
+}
+
+TEST(DynamicBatcher, QueueAwareCoalescesUnderBacklog)
+{
+    const auto spec = testSpec();
+    const auto plan = testPlan(spec);
+    const auto requests = testRequests(spec, 200);
+
+    // Past the main pool's knee a backlog persists, so the queue-aware
+    // policy holds arrivals and batches form "for free" while the
+    // adaptive policy (arrival-rate driven, large cap) barely coalesces.
+    const auto coalesced = [&](sched::BatchPolicy policy) {
+        sched::BatcherConfig bc;
+        bc.policy = policy;
+        bc.max_batch_items = 1024;
+        bc.max_queue_delay_ns = 10 * sim::kMillisecond;
+        core::ServingConfig cfg;
+        cfg.seed = 0xd15c0;
+        core::ServingSimulation sim(spec, plan, cfg);
+        const auto stats =
+            sched::runBatchedOpenLoop(sim, requests, 400.0, bc);
+        double batches = 0.0;
+        for (const auto &s : stats)
+            batches += 1.0 / static_cast<double>(s.coalesced);
+        return static_cast<double>(stats.size()) / batches;
+    };
+    EXPECT_GT(coalesced(sched::BatchPolicy::QueueAware),
+              coalesced(sched::BatchPolicy::Adaptive));
+    EXPECT_GT(coalesced(sched::BatchPolicy::QueueAware), 1.2);
+}
+
+TEST(Serving, HeterogeneousReplicaVectorShapesTheDeployment)
+{
+    const auto spec = testSpec();
+    const auto plan = testPlan(spec); // 4 shards
+
+    core::ServingConfig cfg;
+    cfg.seed = 0xd15c0;
+    cfg.sparse_replicas = 2; // fallback for unlisted shards
+    cfg.sparse_replicas_per_shard = {3, 1, 2, 4};
+    core::ServingSimulation sim(spec, plan, cfg);
+
+    EXPECT_EQ(sim.serverCount(), 10u);
+    const auto shards = sim.serverShards();
+    std::vector<int> per_shard(4, 0);
+    for (int s : shards)
+        ++per_shard[static_cast<std::size_t>(s)];
+    EXPECT_EQ(per_shard, (std::vector<int>{3, 1, 2, 4}));
+}
+
+TEST(ProvisionLoop, EvenReplicaSplitSpreadsTheBudget)
+{
+    EXPECT_EQ(sched::evenReplicaSplit(8, 4), (std::vector<int>{2, 2, 2, 2}));
+    EXPECT_EQ(sched::evenReplicaSplit(10, 4),
+              (std::vector<int>{3, 3, 2, 2}));
+    EXPECT_EQ(sched::evenReplicaSplit(2, 4), (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(ProvisionLoop, ConvergesToLoadProportionalFixedPoint)
+{
+    const auto spec = testSpec();
+    // Capacity-balanced: equal bytes, skewed compute — the plan where
+    // per-shard replica counts should differ.
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    const auto requests = testRequests(spec, 300);
+
+    sched::ProvisionLoopConfig pc;
+    pc.qps = 600.0;
+    pc.target_utilization = 0.6;
+    sched::ProvisionLoop loop(
+        spec, plan,
+        sparseBoundConfig(2, rpc::LoadBalancePolicy::LeastOutstanding),
+        pc);
+    const auto result = loop.run(requests);
+
+    ASSERT_TRUE(result.converged);
+    ASSERT_EQ(result.replicas.size(), 4u);
+    // The fixed point reproduces itself under one more evaluation.
+    const auto again = loop.evaluate(result.replicas, requests);
+    EXPECT_EQ(again.provisioned, result.replicas);
+    // Demand measurements are per-shard and positive.
+    for (double c : result.trace.back().shard_cpu_ms_per_request)
+        EXPECT_GT(c, 0.0);
+
+    // At equal budget, load-proportional replication must not lose to
+    // the even split on served P99.
+    const auto even = sched::evenReplicaSplit(result.totalReplicas(),
+                                              plan.numShards());
+    const auto baseline = loop.evaluate(even, requests);
+    EXPECT_LE(result.p99_ms, baseline.p99_ms);
+}
+
+TEST(CapacitySearch, ProbeReportsHedgeColumns)
+{
+    const auto spec = testSpec();
+    const auto plan = testPlan(spec);
+    const auto requests = testRequests(spec, 200);
+
+    sched::CapacitySearchConfig sc;
+    sc.slo.p99_ms = 200.0;
+    sched::CapacitySearch search(
+        spec, plan,
+        sched::hedgeStudyConfig(rpc::LoadBalancePolicy::LeastOutstanding,
+                                3, /*hedged=*/true),
+        sc);
+    const auto probe = search.probe(1500.0, requests);
+    EXPECT_GT(probe.hedge_rate, 0.0);
+    EXPECT_LE(probe.hedge_rate, 0.10 + 1e-9);
+    EXPECT_GE(probe.hedge_wasted_frac, 0.0);
+
+    sched::CapacitySearch unhedged(
+        spec, plan,
+        sched::hedgeStudyConfig(rpc::LoadBalancePolicy::LeastOutstanding,
+                                3, /*hedged=*/false),
+        sc);
+    EXPECT_EQ(unhedged.probe(1500.0, requests).hedge_rate, 0.0);
 }
 
 TEST(CapacitySearch, CapacityMonotoneInReplicas)
