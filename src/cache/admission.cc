@@ -1,0 +1,242 @@
+#include "cache/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "stats/hash.h"
+
+namespace dri::cache {
+
+namespace {
+
+using stats::mix64;
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Admission decorator: owns the inner cache and a filter, keeps its own
+ * hit/miss/reject counters (the inner cache's counters only see the
+ * accesses that were allowed through, so the wrapper's are authoritative).
+ */
+class AdmittingCache : public EmbeddingCache
+{
+  public:
+    AdmittingCache(std::unique_ptr<EmbeddingCache> inner,
+                   std::shared_ptr<AdmissionFilter> filter)
+        : inner_(std::move(inner)), filter_(std::move(filter))
+    {
+    }
+
+    bool
+    access(int table, std::int64_t row, std::int64_t row_bytes) override
+    {
+        ++stats_.accesses;
+        filter_->onAccess(table, row);
+        if (inner_->contains(table, row)) {
+            ++stats_.hits;
+            inner_->access(table, row, row_bytes); // recency/freq bump
+            return true;
+        }
+        ++stats_.misses;
+        const bool pressure =
+            inner_->usedBytes() + row_bytes > inner_->capacityBytes();
+        if (pressure && !filter_->admit(table, row, row_bytes)) {
+            ++stats_.admission_rejects;
+            return false; // bypass: the row is not worth an eviction
+        }
+        inner_->access(table, row, row_bytes);
+        return false;
+    }
+
+    bool
+    contains(int table, std::int64_t row) const override
+    {
+        return inner_->contains(table, row);
+    }
+
+    std::int64_t capacityBytes() const override
+    {
+        return inner_->capacityBytes();
+    }
+    std::int64_t usedBytes() const override { return inner_->usedBytes(); }
+    std::size_t residentRows() const override
+    {
+        return inner_->residentRows();
+    }
+    std::int64_t ghostBytes() const override
+    {
+        return inner_->ghostBytes();
+    }
+
+    const CacheStats &
+    stats() const override
+    {
+        // Evictions happen inside the inner cache; surface them through
+        // the wrapper's otherwise-authoritative counters.
+        stats_.evictions = inner_->stats().evictions;
+        return stats_;
+    }
+
+    void
+    resetStats() override
+    {
+        stats_ = CacheStats{};
+        inner_->resetStats();
+    }
+
+    void
+    setEvictionHook(std::function<void(int, std::int64_t, std::int64_t)>
+                        hook) override
+    {
+        inner_->setEvictionHook(std::move(hook));
+    }
+
+    Policy policy() const override { return inner_->policy(); }
+
+  private:
+    std::unique_ptr<EmbeddingCache> inner_;
+    std::shared_ptr<AdmissionFilter> filter_;
+    mutable CacheStats stats_;
+};
+
+} // namespace
+
+std::string
+admissionName(Admission admission)
+{
+    switch (admission) {
+    case Admission::None:
+        return "none";
+    case Admission::TinyLfu:
+        return "tinylfu";
+    }
+    return "unknown";
+}
+
+TinyLfuFilter::TinyLfuFilter(TinyLfuConfig config) : config_(config)
+{
+    config_.depth = std::max(1, config_.depth);
+    const std::size_t width =
+        roundUpPow2(std::max<std::size_t>(16, config_.counters));
+    config_.counters = width;
+    mask_ = width - 1;
+    if (config_.sample_period == 0)
+        config_.sample_period = static_cast<std::uint64_t>(width) * 16;
+    // Two 4-bit counters per byte, depth independent rows.
+    sketch_.assign(static_cast<std::size_t>(config_.depth) * width / 2, 0);
+}
+
+std::uint64_t
+TinyLfuFilter::hashFor(int table, std::int64_t row, int i) const
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(table))
+         << 48) ^
+        static_cast<std::uint64_t>(row);
+    // Independent rows via a per-row odd multiplier over the mixed key.
+    return mix64(key + 0x9e3779b97f4a7c15ULL *
+                           static_cast<std::uint64_t>(i + 1));
+}
+
+int
+TinyLfuFilter::counterAt(std::uint64_t h) const
+{
+    const std::size_t slot = static_cast<std::size_t>(h);
+    const std::uint8_t byte = sketch_[slot / 2];
+    return (slot & 1) ? (byte >> 4) & 0xf : byte & 0xf;
+}
+
+void
+TinyLfuFilter::onAccess(int table, std::int64_t row)
+{
+    // Conservative increment: only the minimal counters grow, which keeps
+    // the count-min over-estimate as tight as 4 bits allow.
+    int min_est = 15;
+    for (int i = 0; i < config_.depth; ++i) {
+        const std::size_t base =
+            static_cast<std::size_t>(i) * config_.counters;
+        min_est = std::min(
+            min_est, counterAt(base + (hashFor(table, row, i) & mask_)));
+    }
+    if (min_est < 15) {
+        for (int i = 0; i < config_.depth; ++i) {
+            const std::size_t base =
+                static_cast<std::size_t>(i) * config_.counters;
+            const std::size_t slot =
+                base + (hashFor(table, row, i) & mask_);
+            if (counterAt(slot) == min_est) {
+                std::uint8_t &byte = sketch_[slot / 2];
+                if (slot & 1)
+                    byte = static_cast<std::uint8_t>(
+                        (byte & 0x0f) |
+                        static_cast<std::uint8_t>((min_est + 1) << 4));
+                else
+                    byte = static_cast<std::uint8_t>(
+                        (byte & 0xf0) |
+                        static_cast<std::uint8_t>(min_est + 1));
+            }
+        }
+    }
+    if (++accesses_ >= config_.sample_period) {
+        // Aging: halve every counter so the sketch tracks the recent
+        // window (and dead rows decay back toward zero).
+        for (auto &byte : sketch_)
+            byte = static_cast<std::uint8_t>(((byte >> 1) & 0x77));
+        accesses_ = 0;
+        ++agings_;
+    }
+}
+
+int
+TinyLfuFilter::estimate(int table, std::int64_t row) const
+{
+    int min_est = 15;
+    for (int i = 0; i < config_.depth; ++i) {
+        const std::size_t base =
+            static_cast<std::size_t>(i) * config_.counters;
+        min_est = std::min(
+            min_est, counterAt(base + (hashFor(table, row, i) & mask_)));
+    }
+    return min_est;
+}
+
+bool
+TinyLfuFilter::admit(int table, std::int64_t row, std::int64_t)
+{
+    return estimate(table, row) >= config_.admit_threshold;
+}
+
+std::unique_ptr<TinyLfuFilter>
+makeTinyLfu(TinyLfuConfig config)
+{
+    return std::make_unique<TinyLfuFilter>(config);
+}
+
+std::unique_ptr<EmbeddingCache>
+withAdmission(std::unique_ptr<EmbeddingCache> inner,
+              std::shared_ptr<AdmissionFilter> filter)
+{
+    if (!filter)
+        return inner;
+    return std::make_unique<AdmittingCache>(std::move(inner),
+                                            std::move(filter));
+}
+
+std::unique_ptr<EmbeddingCache>
+makeCacheWithAdmission(Policy policy, std::int64_t capacity_bytes,
+                       Admission admission, const TinyLfuConfig &tinylfu)
+{
+    auto cache = makeCache(policy, capacity_bytes);
+    if (admission == Admission::TinyLfu)
+        return withAdmission(std::move(cache), makeTinyLfu(tinylfu));
+    return cache;
+}
+
+} // namespace dri::cache

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Composable cache-admission control (the TinyLFU direction): an
+ * AdmissionFilter decides whether a missed row is worth caching at all,
+ * independently of which eviction policy manages the resident set.
+ *
+ * Embedding traffic is heavy-tailed: a large fraction of rows are touched
+ * once and never again, and admitting them evicts rows that will be
+ * re-referenced. The TinyLFU answer is a frequency-sketch doorkeeper — a
+ * tiny 4-bit count-min sketch over recent accesses; a missed row is
+ * admitted under byte pressure only when the sketch has seen it before.
+ * Periodic halving of every counter ages the sketch, so the frequency
+ * estimate tracks the recent window rather than all of history, and the
+ * 4-bit width keeps estimates bounded regardless of trace length.
+ *
+ * withAdmission() wraps ANY EmbeddingCache in a filter, so the policy x
+ * admission design space is a full grid (the TieredCacheSim sweep).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/embedding_cache.h"
+
+namespace dri::cache {
+
+/** Admission-policy selector for sweeps and labels. */
+enum class Admission
+{
+    None,
+    TinyLfu,
+};
+
+/** Human-readable admission name ("none", "tinylfu"). */
+std::string admissionName(Admission admission);
+
+/**
+ * Interface of an admission policy. Implementations observe every access
+ * (hits included — frequency must count them) and veto the admission of
+ * cold rows when caching them would force evictions.
+ */
+class AdmissionFilter
+{
+  public:
+    virtual ~AdmissionFilter() = default;
+
+    /** Record one access to (table, row); called for hits and misses. */
+    virtual void onAccess(int table, std::int64_t row) = 0;
+
+    /**
+     * Should a missed row be admitted? Consulted only when the cache is
+     * under byte pressure (admitting would evict); when free space
+     * remains, admission is unconditional — a filter can only ever
+     * protect the resident set, not starve an empty cache.
+     */
+    virtual bool admit(int table, std::int64_t row,
+                       std::int64_t row_bytes) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** TinyLFU doorkeeper parameters. */
+struct TinyLfuConfig
+{
+    /**
+     * Counters per sketch row (rounded up to a power of two). Sized like
+     * a Bloom filter: a few counters per expected hot row keeps the
+     * over-estimate from hash collisions small.
+     */
+    std::size_t counters = 1 << 16;
+    /** Independent hash rows of the count-min sketch. */
+    int depth = 4;
+    /**
+     * Accesses between halvings of every counter (the aging window).
+     * 0 derives the classic TinyLFU sample size of ~16x the counter
+     * count.
+     */
+    std::uint64_t sample_period = 0;
+    /**
+     * Minimum sketch estimate (post-increment) required to admit a row
+     * under pressure. The default 2 means: seen at least twice within
+     * the recent window — exactly the one-hit-wonder test.
+     */
+    int admit_threshold = 2;
+};
+
+/**
+ * 4-bit count-min sketch doorkeeper. Counters saturate at 15; every
+ * sample_period recorded accesses all counters halve, so estimates decay
+ * toward the recent window (and are bounded by construction).
+ */
+class TinyLfuFilter : public AdmissionFilter
+{
+  public:
+    explicit TinyLfuFilter(TinyLfuConfig config = {});
+
+    void onAccess(int table, std::int64_t row) override;
+    bool admit(int table, std::int64_t row,
+               std::int64_t row_bytes) override;
+    std::string name() const override { return "tinylfu"; }
+
+    /** Current sketch estimate for (table, row); <= 15 by construction. */
+    int estimate(int table, std::int64_t row) const;
+
+    /** Halvings performed so far (one per elapsed sample period). */
+    std::uint64_t agings() const { return agings_; }
+
+    const TinyLfuConfig &config() const { return config_; }
+
+  private:
+    std::uint64_t hashFor(int table, std::int64_t row, int i) const;
+    int counterAt(std::uint64_t h) const;
+
+    TinyLfuConfig config_;
+    std::size_t mask_ = 0;       //!< counters-per-row - 1 (power of two)
+    std::uint64_t accesses_ = 0; //!< since the last halving
+    std::uint64_t agings_ = 0;
+    /** Packed 4-bit counters, two per byte, depth rows concatenated. */
+    std::vector<std::uint8_t> sketch_;
+};
+
+/** Construct a TinyLFU doorkeeper. */
+std::unique_ptr<TinyLfuFilter> makeTinyLfu(TinyLfuConfig config = {});
+
+/**
+ * Wrap a cache in an admission filter. The wrapper delegates residency
+ * and budget bookkeeping to the inner cache and keeps its own counters:
+ * a vetoed miss counts as a miss (and an admission_reject) but inserts
+ * nothing. Passing a null filter returns the inner cache unchanged.
+ */
+std::unique_ptr<EmbeddingCache>
+withAdmission(std::unique_ptr<EmbeddingCache> inner,
+              std::shared_ptr<AdmissionFilter> filter);
+
+/** makeCache + optional admission wrap in one step (grid sweeps). */
+std::unique_ptr<EmbeddingCache>
+makeCacheWithAdmission(Policy policy, std::int64_t capacity_bytes,
+                       Admission admission,
+                       const TinyLfuConfig &tinylfu = {});
+
+} // namespace dri::cache

@@ -1,10 +1,13 @@
 #include "cache/embedding_cache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <list>
 #include <map>
 #include <unordered_map>
 #include <utility>
+
+#include "stats/hash.h"
 
 namespace dri::cache {
 
@@ -29,16 +32,10 @@ struct KeyHash
     operator()(const Key &k) const
     {
         // splitmix64 finalizer over the packed (table, row) pair.
-        std::uint64_t x =
+        return static_cast<std::size_t>(stats::mix64(
             (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.table))
              << 48) ^
-            static_cast<std::uint64_t>(k.row);
-        x ^= x >> 30;
-        x *= 0xbf58476d1ce4e5b9ULL;
-        x ^= x >> 27;
-        x *= 0x94d049bb133111ebULL;
-        x ^= x >> 31;
-        return static_cast<std::size_t>(x);
+            static_cast<std::uint64_t>(k.row)));
     }
 };
 
@@ -356,6 +353,233 @@ class TwoQueueCache : public CacheBase
     std::int64_t ghost_bytes_ = 0;
 
     std::unordered_map<Key, Info, KeyHash> index_;
+
+  public:
+    std::int64_t ghostBytes() const override { return ghost_bytes_; }
+};
+
+// ---------------------------------------------------------------------------
+// Arc: adaptive replacement, generalized to byte budgets. Resident rows
+// live in T1 (seen once since admission) or T2 (seen at least twice);
+// evicted identities are remembered in the ghost lists B1 (evicted from
+// T1) and B2 (evicted from T2). A miss that hits B1 means recency was
+// evicting rows it should have kept, so the adaptive target p (T1's byte
+// share of the budget) grows; a B2 hit shrinks it. The REPLACE rule then
+// evicts from whichever resident list exceeds its share, so the cache
+// continuously re-balances between LRU-like and LFU-like behavior.
+// Invariants maintained per access: t1 + t2 <= capacity,
+// t1 + b1 <= capacity (+ one row transiently), total history
+// t1 + t2 + b1 + b2 <= 2x capacity, 0 <= p <= capacity.
+// ---------------------------------------------------------------------------
+class ArcCache : public CacheBase
+{
+  public:
+    using CacheBase::CacheBase;
+
+    bool
+    access(int table, std::int64_t row, std::int64_t row_bytes) override
+    {
+        ++stats_.accesses;
+        const Key key{table, row};
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            // Resident hit: any re-reference promotes to T2's MRU end.
+            ++stats_.hits;
+            Entry entry = *it->second.pos;
+            if (it->second.where == Where::T1) {
+                t1_.erase(it->second.pos);
+                t1_bytes_ -= entry.bytes;
+                t2_.push_front(entry);
+                t2_bytes_ += entry.bytes;
+                it->second.where = Where::T2;
+                it->second.pos = t2_.begin();
+            } else {
+                t2_.splice(t2_.begin(), t2_, it->second.pos);
+            }
+            return true;
+        }
+        ++stats_.misses;
+        if (row_bytes > capacity_)
+            return false;
+
+        auto ghost = ghost_index_.find(key);
+        if (ghost != ghost_index_.end() &&
+            ghost->second.where == Where::B1) {
+            // B1 hit: recency was right about this row — grow T1's target
+            // share, proportionally harder when B1 is the smaller list.
+            const double ratio =
+                b1_bytes_ > 0 ? std::max(1.0, static_cast<double>(b2_bytes_) /
+                                                  static_cast<double>(b1_bytes_))
+                              : 1.0;
+            p_ = std::min<std::int64_t>(
+                capacity_,
+                p_ + static_cast<std::int64_t>(
+                         ratio * static_cast<double>(row_bytes)));
+            eraseGhost(ghost);
+            makeRoom(row_bytes, /*from_b2=*/false);
+            insertResident(key, row_bytes, Where::T2);
+            return false;
+        }
+        if (ghost != ghost_index_.end()) {
+            // B2 hit: frequency was right — shrink T1's target share.
+            const double ratio =
+                b2_bytes_ > 0 ? std::max(1.0, static_cast<double>(b1_bytes_) /
+                                                  static_cast<double>(b2_bytes_))
+                              : 1.0;
+            p_ = std::max<std::int64_t>(
+                0, p_ - static_cast<std::int64_t>(
+                            ratio * static_cast<double>(row_bytes)));
+            eraseGhost(ghost);
+            makeRoom(row_bytes, /*from_b2=*/true);
+            insertResident(key, row_bytes, Where::T2);
+            return false;
+        }
+
+        // Cold miss: bound the L1 = T1 + B1 history at one capacity and
+        // the total history at two capacities before admitting to T1.
+        while (t1_bytes_ + b1_bytes_ + row_bytes > capacity_ && !b1_.empty())
+            dropGhostLru(Where::B1);
+        while (t1_bytes_ + t2_bytes_ + b1_bytes_ + b2_bytes_ + row_bytes >
+                   2 * capacity_ &&
+               !b2_.empty())
+            dropGhostLru(Where::B2);
+        makeRoom(row_bytes, /*from_b2=*/false);
+        insertResident(key, row_bytes, Where::T1);
+        return false;
+    }
+
+    bool
+    contains(int table, std::int64_t row) const override
+    {
+        return index_.count(Key{table, row}) > 0;
+    }
+
+    std::size_t residentRows() const override { return index_.size(); }
+
+    std::int64_t ghostBytes() const override
+    {
+        return b1_bytes_ + b2_bytes_;
+    }
+
+  private:
+    enum class Where
+    {
+        T1,
+        T2,
+        B1,
+        B2,
+    };
+
+    struct Entry
+    {
+        Key key;
+        std::int64_t bytes;
+    };
+
+    struct Info
+    {
+        Where where;
+        std::list<Entry>::iterator pos;
+    };
+
+    struct GhostInfo
+    {
+        Where where;
+        std::list<Entry>::iterator pos;
+    };
+
+    void
+    insertResident(const Key &key, std::int64_t bytes, Where where)
+    {
+        if (where == Where::T1) {
+            t1_.push_front(Entry{key, bytes});
+            t1_bytes_ += bytes;
+            index_[key] = Info{Where::T1, t1_.begin()};
+        } else {
+            t2_.push_front(Entry{key, bytes});
+            t2_bytes_ += bytes;
+            index_[key] = Info{Where::T2, t2_.begin()};
+        }
+        used_ += bytes;
+    }
+
+    /** Evict until the new row fits; ARC's REPLACE rule picks the list. */
+    void
+    makeRoom(std::int64_t row_bytes, bool from_b2)
+    {
+        while (t1_bytes_ + t2_bytes_ + row_bytes > capacity_) {
+            const bool prefer_t1 =
+                !t1_.empty() &&
+                (t1_bytes_ > p_ || (from_b2 && t1_bytes_ >= p_) ||
+                 t2_.empty());
+            evictResidentLru(prefer_t1 ? Where::T1 : Where::T2);
+        }
+    }
+
+    void
+    evictResidentLru(Where where)
+    {
+        auto &list = where == Where::T1 ? t1_ : t2_;
+        auto &bytes = where == Where::T1 ? t1_bytes_ : t2_bytes_;
+        assert(!list.empty());
+        const Entry victim = list.back();
+        list.pop_back();
+        bytes -= victim.bytes;
+        index_.erase(victim.key);
+        evicted(victim.key, victim.bytes);
+        rememberGhost(victim, where == Where::T1 ? Where::B1 : Where::B2);
+    }
+
+    void
+    rememberGhost(const Entry &entry, Where where)
+    {
+        auto &list = where == Where::B1 ? b1_ : b2_;
+        auto &bytes = where == Where::B1 ? b1_bytes_ : b2_bytes_;
+        list.push_front(entry);
+        bytes += entry.bytes;
+        ghost_index_[entry.key] = GhostInfo{where, list.begin()};
+        // Keep each ghost list within one capacity of identity bytes.
+        while (b1_bytes_ > capacity_ && !b1_.empty())
+            dropGhostLru(Where::B1);
+        while (b2_bytes_ > capacity_ && !b2_.empty())
+            dropGhostLru(Where::B2);
+    }
+
+    void
+    dropGhostLru(Where where)
+    {
+        auto &list = where == Where::B1 ? b1_ : b2_;
+        auto &bytes = where == Where::B1 ? b1_bytes_ : b2_bytes_;
+        assert(!list.empty());
+        const Entry &old = list.back();
+        bytes -= old.bytes;
+        ghost_index_.erase(old.key);
+        list.pop_back();
+    }
+
+    void
+    eraseGhost(
+        std::unordered_map<Key, GhostInfo, KeyHash>::iterator ghost)
+    {
+        auto &list = ghost->second.where == Where::B1 ? b1_ : b2_;
+        auto &bytes =
+            ghost->second.where == Where::B1 ? b1_bytes_ : b2_bytes_;
+        bytes -= ghost->second.pos->bytes;
+        list.erase(ghost->second.pos);
+        ghost_index_.erase(ghost);
+    }
+
+    std::list<Entry> t1_; //!< once-referenced residents, front = MRU
+    std::list<Entry> t2_; //!< re-referenced residents, front = MRU
+    std::list<Entry> b1_; //!< ghosts of T1 evictions, front = MRU
+    std::list<Entry> b2_; //!< ghosts of T2 evictions, front = MRU
+    std::int64_t t1_bytes_ = 0, t2_bytes_ = 0;
+    std::int64_t b1_bytes_ = 0, b2_bytes_ = 0;
+    /** Adaptive target for T1's byte share of the budget. */
+    std::int64_t p_ = 0;
+
+    std::unordered_map<Key, Info, KeyHash> index_;
+    std::unordered_map<Key, GhostInfo, KeyHash> ghost_index_;
 };
 
 } // namespace
@@ -370,6 +594,8 @@ policyName(Policy policy)
         return "lfu";
     case Policy::TwoQueue:
         return "2q";
+    case Policy::Arc:
+        return "arc";
     }
     return "unknown";
 }
@@ -384,6 +610,8 @@ makeCache(Policy policy, std::int64_t capacity_bytes)
         return std::make_unique<LfuCache>(policy, capacity_bytes);
     case Policy::TwoQueue:
         return std::make_unique<TwoQueueCache>(policy, capacity_bytes);
+    case Policy::Arc:
+        return std::make_unique<ArcCache>(policy, capacity_bytes);
     }
     return nullptr;
 }

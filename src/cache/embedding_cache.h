@@ -16,6 +16,16 @@
  *  - TwoQueue: scan-resistant 2Q — new rows enter a small FIFO probation
  *    queue and must be re-referenced to reach the protected LRU main
  *    queue, so one-touch scans cannot flush the hot set.
+ *  - Arc: adaptive replacement — two resident lists (T1 once-referenced,
+ *    T2 re-referenced) plus two ghost lists (B1/B2) remembering recent
+ *    evictions from each. A ghost hit shifts the adaptive target between
+ *    recency and frequency, so ARC tracks whichever of LRU/LFU the live
+ *    workload currently rewards without a tuning knob.
+ *
+ * Eviction can be composed with an AdmissionFilter (cache/admission.h):
+ * the filter vetoes the admission of cold rows when the cache is under
+ * byte pressure, protecting any policy's resident set from one-hit
+ * wonders (the TinyLFU doorkeeper).
  *
  * Caches are purely functional simulators: they track row *identities* and
  * byte sizes, never payloads, so replaying billion-access traces is cheap.
@@ -35,9 +45,10 @@ enum class Policy
     Lru,
     Lfu,
     TwoQueue,
+    Arc,
 };
 
-/** Human-readable policy name ("lru", "lfu", "2q"). */
+/** Human-readable policy name ("lru", "lfu", "2q", "arc"). */
 std::string policyName(Policy policy);
 
 /** Hit/miss/eviction counters. */
@@ -47,6 +58,11 @@ struct CacheStats
     std::int64_t hits = 0;
     std::int64_t misses = 0;
     std::int64_t evictions = 0;
+    /**
+     * Misses whose admission an AdmissionFilter vetoed (the row was not
+     * cached). Zero for unwrapped caches.
+     */
+    std::int64_t admission_rejects = 0;
 
     double
     hitRate() const
@@ -63,6 +79,7 @@ struct CacheStats
         hits += other.hits;
         misses += other.misses;
         evictions += other.evictions;
+        admission_rejects += other.admission_rejects;
     }
 };
 
@@ -105,6 +122,15 @@ class EmbeddingCache
                         hook) = 0;
 
     virtual Policy policy() const = 0;
+
+    /**
+     * Bytes of evicted-row *identities* remembered by the policy's ghost
+     * list(s) — 2Q's A1out, ARC's B1 + B2. Zero for policies without
+     * history. Ghost entries store no payload; the byte figure is the
+     * stored size of the remembered rows, the unit the ghost budgets are
+     * expressed in (2Q: <= capacity/2; ARC: <= 2x capacity).
+     */
+    virtual std::int64_t ghostBytes() const { return 0; }
 };
 
 /** Construct a cache with the given policy and byte budget. */

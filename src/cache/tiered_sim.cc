@@ -13,7 +13,8 @@ TieredCacheSim::TieredCacheSim(const model::ModelSpec &spec,
     row_bytes_.reserve(spec.tables.size());
     for (const auto &t : spec.tables)
         row_bytes_.push_back(t.storedRowBytes());
-    cache_ = makeCache(config_.policy, config_.capacity_bytes);
+    cache_ = makeCacheWithAdmission(config_.policy, config_.capacity_bytes,
+                                    config_.admission, config_.tinylfu);
 }
 
 CacheSimResult
@@ -71,18 +72,25 @@ TieredCacheSim::replay(const workload::AccessTrace &trace)
         result.per_table[t].evictions = evictions[t];
         result.total.merge(result.per_table[t]);
     }
+    // Admission vetoes are tracked by the (possibly wrapped) cache, not
+    // per table; counters were reset at the warmup boundary, so this is
+    // the post-warmup figure (zero when the whole trace was warmup).
+    if (warm < records.size())
+        result.total.admission_rejects = cache_->stats().admission_rejects;
     return result;
 }
 
 CacheSimResult
 replayTrace(const model::ModelSpec &spec,
             const workload::AccessTrace &trace, Policy policy,
-            std::int64_t capacity_bytes, double warmup_fraction)
+            std::int64_t capacity_bytes, double warmup_fraction,
+            Admission admission)
 {
     TieredCacheConfig config;
     config.policy = policy;
     config.capacity_bytes = capacity_bytes;
     config.warmup_fraction = warmup_fraction;
+    config.admission = admission;
     TieredCacheSim sim(spec, config);
     return sim.replay(trace);
 }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/admission.h"
 #include "cache/embedding_cache.h"
 #include "model/model_spec.h"
 #include "workload/access_trace.h"
@@ -31,6 +32,10 @@ struct TieredCacheConfig
      * rates (0 = cold start; 0.5 is typical for stationarity studies).
      */
     double warmup_fraction = 0.0;
+    /** Admission filter wrapped around the eviction policy. */
+    Admission admission = Admission::None;
+    /** TinyLFU doorkeeper parameters (used when admission == TinyLfu). */
+    TinyLfuConfig tinylfu;
 };
 
 /** Post-warmup replay statistics. */
@@ -82,6 +87,7 @@ class TieredCacheSim
 CacheSimResult replayTrace(const model::ModelSpec &spec,
                            const workload::AccessTrace &trace,
                            Policy policy, std::int64_t capacity_bytes,
-                           double warmup_fraction = 0.5);
+                           double warmup_fraction = 0.5,
+                           Admission admission = Admission::None);
 
 } // namespace dri::cache

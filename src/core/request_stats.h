@@ -56,6 +56,14 @@ struct RequestStats
     /** Replica CPU burned by losing attempts (duplicate work). */
     double hedge_wasted_cpu_ns = 0.0;
 
+    // ---- Pooled-result cache (zero when the result cache is off).
+    /** Sparse fan-out requests served from the main-shard result cache. */
+    int result_cache_hits = 0;
+    /** Fan-out requests that probed the cache and went to the wire. */
+    int result_cache_misses = 0;
+    /** Response bytes served locally instead of fetched over RPC. */
+    std::int64_t result_cache_bytes_saved = 0;
+
     sim::SimTime arrival = 0;
     sim::SimTime completion = 0;
     sim::Duration e2e = 0;

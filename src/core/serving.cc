@@ -7,6 +7,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <unordered_map>
 
 #include "cache/lookup_model.h"
 #include "netsim/message.h"
@@ -68,6 +69,7 @@ struct ServingSimulation::Impl
     // -- Runtime state ------------------------------------------------------
 
     struct Active; // forward
+    struct RpcOp;  // forward
 
     struct BatchState
     {
@@ -79,6 +81,12 @@ struct ServingSimulation::Impl
         sim::SimTime dispatch_time = 0;
         sim::SimTime last_response = 0;
         std::int64_t response_bytes = 0;
+        /**
+         * The batch's fan-out ops; each holds one reference so the
+         * pointers stay valid for mid-flight shed cancellation until
+         * destroyBatch() releases them.
+         */
+        std::vector<RpcOp *> ops;
     };
 
     /**
@@ -118,6 +126,10 @@ struct ServingSimulation::Impl
         int primary_server = -1;     //!< replica the primary landed on
         bool won = false;            //!< an attempt finished remote service
         int refs = 0;
+        /** Result-cache key this op's winning response is memoized under. */
+        rpc::ResultCache::Key cache_key;
+        /** Cache epoch at dispatch; a stale epoch blocks the insert. */
+        std::uint64_t cache_epoch = 0;
         /** [0] = primary, [1] = hedge. */
         AttemptExec exec[2];
     };
@@ -142,14 +154,30 @@ struct ServingSimulation::Impl
         // Intra-request batch-slot pool (framework worker threads).
         int slots_free = 0;
         std::deque<std::function<void()>> slot_waiters;
+
+        // Mid-flight shed support (AdmissionConfig::cancel_in_flight).
+        /** Shed while executing: stats already emitted, machinery drains. */
+        bool shed_mid_flight = false;
+        /** Final response serde underway; too late to shed usefully. */
+        bool finishing = false;
+        /** Batches with RPC fan-out currently outstanding. */
+        std::vector<BatchState *> live_batches;
     };
 
     Impl(const model::ModelSpec &spec, const ShardingPlan &plan,
          const ServingConfig &cfg, trace::TraceCollector &collector)
         : spec(spec), plan(plan), cfg(cfg), collector(collector),
           link(cfg.link), service(cfg.service), rng(cfg.seed),
-          hedge_tracker(cfg.hedge.window)
+          hedge_tracker(cfg.hedge.window), result_cache(cfg.result_cache)
     {
+        const auto n_shards =
+            static_cast<std::size_t>(std::max(plan.numShards(), 0));
+        shard_trackers.reserve(n_shards);
+        for (std::size_t s = 0; s < n_shards; ++s)
+            shard_trackers.emplace_back(cfg.hedge.window);
+        shard_primary_rpcs.assign(n_shards, 0);
+        shard_hedges.assign(n_shards, 0);
+        shard_hedge_wins.assign(n_shards, 0);
         const auto pool = [&](const dc::Platform &platform, int threads) {
             const int t = threads > 0 ? std::min(threads, platform.cores)
                                       : platform.cores;
@@ -216,14 +244,54 @@ struct ServingSimulation::Impl
 
     /** Observed client-side RPC latencies; the hedge deadline's source. */
     rpc::LatencyTracker hedge_tracker;
+    /**
+     * Per-shard latency windows, used instead of the global tracker when
+     * HedgeConfig::per_shard_deadline is set — a heavy-pooling shard's
+     * honest latencies then stop inflating every other shard's deadline.
+     */
+    std::vector<rpc::LatencyTracker> shard_trackers;
     std::uint64_t primary_rpcs = 0;
     std::uint64_t hedges_launched = 0;
     std::uint64_t hedge_wins = 0;
     std::uint64_t hedge_losses = 0;
     std::uint64_t hedge_cancelled = 0;
     std::uint64_t hedge_suppressed = 0;
+    /** Per-shard hedge accounting (always tracked; cheap). */
+    std::vector<std::uint64_t> shard_primary_rpcs;
+    std::vector<std::uint64_t> shard_hedges;
+    std::vector<std::uint64_t> shard_hedge_wins;
     /** Replica busy time burned by attempts that lost their race. */
     double wasted_busy_ns = 0.0;
+
+    // -- Pooled-result cache -------------------------------------------------
+
+    rpc::ResultCache result_cache;
+
+    // -- Mid-flight shed state ----------------------------------------------
+
+    /**
+     * Requests with an armed shed timer, by request id (ids are unique
+     * within a replay). The timer looks its request up here, so a timer
+     * firing after completion dereferences nothing stale.
+     */
+    std::unordered_map<std::uint64_t, Active *> live_requests;
+    std::uint64_t shed_cancelled_rpcs = 0;
+
+    rpc::LatencyTracker &
+    trackerFor(int shard)
+    {
+        if (cfg.hedge.per_shard_deadline && shard >= 0 &&
+            static_cast<std::size_t>(shard) < shard_trackers.size())
+            return shard_trackers[static_cast<std::size_t>(shard)];
+        return hedge_tracker;
+    }
+
+    bool
+    shedTimersEnabled() const
+    {
+        return cfg.admission.deadline_ns > 0 &&
+               cfg.admission.cancel_in_flight;
+    }
 
     double
     mainScale() const
@@ -439,10 +507,19 @@ struct ServingSimulation::Impl
 
     // -- Request lifecycle ----------------------------------------------------
 
+    void
+    unregisterLive(Active *a)
+    {
+        auto it = live_requests.find(a->st.id);
+        if (it != live_requests.end() && it->second == a)
+            live_requests.erase(it);
+    }
+
     /** Drop a request without executing it; stats record the reason. */
     void
     shedRequest(Active *a, ShedReason reason)
     {
+        unregisterLive(a);
         a->st.shed_reason = reason;
         a->st.completion = engine.now();
         a->st.e2e = a->st.completion - a->st.arrival;
@@ -452,6 +529,135 @@ struct ServingSimulation::Impl
         delete a;
         if (on_complete)
             on_complete(st);
+    }
+
+    /** Retire one batch's bookkeeping (ops refs, pending-top, registry). */
+    void
+    destroyBatch(BatchState *bt)
+    {
+        for (RpcOp *op : bt->ops)
+            derefOp(op);
+        pending_top_.erase(bt);
+        auto &lb = bt->req->live_batches;
+        lb.erase(std::remove(lb.begin(), lb.end(), bt), lb.end());
+        delete bt;
+    }
+
+    /**
+     * Refund the unexecuted fraction `f` of an aborted attempt's cpu_*
+     * charges from its request's stats. Shared by the hedge-race
+     * cancellation (cancelSibling) and the mid-flight shed abort
+     * (cancelAttemptForShed), which must reverse the identical buckets
+     * the execution path charged.
+     */
+    void
+    refundAttemptCharges(Active *a, const AttemptExec &ex, double f)
+    {
+        a->st.cpu_service_ns -=
+            f * static_cast<double>(ex.service + ex.overhead);
+        a->st.cpu_serde_ns -= f * static_cast<double>(ex.serde);
+        a->st.cpu_ops_ns -= f * static_cast<double>(ex.op_ns);
+        a->st.shard_op_ns[ex.sidx] -= f * static_cast<double>(ex.op_ns);
+        a->st.shard_net_op_ns[ex.sidx * spec.nets.size() + ex.nidx] -=
+            f * static_cast<double>(ex.op_ns);
+    }
+
+    /**
+     * Abort one *executing* attempt of a shed request: release its core,
+     * stop the clock on its busy period, and settle the request's
+     * accounting the way cancelSibling does — refund the unexecuted
+     * remainder of the cpu_* charges (only the consumed part was real
+     * work) and reverse the hedge-waste pre-charge entirely: a shed
+     * abort is not a hedge outcome, so hedge_wasted_cpu_ns stays a pure
+     * hedge-race metric (all zero when hedging is off). Must run BEFORE
+     * the shed stats are emitted.
+     */
+    void
+    cancelAttemptForShed(RpcOp *op, int idx)
+    {
+        AttemptExec &ex = op->exec[idx];
+        ex.cancelled = true;
+        ex.executing = false;
+        const sim::Duration consumed = engine.now() - ex.exec_start;
+        const sim::Duration saved = ex.busy - consumed;
+        const double f = ex.busy > 0 ? static_cast<double>(saved) /
+                                           static_cast<double>(ex.busy)
+                                     : 0.0;
+        Active *a = op->bt->req;
+        refundAttemptCharges(a, ex, f);
+        a->st.hedge_wasted_cpu_ns -= static_cast<double>(ex.busy);
+        if (idx == 1)
+            ++hedge_cancelled; // conservation: this backup ends "cancelled"
+        sparse_cores[static_cast<std::size_t>(ex.server)]->release();
+    }
+
+    /**
+     * Deadline passed while the request was executing: cancel every
+     * outstanding sparse RPC — queued attempts release their slots at
+     * grant, on-wire attempts die on arrival, executing attempts abort
+     * now with their charges settled — THEN emit the shed stats (so they
+     * carry no phantom pre-charges), then retire the fully-cancelled
+     * batches. The remaining main-shard machinery (dense phases already
+     * on cores, queued batch grants) drains through shed guards that
+     * charge no new work; the Active is deleted once its last batch
+     * drains.
+     */
+    void
+    shedMidFlight(Active *a)
+    {
+        a->shed_mid_flight = true;
+        unregisterLive(a);
+
+        // 1. Cancel outstanding fan-out and settle accounting. Batch
+        // retirement waits until after stats emission because the last
+        // batchDone may delete the Active.
+        const std::vector<BatchState *> batches = a->live_batches;
+        std::vector<int> cancelled_now(batches.size(), 0);
+        for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+            for (RpcOp *op : batches[bi]->ops) {
+                if (op->won)
+                    continue; // decided: response delivered or in flight
+                op->won = true; // poison: remaining attempts self-cancel
+                ++shed_cancelled_rpcs;
+                ++cancelled_now[bi];
+                for (int i = 0; i < 2; ++i)
+                    if (op->exec[i].executing)
+                        cancelAttemptForShed(op, i);
+            }
+        }
+
+        // 2. Emit the settled stats.
+        a->st.shed_reason = ShedReason::DeadlineExceeded;
+        a->st.completion = engine.now();
+        a->st.e2e = a->st.completion - a->st.arrival;
+        results->push_back(a->st);
+        const RequestStats st = a->st;
+        auto on_complete = std::move(a->on_complete);
+        if (on_complete)
+            on_complete(st);
+
+        // 3. Retire batches with nothing left in flight.
+        for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+            BatchState *bt = batches[bi];
+            bt->pending -= cancelled_now[bi];
+            if (bt->pending == 0 && cancelled_now[bi] > 0) {
+                destroyBatch(bt);
+                releaseSlot(a);
+                batchDone(a);
+            }
+        }
+    }
+
+    /** The armed deadline timer; a is validated via live_requests. */
+    void
+    shedTimerFired(std::uint64_t id, Active *a)
+    {
+        auto it = live_requests.find(id);
+        if (it == live_requests.end() || it->second != a)
+            return; // completed or already shed
+        if (a->finishing)
+            return; // final response serde underway; let it complete
+        shedMidFlight(a);
     }
 
     void
@@ -484,8 +690,28 @@ struct ServingSimulation::Impl
             return;
         }
 
+        // Mid-flight deadline enforcement: arm a timer that sheds the
+        // request and cancels its outstanding sparse RPCs if it is still
+        // executing when its deadline passes.
+        if (shedTimersEnabled()) {
+            live_requests[a->st.id] = a;
+            const sim::Duration delay = std::max<sim::Duration>(
+                0,
+                a->st.arrival + cfg.admission.deadline_ns - engine.now());
+            const std::uint64_t id = a->st.id;
+            engine.schedule(delay,
+                            [this, id, a] { shedTimerFired(id, a); });
+        }
+
         const sim::SimTime q0 = engine.now();
         main_cores->acquire([this, a, q0] {
+            // Shed by the mid-flight timer while queued: stats are out,
+            // nothing started, so the Active just evaporates.
+            if (a->shed_mid_flight) {
+                main_cores->release();
+                delete a;
+                return;
+            }
             a->st.queue_wait += engine.now() - q0;
             // Deadline-aware shedding: don't burn a worker core on a
             // request whose deadline already passed while it queued.
@@ -510,6 +736,10 @@ struct ServingSimulation::Impl
                  engine.now(), engine.now() + handler + deserde, a->st.id);
             engine.schedule(handler + deserde, [this, a] {
                 main_cores->release();
+                if (a->shed_mid_flight) {
+                    delete a; // shed during request deserde; nothing queued
+                    return;
+                }
                 startNet(a);
             });
         });
@@ -538,10 +768,22 @@ struct ServingSimulation::Impl
     void
     startBatch(Active *a, int b)
     {
+        if (a->shed_mid_flight) {
+            // Slot granted after the shed: the batch never starts.
+            releaseSlot(a);
+            batchDone(a);
+            return;
+        }
         const NetInfo *nip0 = &nets[a->net_idx];
         const sim::SimTime q0 = engine.now();
         main_cores->acquire([this, a, nip0, b, q0] {
             (void)q0;
+            if (a->shed_mid_flight) {
+                main_cores->release();
+                releaseSlot(a);
+                batchDone(a);
+                return;
+            }
             const NetInfo &ni = *nip0;
             const std::int64_t bitems = batchItems(a, b);
             const double dense_total =
@@ -583,6 +825,10 @@ struct ServingSimulation::Impl
                     overhead + bottom + sparse + top, [this, a, sparse] {
                         main_cores->release();
                         releaseSlot(a);
+                        if (a->shed_mid_flight) {
+                            batchDone(a);
+                            return;
+                        }
                         a->net_embedded_max =
                             std::max(a->net_embedded_max, sparse);
                         a->max_inline_sparse =
@@ -606,6 +852,23 @@ struct ServingSimulation::Impl
                     batchShare(a->group_lookups[gi], a->nb, b);
                 if (lk == 0)
                     continue;
+                // Pooled-result cache: a fresh memoized response for this
+                // (net, group, batch shape) short-circuits the whole RPC —
+                // no serde, no wire, no remote queue, no remote gather.
+                if (result_cache.enabled()) {
+                    const rpc::ResultCache::Key key{
+                        ni.net_id, static_cast<int>(gi),
+                        rpc::resultSignature(bitems, lk)};
+                    if (result_cache.lookup(key, engine.now())) {
+                        ++a->st.result_cache_hits;
+                        a->st.result_cache_bytes_saved +=
+                            netsim::sparseResponseBytes(
+                                static_cast<std::int64_t>(g.sum_dims),
+                                bitems);
+                        continue;
+                    }
+                    ++a->st.result_cache_misses;
+                }
                 active.push_back(gi);
                 const std::int64_t bytes = netsim::sparseRequestBytes(
                     lk, g.tableCount(), bitems);
@@ -613,7 +876,8 @@ struct ServingSimulation::Impl
                             scaled(service.clientDispatchNs(), mainScale());
             }
             if (active.empty()) {
-                // No sparse work anywhere this batch: pure dense path.
+                // No sparse work anywhere this batch (or every group hit
+                // the result cache): pure dense path.
                 engine.schedule(overhead + bottom + top, [this, a] {
                     main_cores->release();
                     releaseSlot(a);
@@ -629,6 +893,14 @@ struct ServingSimulation::Impl
             engine.schedule(
                 overhead + bottom + send_cpu,
                 [this, a, nip, b, bitems, top, active] {
+                    if (a->shed_mid_flight) {
+                        // Shed during the dense phase: the fan-out is
+                        // never dispatched.
+                        main_cores->release();
+                        releaseSlot(a);
+                        batchDone(a);
+                        return;
+                    }
                     auto *bt = new BatchState();
                     bt->req = a;
                     bt->net_idx = a->net_idx;
@@ -636,6 +908,7 @@ struct ServingSimulation::Impl
                     bt->batch_items = bitems;
                     bt->pending = static_cast<int>(active.size());
                     bt->dispatch_time = engine.now();
+                    a->live_batches.push_back(bt);
                     for (std::size_t gi : active)
                         sendRpc(bt, *nip, gi);
                     // The async RPC ops release the worker CORE (other
@@ -703,6 +976,7 @@ struct ServingSimulation::Impl
             service.clientDispatchNs(), mainScale()));
         ++a->st.rpc_count;
         ++primary_rpcs;
+        ++shard_primary_rpcs[static_cast<std::size_t>(g.shard)];
 
         auto *op = new RpcOp();
         op->bt = bt;
@@ -711,7 +985,12 @@ struct ServingSimulation::Impl
         op->lookups = lk;
         op->req_bytes = req_bytes;
         op->dispatched = engine.now();
-        op->refs = 1; // the primary attempt
+        op->cache_key = rpc::ResultCache::Key{
+            ni.net_id, static_cast<int>(gi),
+            rpc::resultSignature(bt->batch_items, lk)};
+        op->cache_epoch = result_cache.epoch();
+        op->refs = 2; // the primary attempt + the batch's ops registry
+        bt->ops.push_back(op);
         launchAttempt(op, /*is_hedge=*/false);
         maybeScheduleHedge(op);
     }
@@ -731,10 +1010,12 @@ struct ServingSimulation::Impl
             return;
         if (directory.replicaCount(op->ni->groups[op->gi].shard) < 2)
             return;
-        if (hedge_tracker.count() < std::max<std::size_t>(1, hc.min_samples))
+        const rpc::LatencyTracker &tracker =
+            trackerFor(op->ni->groups[op->gi].shard);
+        if (tracker.count() < std::max<std::size_t>(1, hc.min_samples))
             return;
         const sim::Duration deadline = std::max(
-            hc.min_deadline_ns, hedge_tracker.quantile(hc.quantile));
+            hc.min_deadline_ns, tracker.quantile(hc.quantile));
         ++op->refs; // the timer (held across re-arms)
         engine.schedule(deadline,
                         [this, op, deadline] { hedgeTimerFired(op, deadline); });
@@ -762,6 +1043,8 @@ struct ServingSimulation::Impl
         // under-hedging is visible in the stats.
         if (hedgeBudgetAllows() && backupHasHeadroom(op)) {
             ++hedges_launched;
+            ++shard_hedges[static_cast<std::size_t>(
+                op->ni->groups[op->gi].shard)];
             Active *a = op->bt->req;
             ++a->st.hedges;
             // Backup dispatch CPU; the serialized payload is reused,
@@ -952,11 +1235,15 @@ struct ServingSimulation::Impl
                     static_cast<double>(busy);
                 if (is_hedge) {
                     ++hedge_wins;
+                    ++shard_hedge_wins[static_cast<std::size_t>(
+                        op->ni->groups[op->gi].shard)];
                     ++op->bt->req->st.hedge_wins;
                 }
                 cancelSibling(op, is_hedge ? 1 : 0);
                 BatchState *bt = op->bt;
                 const sim::SimTime dispatched = op->dispatched;
+                const rpc::ResultCache::Key ckey = op->cache_key;
+                const std::uint64_t cepoch = op->cache_epoch;
                 derefOp(op); // response path only needs the batch
                 const sim::Duration back =
                     link.oneWayDelay(resp_bytes, arng);
@@ -964,12 +1251,17 @@ struct ServingSimulation::Impl
                      rec.batch_id, engine.now(), engine.now() + back,
                      bt->req->st.id);
                 engine.schedule(back, [this, bt, resp_bytes, rec,
-                                       dispatched] {
+                                       dispatched, ckey, cepoch] {
                     // The tracker sees the client-observed latency of the
                     // *logical* RPC (primary dispatch to winning
                     // response), which is what the next hedge deadline
                     // must be quantile-of.
-                    hedge_tracker.add(engine.now() - dispatched);
+                    trackerFor(rec.shard_id).add(engine.now() - dispatched);
+                    // Memoize the pooled response for repeats of this
+                    // (net, group, batch shape) — unless the snapshot it
+                    // was pooled from was invalidated while on the wire.
+                    result_cache.insert(ckey, resp_bytes, engine.now(),
+                                        cepoch);
                     responseArrive(bt, resp_bytes, rec);
                 });
             });
@@ -1001,15 +1293,7 @@ struct ServingSimulation::Impl
                       static_cast<double>(loser.busy)
                 : 0.0;
         Active *a = op->bt->req;
-        a->st.cpu_service_ns -=
-            f * static_cast<double>(loser.service + loser.overhead);
-        a->st.cpu_serde_ns -= f * static_cast<double>(loser.serde);
-        a->st.cpu_ops_ns -= f * static_cast<double>(loser.op_ns);
-        a->st.shard_op_ns[loser.sidx] -=
-            f * static_cast<double>(loser.op_ns);
-        a->st.shard_net_op_ns[loser.sidx * spec.nets.size() +
-                              loser.nidx] -=
-            f * static_cast<double>(loser.op_ns);
+        refundAttemptCharges(a, loser, f);
         // The pre-charge covered the full busy period; only the consumed
         // part was actually wasted.
         a->st.hedge_wasted_cpu_ns -= static_cast<double>(saved);
@@ -1024,6 +1308,16 @@ struct ServingSimulation::Impl
                    trace::RpcRecord rec)
     {
         Active *a = bt->req;
+        if (a->shed_mid_flight) {
+            // The client gave up on this request; the late response is
+            // discarded at arrival (no deserde, no top dense).
+            if (--bt->pending > 0)
+                return;
+            destroyBatch(bt);
+            releaseSlot(a);
+            batchDone(a);
+            return;
+        }
         rec.completed = engine.now();
         collector.addRpc(rec);
         if (!a->has_bounding ||
@@ -1042,6 +1336,13 @@ struct ServingSimulation::Impl
              nets[bt->net_idx].net_id, bt->batch_id, bt->dispatch_time,
              bt->last_response, a->st.id);
         main_cores->acquireFront([this, a, bt, embedded] {
+            if (a->shed_mid_flight) {
+                main_cores->release();
+                destroyBatch(bt);
+                releaseSlot(a);
+                batchDone(a);
+                return;
+            }
             const sim::Duration resp_deserde =
                 scaled(service.serdeNs(bt->response_bytes), mainScale());
             auto it = pending_top_.find(bt);
@@ -1055,9 +1356,14 @@ struct ServingSimulation::Impl
             engine.schedule(resp_deserde + top, [this, a, bt, embedded] {
                 main_cores->release();
                 releaseSlot(a);
+                if (a->shed_mid_flight) {
+                    destroyBatch(bt);
+                    batchDone(a);
+                    return;
+                }
                 a->net_embedded_max =
                     std::max(a->net_embedded_max, embedded);
-                delete bt;
+                destroyBatch(bt);
                 batchDone(a);
             });
         });
@@ -1068,6 +1374,12 @@ struct ServingSimulation::Impl
     {
         if (--a->batches_left > 0)
             return;
+        if (a->shed_mid_flight) {
+            // Last batch of the shed request drained; its stats were
+            // emitted at shed time, so the carcass just goes away.
+            delete a;
+            return;
+        }
         a->st.lat_embedded += a->net_embedded_max;
         ++a->net_idx;
         startNet(a);
@@ -1076,6 +1388,9 @@ struct ServingSimulation::Impl
     void
     finishRequest(Active *a)
     {
+        // Past the point of useful shedding: the sparse work is done and
+        // only the response serde remains, so the shed timer stands down.
+        a->finishing = true;
         main_cores->acquireFront([this, a] {
             const std::int64_t resp_bytes =
                 netsim::rankingResponseBytes(a->req->items);
@@ -1100,6 +1415,7 @@ struct ServingSimulation::Impl
     void
     finalize(Active *a)
     {
+        unregisterLive(a);
         a->st.completion = engine.now();
         a->st.e2e = a->st.completion - a->st.arrival;
         const sim::Duration accounted =
@@ -1297,6 +1613,36 @@ ServingSimulation::hedgeStats() const
     for (const auto &r : impl_->sparse_cores)
         h.total_busy_ns += r->busyIntegral();
     return h;
+}
+
+std::vector<rpc::HedgeStats>
+ServingSimulation::perShardHedgeStats() const
+{
+    std::vector<rpc::HedgeStats> out(impl_->shard_primary_rpcs.size());
+    for (std::size_t s = 0; s < out.size(); ++s) {
+        out[s].primary_rpcs = impl_->shard_primary_rpcs[s];
+        out[s].hedges = impl_->shard_hedges[s];
+        out[s].wins = impl_->shard_hedge_wins[s];
+    }
+    return out;
+}
+
+const rpc::ResultCacheStats &
+ServingSimulation::resultCacheStats() const
+{
+    return impl_->result_cache.stats();
+}
+
+void
+ServingSimulation::invalidateResultCache()
+{
+    impl_->result_cache.invalidate();
+}
+
+std::uint64_t
+ServingSimulation::shedCancelledRpcs() const
+{
+    return impl_->shed_cancelled_rpcs;
 }
 
 } // namespace dri::core

@@ -34,6 +34,7 @@
 #include "netsim/link_model.h"
 #include "rpc/discovery.h"
 #include "rpc/hedge.h"
+#include "rpc/result_cache.h"
 #include "rpc/service.h"
 #include "sim/engine.h"
 #include "sim/resource.h"
@@ -67,6 +68,18 @@ struct AdmissionConfig
      * longer meet its SLO, so capacity is not wasted on doomed requests.
      */
     sim::Duration deadline_ns = 0;
+    /**
+     * Enforce the deadline *after* admission too: a request whose
+     * deadline expires while it is executing is shed mid-flight and its
+     * outstanding sparse RPCs are cancelled — queued attempts release
+     * their slots, executing attempts abort and refund their remaining
+     * busy time (the tied-request mechanism hedging already uses), and
+     * in-flight responses are discarded on arrival. Without this, a shed
+     * only ever happens before execution, so a doomed request's fan-out
+     * keeps burning sparse-tier capacity after the client has given up
+     * on it. Requires deadline_ns > 0; off by default.
+     */
+    bool cancel_in_flight = false;
 };
 
 /** Deployment + cost-model configuration. */
@@ -133,6 +146,14 @@ struct ServingConfig
     rpc::LoadBalancePolicy lb_policy = rpc::LoadBalancePolicy::RoundRobin;
     /** Main-shard admission control (off by default). */
     AdmissionConfig admission;
+    /**
+     * Main-shard pooled-result cache (off by default): memoizes whole
+     * sparse-RPC responses keyed by (net, table group, batch signature)
+     * and serves repeats from local memory, skipping serialization,
+     * network, remote queueing, and the remote gather entirely. TTL
+     * models embedding-refresh staleness; see rpc/result_cache.h.
+     */
+    rpc::ResultCacheConfig result_cache;
     /**
      * Hedged sparse RPCs (off by default): a backup request to a second
      * replica when the primary exceeds a quantile-tracked deadline, first
@@ -284,6 +305,30 @@ class ServingSimulation
 
     /** Hedging outcome counters (all zero when hedging is disabled). */
     rpc::HedgeStats hedgeStats() const;
+
+    /**
+     * Per-shard hedging counters (primary dispatches, backups, wins),
+     * indexed by shard id — the evidence for per-shard hedge deadlines:
+     * under a global deadline the hedge rate concentrates on the slow
+     * shards; per-shard trackers narrow the spread.
+     */
+    std::vector<rpc::HedgeStats> perShardHedgeStats() const;
+
+    /** Pooled-result cache counters (all zero when the cache is off). */
+    const rpc::ResultCacheStats &resultCacheStats() const;
+
+    /**
+     * Drop every pooled-result entry — the embedding-refresh hook: call
+     * at a snapshot boundary and subsequent lookups repopulate from the
+     * new embeddings.
+     */
+    void invalidateResultCache();
+
+    /**
+     * Sparse RPC attempts cancelled because their request was shed
+     * mid-flight (AdmissionConfig::cancel_in_flight).
+     */
+    std::uint64_t shedCancelledRpcs() const;
 
     const trace::TraceCollector &collector() const { return collector_; }
     const ShardingPlan &plan() const { return plan_; }

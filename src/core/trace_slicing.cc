@@ -1,0 +1,88 @@
+#include "core/trace_slicing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dri::core {
+
+std::vector<workload::AccessTrace>
+sliceTraceByShard(const ShardingPlan &plan,
+                  const workload::AccessTrace &trace)
+{
+    const std::size_t n_slices =
+        plan.isSingular() ? 1
+                          : static_cast<std::size_t>(plan.numShards());
+    std::vector<workload::AccessTrace> slices(n_slices);
+    const int n_tables =
+        static_cast<int>(plan.isSingular() ? 0
+                                           : plan.assignments().size());
+
+    for (const auto &rec : trace.records()) {
+        if (plan.isSingular()) {
+            slices[0].add(rec);
+            continue;
+        }
+        if (rec.table_id < 0 || rec.table_id >= n_tables)
+            continue; // trace rows for tables this plan does not place
+        const auto &asg = plan.assignmentFor(rec.table_id);
+        int shard = asg.shards[0];
+        if (asg.isSplit()) {
+            const auto ways = static_cast<std::int64_t>(asg.ways());
+            const std::int64_t piece =
+                ((rec.row % ways) + ways) % ways; // row ids are >= 0
+            shard = asg.shards[static_cast<std::size_t>(piece)];
+        }
+        slices[static_cast<std::size_t>(shard)].add(rec);
+    }
+    return slices;
+}
+
+double
+ShardCacheModels::aggregateHitRate() const
+{
+    std::int64_t accesses = 0, hits = 0;
+    for (const auto &r : results) {
+        accesses += r.total.accesses;
+        hits += r.total.hits;
+    }
+    return accesses > 0
+               ? static_cast<double>(hits) / static_cast<double>(accesses)
+               : 0.0;
+}
+
+ShardCacheModels
+buildShardCacheModels(const model::ModelSpec &spec,
+                      const ShardingPlan &plan,
+                      const workload::AccessTrace &trace,
+                      const ShardCacheOptions &options)
+{
+    ShardCacheModels out;
+    const auto slices = sliceTraceByShard(plan, trace);
+    out.models.reserve(slices.size());
+    out.results.reserve(slices.size());
+    out.slice_universe_bytes.reserve(slices.size());
+
+    for (const auto &slice : slices) {
+        const std::int64_t universe =
+            workload::traceFootprint(spec, slice).universe_bytes;
+        std::int64_t capacity = options.capacity_bytes_per_shard;
+        if (capacity <= 0)
+            capacity = static_cast<std::int64_t>(std::llround(
+                options.capacity_fraction * static_cast<double>(universe)));
+
+        cache::TieredCacheConfig cfg;
+        cfg.policy = options.policy;
+        cfg.capacity_bytes = capacity;
+        cfg.warmup_fraction = options.warmup_fraction;
+        cfg.admission = options.admission;
+        cfg.tinylfu = options.tinylfu;
+        cache::TieredCacheSim sim(spec, cfg);
+        out.results.push_back(sim.replay(slice));
+        out.models.push_back(std::make_shared<cache::CachedLookupModel>(
+            out.results.back(), options.costs));
+        out.slice_universe_bytes.push_back(universe);
+    }
+    return out;
+}
+
+} // namespace dri::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-shard trace slicing: derive each sparse shard's access trace — and
+ * from it a measured CachedLookupModel — from the rows the ShardingPlan
+ * actually routes to it, instead of estimating every shard's locality
+ * from one shared whole-model replay.
+ *
+ * The distinction matters exactly when sharding is skewed: a shard
+ * holding the hot tables sees a more cacheable (more Zipf-concentrated)
+ * access stream than a shard holding the long tail, so per-shard hit
+ * rates legitimately diverge from the whole-model aggregate. Slices feed
+ * ServingConfig::shard_cache_models, which already prices each shard's
+ * gathers from its own model.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/lookup_model.h"
+#include "cache/tiered_sim.h"
+#include "core/sharding_plan.h"
+#include "model/model_spec.h"
+#include "workload/access_trace.h"
+
+namespace dri::core {
+
+/**
+ * Split a whole-model trace into one slice per sparse shard, routing each
+ * record the way the plan routes its lookup: whole tables to their
+ * owning shard, split tables by `row % ways` in modulus order (the
+ * ShardingPlan contract). Records naming tables outside the plan are
+ * dropped, matching TieredCacheSim::replay. A singular plan yields one
+ * slice holding every in-plan record (the inline-SLS "shard").
+ */
+std::vector<workload::AccessTrace>
+sliceTraceByShard(const ShardingPlan &plan,
+                  const workload::AccessTrace &trace);
+
+/** How each shard's slice is replayed into a lookup model. */
+struct ShardCacheOptions
+{
+    cache::Policy policy = cache::Policy::Lru;
+    cache::Admission admission = cache::Admission::None;
+    cache::TinyLfuConfig tinylfu;
+    /**
+     * Per-shard DRAM budget as a fraction of that shard's own slice
+     * universe (proportional sizing: total budget tracks total traffic).
+     */
+    double capacity_fraction = 0.2;
+    /**
+     * Fixed byte budget per shard; overrides capacity_fraction when > 0.
+     * This is machine-shaped sizing — every shard host has the same DRAM
+     * regardless of the traffic routed at it — and is what makes skewed
+     * plans visibly diverge.
+     */
+    std::int64_t capacity_bytes_per_shard = 0;
+    double warmup_fraction = 0.5;
+    cache::TierCosts costs;
+};
+
+/** Per-shard replay outcome: the models plus the evidence behind them. */
+struct ShardCacheModels
+{
+    /**
+     * One model per sparse shard, index-aligned with shard ids — plugs
+     * directly into core::ServingConfig::shard_cache_models.
+     */
+    std::vector<std::shared_ptr<const cache::CachedLookupModel>> models;
+    /** Full replay statistics per shard. */
+    std::vector<cache::CacheSimResult> results;
+    /** Distinct-row byte universe of each shard's slice. */
+    std::vector<std::int64_t> slice_universe_bytes;
+
+    /** Access-weighted hit rate across all shards' post-warmup windows. */
+    double aggregateHitRate() const;
+};
+
+/**
+ * Slice the trace by shard and replay each slice through its own
+ * byte-budgeted cache. For a singular plan the single "shard" is the
+ * main shard's inline SLS tier.
+ */
+ShardCacheModels
+buildShardCacheModels(const model::ModelSpec &spec, const ShardingPlan &plan,
+                      const workload::AccessTrace &trace,
+                      const ShardCacheOptions &options);
+
+} // namespace dri::core

@@ -9,7 +9,8 @@ pagedLookupNsTraced(std::int64_t model_bytes, const Platform &platform,
                     const PagingConfig &config,
                     const model::ModelSpec &spec,
                     const workload::AccessTrace &trace,
-                    cache::Policy policy, double warmup_fraction)
+                    cache::Policy policy, double warmup_fraction,
+                    cache::Admission admission)
 {
     TracedPagingResult result;
     result.resident_fraction = residentFraction(model_bytes, platform);
@@ -24,8 +25,8 @@ pagedLookupNsTraced(std::int64_t model_bytes, const Platform &platform,
         result.resident_fraction *
         static_cast<double>(result.universe_bytes)));
 
-    result.sim = cache::replayTrace(spec, trace, policy,
-                                    result.cache_bytes, warmup_fraction);
+    result.sim = cache::replayTrace(spec, trace, policy, result.cache_bytes,
+                                    warmup_fraction, admission);
 
     if (result.sim.total.accesses > 0) {
         result.hit_rate = result.sim.overallHitRate();

@@ -51,6 +51,8 @@ TracedPagingResult pagedLookupNsTraced(std::int64_t model_bytes,
                                        const model::ModelSpec &spec,
                                        const workload::AccessTrace &trace,
                                        cache::Policy policy,
-                                       double warmup_fraction = 0.5);
+                                       double warmup_fraction = 0.5,
+                                       cache::Admission admission =
+                                           cache::Admission::None);
 
 } // namespace dri::dc

@@ -247,6 +247,28 @@ makeCacheStudySpec()
     return spec;
 }
 
+ModelSpec
+makeShardedCacheStudySpec()
+{
+    ModelSpec spec;
+    spec.name = "sharded-cache-study";
+    spec.mean_items = 64.0;
+    spec.items_alpha = 1.3;
+    spec.items_min = 16.0;
+    spec.items_max = 256.0;
+    spec.nets = {{0, "net", 1.0, 0.0}};
+    for (int i = 0; i < 8; ++i) {
+        TableSpec t;
+        t.id = i;
+        t.name = "emb" + std::to_string(i);
+        t.rows = 50000;
+        t.dim = 32;
+        t.pooling_per_item = 2.0;
+        spec.tables.push_back(t);
+    }
+    return spec;
+}
+
 std::vector<GrowthPoint>
 modelGrowthSeries()
 {

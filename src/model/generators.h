@@ -39,6 +39,15 @@ std::vector<ModelSpec> makeAllModels();
 ModelSpec makeCacheStudySpec();
 
 /**
+ * Multi-table sibling of makeCacheStudySpec for per-shard trace-slicing
+ * studies: eight equal tables (50k rows x dim 32, uniform pooling) on one
+ * net, so a capacity-balanced plan routes statistically identical slices
+ * to every shard (the uniform-sharding baseline) while a hand-skewed plan
+ * concentrates traffic (the divergence case).
+ */
+ModelSpec makeShardedCacheStudySpec();
+
+/**
  * Power-law size ladder: n positive values with the given maximum and total
  * (largest first). Solves for the exponent by bisection; requires
  * largest <= total <= n * largest.

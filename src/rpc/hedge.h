@@ -57,6 +57,16 @@ struct HedgeConfig
      * balancing policies install is what answers the question.
      */
     std::size_t max_backup_outstanding = 0;
+    /**
+     * Track latency quantiles per sparse *shard* instead of one global
+     * window. Shards differ legitimately in RPC latency — pooling is
+     * routed unevenly, so a heavy shard's honest P95 sits far above the
+     * global quantile and the global deadline hedges it constantly while
+     * barely ever hedging the light shards. Per-shard trackers give each
+     * shard its own deadline (and its own min_samples gate), narrowing
+     * the hedge-rate spread across shards.
+     */
+    bool per_shard_deadline = false;
 };
 
 /** Aggregate hedging outcome counters of one simulation run. */

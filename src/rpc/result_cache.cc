@@ -1,0 +1,96 @@
+#include "rpc/result_cache.h"
+
+#include "stats/hash.h"
+
+namespace dri::rpc {
+
+std::uint64_t
+resultSignature(std::int64_t batch_items, std::int64_t lookups)
+{
+    // splitmix64 over the packed shape; collisions across distinct
+    // shapes are astronomically unlikely at simulation scales.
+    return stats::mix64(static_cast<std::uint64_t>(batch_items) *
+                            0x9e3779b97f4a7c15ULL ^
+                        static_cast<std::uint64_t>(lookups));
+}
+
+ResultCache::ResultCache(ResultCacheConfig config) : config_(config) {}
+
+bool
+ResultCache::lookup(const Key &key, sim::SimTime now)
+{
+    if (!config_.enabled)
+        return false;
+    ++stats_.lookups;
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    if (config_.ttl_ns > 0 &&
+        now - it->second->inserted > config_.ttl_ns) {
+        // Stale: the embedding snapshot it was pooled from has been
+        // refreshed since.
+        erase(it->second);
+        ++stats_.expirations;
+        ++stats_.misses;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    stats_.bytes_saved += it->second->bytes;
+    return true;
+}
+
+void
+ResultCache::insert(const Key &key, std::int64_t response_bytes,
+                    sim::SimTime now, std::uint64_t dispatch_epoch)
+{
+    if (!config_.enabled)
+        return;
+    if (dispatch_epoch != epoch_)
+        return; // pooled from a snapshot invalidated while on the wire
+    if (config_.capacity_bytes > 0 &&
+        response_bytes > config_.capacity_bytes)
+        return; // larger than the whole budget
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        // Refresh in place (a concurrent miss raced this insertion).
+        used_bytes_ += response_bytes - it->second->bytes;
+        it->second->bytes = response_bytes;
+        it->second->inserted = now;
+        lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+        lru_.push_front(Entry{key, response_bytes, now});
+        entries_[key] = lru_.begin();
+        used_bytes_ += response_bytes;
+        ++stats_.insertions;
+    }
+    while (config_.capacity_bytes > 0 &&
+           used_bytes_ > config_.capacity_bytes && !lru_.empty()) {
+        erase(std::prev(lru_.end()));
+        ++stats_.evictions;
+    }
+}
+
+void
+ResultCache::invalidate()
+{
+    if (!config_.enabled)
+        return;
+    ++stats_.invalidations;
+    ++epoch_;
+    lru_.clear();
+    entries_.clear();
+    used_bytes_ = 0;
+}
+
+void
+ResultCache::erase(std::list<Entry>::iterator it)
+{
+    used_bytes_ -= it->bytes;
+    entries_.erase(it->key);
+    lru_.erase(it);
+}
+
+} // namespace dri::rpc

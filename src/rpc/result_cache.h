@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Main-shard pooled-result cache: memoize whole sparse-RPC responses.
+ *
+ * Row-level caches (src/cache) cut the cost of a gather on the shard that
+ * executes it; the pooled-result cache removes the RPC altogether. The
+ * main shard keys each fan-out request by (net, table group, batch
+ * signature) — the group's identity plus the batch shape that determines
+ * the pooled SLS response — and on a hit serves the pooled vectors from
+ * local memory: no serialization, no network, no remote queueing, no
+ * remote gather. Under production traffic the same ranking contexts
+ * recur within short horizons, so hit rates are workload-given rather
+ * than policy-tuned.
+ *
+ * Staleness: embedding tables are periodically refreshed by training.
+ * Entries therefore carry a TTL (config.ttl_ns) and the owner can drop
+ * everything at a refresh boundary via invalidate() — the hook
+ * core::ServingSimulation::invalidateResultCache() exposes.
+ *
+ * Like the row caches this is a *simulation* cache: it tracks identities
+ * and byte sizes, not payloads.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/time.h"
+#include "stats/hash.h"
+
+namespace dri::rpc {
+
+/** Pooled-result cache configuration (off by default). */
+struct ResultCacheConfig
+{
+    bool enabled = false;
+    /** Byte budget over cached pooled-response payloads (0 = unbounded). */
+    std::int64_t capacity_bytes = 64LL << 20;
+    /**
+     * Entry lifetime on the simulation clock; 0 = no expiry. Models the
+     * embedding-refresh staleness bound: a pooled result computed from
+     * the previous snapshot must not outlive the refresh interval.
+     */
+    sim::Duration ttl_ns = 0;
+};
+
+/** Hit/miss/byte accounting of one simulation run. */
+struct ResultCacheStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t expirations = 0; //!< entries dropped by TTL at lookup
+    std::uint64_t evictions = 0;   //!< entries dropped by the byte budget
+    std::uint64_t invalidations = 0;
+    /** Response bytes served locally instead of re-fetched over RPC. */
+    std::int64_t bytes_saved = 0;
+
+    double
+    hitRate() const
+    {
+        return lookups > 0 ? static_cast<double>(hits) /
+                                 static_cast<double>(lookups)
+                           : 0.0;
+    }
+};
+
+/**
+ * Signature of one sparse fan-out request: the batch shape routed at a
+ * group (item count + pooled lookup count). Two batches with equal
+ * signatures at the same (net, group) produce the same pooled response
+ * under a fixed embedding snapshot, which is what the TTL bounds.
+ */
+std::uint64_t resultSignature(std::int64_t batch_items,
+                              std::int64_t lookups);
+
+/** LRU + TTL cache of pooled sparse responses, keyed per (net, group). */
+class ResultCache
+{
+  public:
+    explicit ResultCache(ResultCacheConfig config);
+
+    struct Key
+    {
+        int net = 0;
+        int group = 0;
+        std::uint64_t signature = 0;
+
+        bool
+        operator==(const Key &o) const
+        {
+            return net == o.net && group == o.group &&
+                   signature == o.signature;
+        }
+    };
+
+    /**
+     * Probe for a fresh entry at simulated time `now`; a stale entry is
+     * dropped and reported as a miss. On a hit the entry's recency is
+     * bumped and its response bytes are credited to bytes_saved.
+     */
+    bool lookup(const Key &key, sim::SimTime now);
+
+    /**
+     * Memoize a pooled response observed at `now` (no-op if disabled).
+     * `dispatch_epoch` is the epoch() the caller read when it DISPATCHED
+     * the RPC: a response computed from the pre-invalidation embedding
+     * snapshot (its dispatch epoch predates an invalidate()) is dropped
+     * instead of repopulating the cache with stale pooled vectors.
+     */
+    void insert(const Key &key, std::int64_t response_bytes,
+                sim::SimTime now, std::uint64_t dispatch_epoch);
+
+    /** Drop everything — the embedding-refresh invalidation hook. */
+    void invalidate();
+
+    /**
+     * Snapshot generation: bumped by every invalidate(). Read at RPC
+     * dispatch and passed back to insert() so in-flight responses cannot
+     * leak a stale snapshot past an invalidation.
+     */
+    std::uint64_t epoch() const { return epoch_; }
+
+    const ResultCacheStats &stats() const { return stats_; }
+    bool enabled() const { return config_.enabled; }
+    std::size_t entries() const { return entries_.size(); }
+    std::int64_t usedBytes() const { return used_bytes_; }
+
+  private:
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            const std::uint64_t x =
+                k.signature ^
+                (static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(k.net))
+                 << 40) ^
+                (static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(k.group))
+                 << 20);
+            return static_cast<std::size_t>(stats::mix64(x));
+        }
+    };
+
+    struct Entry
+    {
+        Key key;
+        std::int64_t bytes = 0;
+        sim::SimTime inserted = 0;
+    };
+
+    void erase(std::list<Entry>::iterator it);
+
+    ResultCacheConfig config_;
+    ResultCacheStats stats_;
+    /** front = most recently used. */
+    std::list<Entry> lru_;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries_;
+    std::int64_t used_bytes_ = 0;
+    std::uint64_t epoch_ = 0;
+};
+
+} // namespace dri::rpc

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Shared non-cryptographic hashing primitives. One definition of the
+ * splitmix64 finalizer, so the cache-key hashes, admission sketch, and
+ * result-cache signatures all mix with the identical, tested constant
+ * sequence instead of hand-copied ones.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace dri::stats {
+
+/** splitmix64 finalizer: a fast, well-distributed 64-bit bit mixer. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace dri::stats

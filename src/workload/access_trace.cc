@@ -124,6 +124,45 @@ recordTrace(const model::ModelSpec &spec,
     return trace;
 }
 
+AccessTrace
+synthesizeMixedTrace(const model::ModelSpec &spec,
+                     const MixedTraceConfig &config)
+{
+    assert(config.table_id >= 0 &&
+           static_cast<std::size_t>(config.table_id) < spec.tables.size());
+    const auto &table =
+        spec.tables[static_cast<std::size_t>(config.table_id)];
+    // Disjoint row ranges: the drifting recency window walks the lower
+    // half of the table's row space, the Zipf head hashes into the upper
+    // half, so neither component pollutes the other's reuse signal.
+    const auto half = std::max<std::int64_t>(1, table.rows / 2);
+    const auto upper = std::max<std::int64_t>(1, table.rows - half);
+
+    AccessTrace trace;
+    stats::Rng rng(config.seed);
+    stats::ZipfSampler zipf(config.zipf_ranks, config.zipf_skew);
+    const std::size_t stride = std::max<std::size_t>(1, config.drift_stride);
+
+    for (std::size_t i = 0; i < config.accesses; ++i) {
+        std::int64_t row = 0;
+        if (rng.bernoulli(config.recency_fraction)) {
+            const auto base = static_cast<std::int64_t>(i / stride);
+            const auto offset = rng.uniformInt(
+                0, static_cast<std::int64_t>(config.window_rows) - 1);
+            row = (base + offset) % half;
+        } else {
+            const std::size_t rank = zipf.sample(rng);
+            row = half + static_cast<std::int64_t>(
+                             (static_cast<std::uint64_t>(rank + 1) *
+                              0x9e3779b97f4a7c15ULL) %
+                             static_cast<std::uint64_t>(upper));
+        }
+        trace.add(AccessRecord{static_cast<std::uint64_t>(i),
+                               config.table_id, row});
+    }
+    return trace;
+}
+
 TraceFootprint
 traceFootprint(const model::ModelSpec &spec, const AccessTrace &trace)
 {

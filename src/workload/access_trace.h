@@ -97,4 +97,39 @@ AccessTrace recordTrace(const model::ModelSpec &spec,
                         const std::vector<Request> &requests,
                         double popularity_skew, std::uint64_t seed);
 
+/**
+ * Parameters of the synthetic mixed recency/frequency trace — the
+ * workload that separates adaptive eviction (ARC) from the pure-recency
+ * and pure-frequency policies it interpolates between.
+ */
+struct MixedTraceConfig
+{
+    std::size_t accesses = 60000;
+    int table_id = 0;
+    /**
+     * Fraction of accesses drawn from the *recency* component: a dense
+     * working-set window that drifts forward one row every drift_stride
+     * accesses, so rows are re-referenced heavily while the window covers
+     * them and never again after it passes. 0 = pure frequency (static
+     * Zipf), 1 = pure recency.
+     */
+    double recency_fraction = 0.5;
+    std::size_t window_rows = 512;
+    std::size_t drift_stride = 8;
+    /** Frequency component: static Zipf over a bounded rank universe. */
+    double zipf_skew = 0.8;
+    std::size_t zipf_ranks = 4096;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Synthesize a single-table trace blending a drifting-window recency
+ * stream with a static-Zipf frequency stream (per MixedTraceConfig). The
+ * two components address disjoint row ranges of the table, so their hit
+ * opportunities never alias. Used by the ARC property tests and
+ * examples/cache_v2_study.
+ */
+AccessTrace synthesizeMixedTrace(const model::ModelSpec &spec,
+                                 const MixedTraceConfig &config);
+
 } // namespace dri::workload

@@ -256,6 +256,144 @@ TEST(HedgeProperty, HedgedP99NoWorseAtHighUtilizationAcrossSeeds)
     EXPECT_GE(util_sum / seeds, 0.90);
 }
 
+/**
+ * Regression for the admission-control follow-up: a request shed
+ * mid-flight must cancel its outstanding sparse RPCs — and once it is
+ * shed, no further sparse busy-core time may be charged. One request,
+ * slow gathers, a deadline that expires while the fan-out is on the
+ * sparse tier: at shed time every outstanding attempt is cancelled
+ * (queued ones release their slots, executing ones abort), so the
+ * sparse-tier busy integral observed inside the completion callback
+ * equals the final one exactly.
+ */
+TEST(ShedCancel, NoSparseBusyTimeChargedAfterMidFlightShed)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    const auto requests = testRequests(spec, 1);
+
+    auto cfg = sched::sparseBoundStudyConfig(
+        rpc::LoadBalancePolicy::LeastOutstanding, 2);
+    cfg.lookup_base_ns = 4000.0; // slow gathers: RPCs outlast the deadline
+    cfg.admission.deadline_ns = 2 * sim::kMillisecond;
+    cfg.admission.cancel_in_flight = true;
+
+    core::ServingSimulation sim(spec, plan, cfg);
+    double busy_at_shed = -1.0;
+    core::RequestStats shed_stats;
+    sim.inject(requests[0], [&](const core::RequestStats &s) {
+        shed_stats = s;
+        double busy = 0.0;
+        for (const double v : sim.serverBusyCoreNs())
+            busy += v;
+        busy_at_shed = busy;
+    });
+    sim.engine().run();
+
+    EXPECT_EQ(shed_stats.shed_reason, core::ShedReason::DeadlineExceeded);
+    EXPECT_GT(shed_stats.rpc_count, 0); // the fan-out really was in flight
+    EXPECT_GT(sim.shedCancelledRpcs(), 0u);
+    // Shed-cancelled work is not hedge waste: with hedging disabled the
+    // hedge counters stay all-zero even through mid-flight aborts — at
+    // the simulation level AND in the emitted per-request stats (the
+    // attempt pre-charges must be settled before the shed stats go out).
+    EXPECT_EQ(sim.hedgeStats().wasted_busy_ns, 0.0);
+    EXPECT_EQ(shed_stats.hedges, 0);
+    EXPECT_NEAR(shed_stats.hedge_wasted_cpu_ns, 0.0, 1.0);
+    // The settled cpu_* buckets hold only work actually consumed.
+    EXPECT_GE(shed_stats.cpu_ops_ns, 0.0);
+    EXPECT_GE(shed_stats.cpu_serde_ns, 0.0);
+    EXPECT_GE(shed_stats.cpu_service_ns, 0.0);
+    ASSERT_GE(busy_at_shed, 0.0);
+    double busy_final = 0.0;
+    for (const double v : sim.serverBusyCoreNs())
+        busy_final += v;
+    EXPECT_DOUBLE_EQ(busy_at_shed, busy_final);
+}
+
+/**
+ * Capacity view of the same fix: at overload with a strict deadline,
+ * cancelling the sheds' outstanding RPCs reclaims real sparse-tier busy
+ * time versus letting the doomed fan-outs run to completion.
+ */
+TEST(ShedCancel, CancellationReclaimsSparseBusyUnderOverload)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    const auto requests = testRequests(spec, 300);
+
+    double busy[2] = {0.0, 0.0};
+    std::uint64_t cancelled[2] = {0, 0};
+    int sheds_with_rpcs = 0;
+    for (const bool cancel : {false, true}) {
+        auto cfg = sched::sparseBoundStudyConfig(
+            rpc::LoadBalancePolicy::LeastOutstanding, 2);
+        cfg.admission.deadline_ns = 15 * sim::kMillisecond;
+        cfg.admission.cancel_in_flight = cancel;
+        core::ServingSimulation sim(spec, plan, cfg);
+        const auto stats = sim.replayOpenLoop(requests, 1800.0);
+        ASSERT_EQ(stats.size(), requests.size());
+        for (const double v : sim.serverBusyCoreNs())
+            busy[cancel ? 1 : 0] += v;
+        cancelled[cancel ? 1 : 0] = sim.shedCancelledRpcs();
+        if (cancel) {
+            for (const auto &s : stats)
+                if (s.shed() && s.rpc_count > 0)
+                    ++sheds_with_rpcs;
+        }
+    }
+    EXPECT_EQ(cancelled[0], 0u);
+    EXPECT_GT(cancelled[1], 0u);
+    EXPECT_GT(sheds_with_rpcs, 0);
+    // Reclaimed capacity must be substantial, not rounding noise.
+    EXPECT_LT(busy[1], 0.8 * busy[0]);
+}
+
+/**
+ * Per-shard hedge deadlines: under a capacity-balanced plan the shards'
+ * pooling (and so their honest RPC latency) differs, and one global
+ * quantile over-hedges the slow shards while starving the fast ones.
+ * Per-shard trackers must narrow the hedge-rate spread across shards,
+ * per seed and on average.
+ */
+TEST(HedgeProperty, PerShardDeadlineNarrowsHedgeRateSpread)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    const auto requests = testRequests(spec, 600);
+
+    const auto spreadFor = [&](bool per_shard, std::uint64_t seed) {
+        auto cfg = sched::hedgeStudyConfig(
+            rpc::LoadBalancePolicy::LeastOutstanding, 3, true, seed);
+        cfg.hedge.per_shard_deadline = per_shard;
+        core::ServingSimulation sim(spec, plan, cfg);
+        sim.replayOpenLoop(requests, 1500.0);
+        const auto per = sim.perShardHedgeStats();
+        double lo = 1.0, hi = 0.0;
+        std::uint64_t hedges = 0;
+        for (const auto &h : per) {
+            lo = std::min(lo, h.hedgeRate());
+            hi = std::max(hi, h.hedgeRate());
+            hedges += h.hedges;
+        }
+        EXPECT_GT(hedges, 0u) << "per_shard=" << per_shard;
+        // Per-shard counters must aggregate to the global ones.
+        EXPECT_EQ(hedges, sim.hedgeStats().hedges);
+        return hi - lo;
+    };
+
+    double global_sum = 0.0, per_shard_sum = 0.0;
+    for (const std::uint64_t seed : {0xd15c0ull, 0x5eedull, 0xfaceull}) {
+        const double g = spreadFor(false, seed);
+        const double p = spreadFor(true, seed);
+        EXPECT_LT(p, g) << "seed=" << seed;
+        global_sum += g;
+        per_shard_sum += p;
+    }
+    // On average the narrowing is decisive, not marginal.
+    EXPECT_LT(per_shard_sum, 0.5 * global_sum);
+}
+
 /** Wasted duplicate work stays below the configured budget at low load. */
 TEST(HedgeProperty, WastedWorkBoundedByBudgetAtLowLoad)
 {

