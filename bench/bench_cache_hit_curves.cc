@@ -36,7 +36,8 @@ main()
         cache::Policy::Lru, cache::Policy::Lfu, cache::Policy::TwoQueue,
         cache::Policy::Arc};
     const std::vector<cache::Admission> admissions{
-        cache::Admission::None, cache::Admission::TinyLfu};
+        cache::Admission::None, cache::Admission::TinyLfu,
+        cache::Admission::WTinyLfu};
     const cache::TierCosts costs{25.0, 90000.0};
 
     for (const double skew : {0.4, 0.6, 0.8}) {
@@ -65,8 +66,9 @@ main()
                     const cache::CachedLookupModel model(result, costs);
                     const bool tabled =
                         admission == cache::Admission::None ||
-                        policy == cache::Policy::Lru ||
-                        policy == cache::Policy::Arc;
+                        (admission == cache::Admission::TinyLfu &&
+                         (policy == cache::Policy::Lru ||
+                          policy == cache::Policy::Arc));
                     if (tabled)
                         row.push_back(
                             TablePrinter::pct(result.overallHitRate()));

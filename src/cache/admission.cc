@@ -65,6 +65,10 @@ class AdmittingCache : public EmbeddingCache
     {
         return inner_->capacityBytes();
     }
+    void setCapacityBytes(std::int64_t capacity_bytes) override
+    {
+        inner_->setCapacityBytes(capacity_bytes);
+    }
     std::int64_t usedBytes() const override { return inner_->usedBytes(); }
     std::size_t residentRows() const override
     {
@@ -106,6 +110,214 @@ class AdmittingCache : public EmbeddingCache
     mutable CacheStats stats_;
 };
 
+/**
+ * W-TinyLFU decorator: a small LRU window absorbs every missed row; rows
+ * the window evicts are candidates for the main cache and face the
+ * doorkeeper only there (and only under byte pressure). The window is
+ * where drifting-recency rows serve their reuse without waiting for the
+ * sketch to have seen them twice. A hill climber re-splits the constant
+ * total budget between window and main every climb_period accesses,
+ * following the hit-rate gradient: recency-dominated traffic grows the
+ * window toward LRU behaviour, frequency-dominated traffic shrinks it
+ * toward the pure doorkeeper.
+ */
+class WindowedAdmittingCache : public EmbeddingCache
+{
+  public:
+    WindowedAdmittingCache(std::unique_ptr<EmbeddingCache> main,
+                           std::int64_t window_bytes,
+                           std::shared_ptr<AdmissionFilter> filter,
+                           const WTinyLfuConfig &config)
+        : main_(std::move(main)),
+          window_(makeCache(Policy::Lru, window_bytes)),
+          filter_(std::move(filter)), config_(config),
+          total_bytes_(main_->capacityBytes() + window_bytes)
+    {
+        fraction_ = total_bytes_ > 0
+                        ? static_cast<double>(window_bytes) /
+                              static_cast<double>(total_bytes_)
+                        : 0.0;
+        // Window evictions are promotion candidates, not cache exits —
+        // unless the doorkeeper vetoes them under main-cache pressure.
+        window_->setEvictionHook(
+            [this](int table, std::int64_t row, std::int64_t row_bytes) {
+                promote(table, row, row_bytes);
+            });
+        main_->setEvictionHook(
+            [this](int table, std::int64_t row, std::int64_t row_bytes) {
+                if (hook_)
+                    hook_(table, row, row_bytes);
+            });
+    }
+
+    bool
+    access(int table, std::int64_t row, std::int64_t row_bytes) override
+    {
+        ++stats_.accesses;
+        filter_->onAccess(table, row);
+        const bool hit = serve(table, row, row_bytes);
+        if (hit)
+            ++stats_.hits;
+        else
+            ++stats_.misses;
+        climb(hit);
+        return hit;
+    }
+
+    bool
+    contains(int table, std::int64_t row) const override
+    {
+        return main_->contains(table, row) || window_->contains(table, row);
+    }
+
+    std::int64_t capacityBytes() const override
+    {
+        return main_->capacityBytes() + window_->capacityBytes();
+    }
+    std::int64_t usedBytes() const override
+    {
+        return main_->usedBytes() + window_->usedBytes();
+    }
+    std::size_t residentRows() const override
+    {
+        return main_->residentRows() + window_->residentRows();
+    }
+    std::int64_t ghostBytes() const override
+    {
+        return main_->ghostBytes() + window_->ghostBytes();
+    }
+
+    const CacheStats &
+    stats() const override
+    {
+        // A composite eviction is a row leaving the cache entirely: a
+        // main-cache eviction, or a window eviction the doorkeeper vetoed.
+        stats_.evictions = main_->stats().evictions + dropped_;
+        return stats_;
+    }
+
+    void
+    resetStats() override
+    {
+        stats_ = CacheStats{};
+        dropped_ = 0;
+        main_->resetStats();
+        window_->resetStats();
+    }
+
+    void
+    setEvictionHook(std::function<void(int, std::int64_t, std::int64_t)>
+                        hook) override
+    {
+        hook_ = std::move(hook);
+    }
+
+    Policy policy() const override { return main_->policy(); }
+
+    void
+    setCapacityBytes(std::int64_t capacity_bytes) override
+    {
+        total_bytes_ = capacity_bytes > 0 ? capacity_bytes : 0;
+        applySplit();
+    }
+
+    /** Current window share of the total budget (the climber's state). */
+    double windowFraction() const { return fraction_; }
+
+  private:
+    bool
+    serve(int table, std::int64_t row, std::int64_t row_bytes)
+    {
+        if (main_->contains(table, row)) {
+            main_->access(table, row, row_bytes); // recency/freq bump
+            return true;
+        }
+        if (window_->contains(table, row)) {
+            window_->access(table, row, row_bytes); // LRU bump
+            return true;
+        }
+        if (row_bytes > window_->capacityBytes()) {
+            // A row the window cannot hold at all skips straight to the
+            // main-cache admission test instead of silently bypassing.
+            promote(table, row, row_bytes);
+            return false;
+        }
+        window_->access(table, row, row_bytes);
+        return false;
+    }
+
+    void
+    promote(int table, std::int64_t row, std::int64_t row_bytes)
+    {
+        const bool pressure =
+            main_->usedBytes() + row_bytes > main_->capacityBytes();
+        if (pressure && !filter_->admit(table, row, row_bytes)) {
+            ++stats_.admission_rejects;
+            ++dropped_;
+            if (hook_)
+                hook_(table, row, row_bytes); // the row leaves the cache
+            return;
+        }
+        main_->access(table, row, row_bytes);
+    }
+
+    /**
+     * Hill-climb the window/main split on the period hit rate. Own
+     * counters (not stats_): warmup-boundary resetStats() must not
+     * perturb the climber's gradient estimate.
+     */
+    void
+    climb(bool hit)
+    {
+        if (config_.climb_period == 0)
+            return;
+        period_accesses_ += 1;
+        period_hits_ += hit ? 1 : 0;
+        if (period_accesses_ < config_.climb_period)
+            return;
+        const double rate = static_cast<double>(period_hits_) /
+                            static_cast<double>(period_accesses_);
+        period_accesses_ = 0;
+        period_hits_ = 0;
+        if (last_rate_ >= 0.0 && rate < last_rate_)
+            direction_ = -direction_; // the last move made things worse
+        last_rate_ = rate;
+        fraction_ = std::clamp(
+            fraction_ + direction_ * config_.climb_step,
+            std::min(config_.min_window_fraction,
+                     config_.max_window_fraction),
+            std::max(config_.min_window_fraction,
+                     config_.max_window_fraction));
+        applySplit();
+    }
+
+    void
+    applySplit()
+    {
+        const auto window_bytes = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(
+                   fraction_ * static_cast<double>(total_bytes_)));
+        window_->setCapacityBytes(window_bytes);
+        main_->setCapacityBytes(total_bytes_ - window_bytes);
+    }
+
+    std::unique_ptr<EmbeddingCache> main_;
+    std::unique_ptr<EmbeddingCache> window_;
+    std::shared_ptr<AdmissionFilter> filter_;
+    WTinyLfuConfig config_;
+    std::function<void(int, std::int64_t, std::int64_t)> hook_;
+    mutable CacheStats stats_;
+    std::int64_t dropped_ = 0; //!< window evictions vetoed by the filter
+
+    // Climber state.
+    std::int64_t total_bytes_ = 0;
+    double fraction_ = 0.0;
+    double direction_ = 1.0;
+    double last_rate_ = -1.0;
+    std::uint64_t period_accesses_ = 0;
+    std::uint64_t period_hits_ = 0;
+};
+
 } // namespace
 
 std::string
@@ -116,6 +328,8 @@ admissionName(Admission admission)
         return "none";
     case Admission::TinyLfu:
         return "tinylfu";
+    case Admission::WTinyLfu:
+        return "wtinylfu";
     }
     return "unknown";
 }
@@ -230,9 +444,34 @@ withAdmission(std::unique_ptr<EmbeddingCache> inner,
 }
 
 std::unique_ptr<EmbeddingCache>
-makeCacheWithAdmission(Policy policy, std::int64_t capacity_bytes,
-                       Admission admission, const TinyLfuConfig &tinylfu)
+withWindowedAdmission(std::unique_ptr<EmbeddingCache> inner,
+                      std::int64_t window_bytes,
+                      std::shared_ptr<AdmissionFilter> filter,
+                      const WTinyLfuConfig &config)
 {
+    if (!filter)
+        return inner;
+    return std::make_unique<WindowedAdmittingCache>(
+        std::move(inner), window_bytes, std::move(filter), config);
+}
+
+std::unique_ptr<EmbeddingCache>
+makeCacheWithAdmission(Policy policy, std::int64_t capacity_bytes,
+                       Admission admission, const TinyLfuConfig &tinylfu,
+                       const WTinyLfuConfig &wtinylfu)
+{
+    if (admission == Admission::WTinyLfu) {
+        // Split the budget so every admission variant competes at the
+        // identical total byte budget.
+        const double f = std::clamp(wtinylfu.window_fraction, 0.0, 0.9);
+        const auto window_bytes = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(
+                   f * static_cast<double>(capacity_bytes)));
+        auto main = makeCache(policy, capacity_bytes - window_bytes);
+        return withWindowedAdmission(std::move(main), window_bytes,
+                                     makeTinyLfu(wtinylfu.tinylfu),
+                                     wtinylfu);
+    }
     auto cache = makeCache(policy, capacity_bytes);
     if (admission == Admission::TinyLfu)
         return withAdmission(std::move(cache), makeTinyLfu(tinylfu));

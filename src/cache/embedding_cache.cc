@@ -55,6 +55,14 @@ class CacheBase : public EmbeddingCache
     Policy policy() const override { return policy_; }
 
     void
+    setCapacityBytes(std::int64_t capacity_bytes) override
+    {
+        // Lazy shrink: every eviction loop reads capacity_ live, so the
+        // resident set trims itself on the next insert.
+        capacity_ = capacity_bytes > 0 ? capacity_bytes : 0;
+    }
+
+    void
     setEvictionHook(
         std::function<void(int, std::int64_t, std::int64_t)> hook) override
     {

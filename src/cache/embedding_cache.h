@@ -109,6 +109,15 @@ class EmbeddingCache
     virtual std::int64_t usedBytes() const = 0;
     virtual std::size_t residentRows() const = 0;
 
+    /**
+     * Adjust the byte budget in place. Shrinking is lazy: the resident
+     * set is trimmed by the next access's eviction loop (which reads the
+     * budget live), not eagerly — usedBytes() may exceed the new budget
+     * until then. The W-TinyLFU adaptive window uses this to shift bytes
+     * between its window and main caches without flushing either.
+     */
+    virtual void setCapacityBytes(std::int64_t capacity_bytes) = 0;
+
     virtual const CacheStats &stats() const = 0;
     /** Zero the counters; resident rows are untouched (warmup support). */
     virtual void resetStats() = 0;

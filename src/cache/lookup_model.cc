@@ -25,6 +25,18 @@ CachedLookupModel::fromHitRate(std::size_t num_tables, double hit_rate,
     return model;
 }
 
+CachedLookupModel
+CachedLookupModel::scaled(double factor) const
+{
+    const double f = std::clamp(factor, 0.0, 1.0);
+    CachedLookupModel model = *this;
+    for (auto &r : model.rates_)
+        if (r >= 0.0)
+            r *= f;
+    model.overall_ *= f;
+    return model;
+}
+
 bool
 CachedLookupModel::hasTable(int table) const
 {

@@ -44,6 +44,15 @@ class CachedLookupModel
     static CachedLookupModel fromHitRate(std::size_t num_tables,
                                          double hit_rate, TierCosts costs);
 
+    /**
+     * A copy with every table's hit rate scaled by `factor` (clamped to
+     * [0, 1]); tables without data stay without data. The fleet
+     * simulator uses this to model cold caches on freshly provisioned
+     * replicas: during the post-reconfiguration warmup window a
+     * scaled-up shard serves at a fraction of its steady-state hit rate.
+     */
+    CachedLookupModel scaled(double factor) const;
+
     /** Whether the model has data (any accesses) for this table. */
     bool hasTable(int table) const;
 

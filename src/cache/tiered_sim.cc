@@ -14,7 +14,8 @@ TieredCacheSim::TieredCacheSim(const model::ModelSpec &spec,
     for (const auto &t : spec.tables)
         row_bytes_.push_back(t.storedRowBytes());
     cache_ = makeCacheWithAdmission(config_.policy, config_.capacity_bytes,
-                                    config_.admission, config_.tinylfu);
+                                    config_.admission, config_.tinylfu,
+                                    config_.wtinylfu);
 }
 
 CacheSimResult

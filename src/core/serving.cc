@@ -858,7 +858,8 @@ struct ServingSimulation::Impl
                 if (result_cache.enabled()) {
                     const rpc::ResultCache::Key key{
                         ni.net_id, static_cast<int>(gi),
-                        rpc::resultSignature(bitems, lk)};
+                        rpc::resultSignature(bitems, lk,
+                                             a->req->content_hash, b)};
                     if (result_cache.lookup(key, engine.now())) {
                         ++a->st.result_cache_hits;
                         a->st.result_cache_bytes_saved +=
@@ -987,7 +988,8 @@ struct ServingSimulation::Impl
         op->dispatched = engine.now();
         op->cache_key = rpc::ResultCache::Key{
             ni.net_id, static_cast<int>(gi),
-            rpc::resultSignature(bt->batch_items, lk)};
+            rpc::resultSignature(bt->batch_items, lk,
+                                 a->req->content_hash, bt->batch_id)};
         op->cache_epoch = result_cache.epoch();
         op->refs = 2; // the primary attempt + the batch's ops registry
         bt->ops.push_back(op);

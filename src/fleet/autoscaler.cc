@@ -1,0 +1,235 @@
+#include "fleet/autoscaler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sched/provision_loop.h"
+
+namespace dri::fleet {
+
+// ---------------------------------------------------------------------------
+// CapacityPlanner: ProvisionLoop sized at the rate, CapacitySearch probe
+// verifying the SLO boundary.
+// ---------------------------------------------------------------------------
+
+CapacityPlanner::CapacityPlanner(const model::ModelSpec &spec,
+                                 const core::ShardingPlan &plan,
+                                 core::ServingConfig serving,
+                                 PlannerConfig config,
+                                 std::vector<workload::Request>
+                                     planning_stream)
+    : spec_(spec), plan_(plan), serving_(std::move(serving)),
+      config_(config), planning_requests_(std::move(planning_stream))
+{
+    assert(plan_.numShards() > 0 && "fleet planning needs sparse shards");
+    assert(config_.headroom >= 1.0);
+    assert(config_.qps_quantum > 1.0);
+    // One deterministic planning stream shared by every plan: paired
+    // probes across rates, and across policies holding the same planner.
+    if (planning_requests_.empty()) {
+        workload::GeneratorConfig gc;
+        gc.seed = config_.planning_seed;
+        workload::RequestGenerator gen(spec_, gc);
+        planning_requests_ = gen.generate(config_.planning_requests);
+    } else if (planning_requests_.size() > config_.planning_requests) {
+        planning_requests_.resize(config_.planning_requests);
+    }
+}
+
+double
+CapacityPlanner::quantize(double qps) const
+{
+    assert(qps > 0.0);
+    // Smallest integer power of the quantum at or above qps: small
+    // forecast wiggles map to the same grid point (plan reuse), and
+    // rounding *up* never under-provisions relative to the raw target.
+    const double step = std::log(config_.qps_quantum);
+    const double k = std::ceil(std::log(qps) / step - 1e-9);
+    return std::exp(k * step);
+}
+
+std::vector<int>
+CapacityPlanner::replicaVectorFor(double qps)
+{
+    const double target = quantize(qps * config_.headroom);
+    const auto it = cache_.find(target);
+    if (it != cache_.end())
+        return it->second;
+    ++plans_computed_;
+
+    // Load-proportional sizing: measured per-shard demand at the target
+    // rate through dc::provision to a replica-vector fixed point.
+    sched::ProvisionLoopConfig pc;
+    pc.qps = target;
+    pc.target_utilization = config_.target_utilization;
+    pc.max_iterations = config_.provision_iterations;
+    pc.min_replicas = config_.min_replicas;
+    pc.max_replicas = config_.max_replicas;
+    sched::ProvisionLoop loop(spec_, plan_, serving_, pc);
+    std::vector<int> vec = loop.run(planning_requests_).replicas;
+
+    // Monotone regularization BEFORE verification: capacity is monotone
+    // in replicas, so a cheaper-rate plan must never exceed a
+    // pricier-rate plan. Measured demand wobbles +-1 replica between
+    // nearby rates; without this the fleet reconfigures on noise (and
+    // occasionally scales UP into a falling forecast). Running the
+    // clamp first means the verify loop below only ever ADDS replicas —
+    // a post-verification clamp could undo exactly the bump that made
+    // the probe feasible. The cache is regularized inductively:
+    // dominate every cached lower-rate plan, stay under every cached
+    // higher-rate plan (cache_ iterates in ascending rate order).
+    for (const auto &[rate, v] : cache_) {
+        for (std::size_t s = 0; s < vec.size() && s < v.size(); ++s) {
+            if (rate < target)
+                vec[s] = std::max(vec[s], v[s]);
+            else
+                vec[s] = std::min(vec[s], v[s]);
+        }
+    }
+
+    // SLO-boundary verification: utilization-sized vectors can still
+    // miss a tail SLO (queueing at the sized utilization, straggler
+    // interference). Probe the vector at the target rate and buy
+    // replicas until the probe is feasible.
+    if (config_.verify_slo_boundary) {
+        sched::CapacitySearchConfig sc;
+        sc.slo = config_.slo;
+        for (int bump = 0; bump <= config_.max_verify_bumps; ++bump) {
+            core::ServingConfig cfg = serving_;
+            cfg.sparse_replicas_per_shard = vec;
+            sched::CapacitySearch search(spec_, plan_, cfg, sc);
+            if (search.probe(target, planning_requests_).feasible)
+                break;
+            bool grew = false;
+            for (auto &r : vec)
+                if (r < config_.max_replicas) {
+                    ++r;
+                    grew = true;
+                }
+            if (!grew)
+                break; // fleet-wide replica cap: nothing left to buy
+        }
+    }
+
+    cache_.emplace(target, vec);
+    return vec;
+}
+
+// ---------------------------------------------------------------------------
+// StaticPeak.
+// ---------------------------------------------------------------------------
+
+StaticPeakAutoscaler::StaticPeakAutoscaler(
+    std::shared_ptr<CapacityPlanner> planner)
+    : planner_(std::move(planner))
+{
+}
+
+std::vector<int>
+StaticPeakAutoscaler::decide(int, const workload::DiurnalLoadModel &load,
+                             const EpochObservation *)
+{
+    if (vector_.empty())
+        vector_ = planner_->replicaVectorFor(load.peakForecastQps());
+    return vector_;
+}
+
+// ---------------------------------------------------------------------------
+// Reactive.
+// ---------------------------------------------------------------------------
+
+ReactiveAutoscaler::ReactiveAutoscaler(std::vector<int> initial,
+                                       ReactiveConfig config)
+    : vector_(std::move(initial)), config_(config)
+{
+    assert(!vector_.empty());
+    assert(config_.low_utilization < config_.high_utilization &&
+           "hysteresis band must be non-empty");
+    for (auto &r : vector_)
+        r = std::clamp(r, config_.min_replicas, config_.max_replicas);
+}
+
+std::vector<int>
+ReactiveAutoscaler::decide(int epoch, const workload::DiurnalLoadModel &,
+                           const EpochObservation *last)
+{
+    if (last == nullptr)
+        return vector_; // nothing measured yet: serve the seed vector
+
+    const double p99_guard =
+        config_.p99_guard_fraction * config_.slo.p99_ms;
+    const bool latency_pressure = last->p99_ms > p99_guard ||
+                                  last->shed_rate >
+                                      config_.slo.max_shed_rate;
+    const bool util_pressure =
+        last->max_shard_utilization > config_.high_utilization;
+
+    if (latency_pressure || util_pressure) {
+        // Scale up: latency pressure is a fleet-wide signal (every shard
+        // grows, by the overshoot step — queueing anywhere inflates the
+        // request-level tail); pure utilization pressure creeps only the
+        // hot shards.
+        const int step =
+            latency_pressure ? config_.pressure_step : config_.step;
+        bool changed = false;
+        for (std::size_t s = 0; s < vector_.size(); ++s) {
+            const bool hot =
+                latency_pressure ||
+                (s < last->shard_utilization.size() &&
+                 last->shard_utilization[s] > config_.high_utilization);
+            if (hot && vector_[s] < config_.max_replicas) {
+                vector_[s] =
+                    std::min(config_.max_replicas, vector_[s] + step);
+                changed = true;
+            }
+        }
+        if (changed)
+            last_change_epoch_ = epoch;
+        return vector_;
+    }
+
+    // Scale down only inside the hysteresis band's lower half, with
+    // latency slack, and only after the cooldown since the last change.
+    if (epoch - last_change_epoch_ <= config_.cooldown_epochs)
+        return vector_;
+    const bool cold =
+        last->max_shard_utilization < config_.low_utilization &&
+        last->p99_ms < p99_guard;
+    if (cold) {
+        bool changed = false;
+        for (std::size_t s = 0; s < vector_.size(); ++s) {
+            const bool idle =
+                s >= last->shard_utilization.size() ||
+                last->shard_utilization[s] < config_.low_utilization;
+            if (idle && vector_[s] > config_.min_replicas) {
+                vector_[s] = std::max(config_.min_replicas,
+                                      vector_[s] - config_.step);
+                changed = true;
+            }
+        }
+        if (changed)
+            last_change_epoch_ = epoch;
+    }
+    return vector_;
+}
+
+// ---------------------------------------------------------------------------
+// Predictive.
+// ---------------------------------------------------------------------------
+
+PredictiveAutoscaler::PredictiveAutoscaler(
+    std::shared_ptr<CapacityPlanner> planner)
+    : planner_(std::move(planner))
+{
+}
+
+std::vector<int>
+PredictiveAutoscaler::decide(int epoch,
+                             const workload::DiurnalLoadModel &load,
+                             const EpochObservation *)
+{
+    return planner_->replicaVectorFor(load.forecastQps(epoch));
+}
+
+} // namespace dri::fleet

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Fleet autoscaling policies: who decides the per-epoch replica vector.
+ *
+ * An Autoscaler is consulted once per load epoch, *before* the epoch
+ * runs, and returns the sparse-shard replica vector the fleet should
+ * serve that epoch with. Three policies span the operational design
+ * space:
+ *
+ *  - StaticPeak: provision once for the diurnal peak forecast and never
+ *    reconfigure. The paper's single-operating-point sizing applied to a
+ *    diurnal world: every off-peak machine-hour is waste, but the SLO is
+ *    safe by construction.
+ *  - Reactive: classic feedback scaling on *measured* signals — scale up
+ *    when the last epoch's utilization or P99 crossed the high
+ *    watermark, scale down when utilization sat under the low watermark
+ *    with latency slack. Hysteresis (the watermark gap) prevents
+ *    flapping; a cooldown bounds reconfiguration frequency; scale-ups
+ *    are never cooldown-blocked (capacity emergencies outrank churn).
+ *  - Predictive: provision epoch t from the load model's *forecast* for
+ *    epoch t by invoking the capacity planner at the SLO boundary — the
+ *    composition of sched::ProvisionLoop (load-proportional replica
+ *    vector from measured per-shard demand) and sched::CapacitySearch
+ *    (verify the vector actually sustains the target under the SLO,
+ *    bumping replicas until it does).
+ *
+ * Every policy produces vectors the FleetSim applies through the same
+ * reconfiguration machinery (provisioning lag, cold caches, result-cache
+ * invalidation), so their FleetStats ledgers are directly comparable.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/serving.h"
+#include "core/sharding_plan.h"
+#include "model/model_spec.h"
+#include "sched/capacity_search.h"
+#include "workload/diurnal.h"
+
+namespace dri::fleet {
+
+/** What a policy may observe about the epoch that just finished. */
+struct EpochObservation
+{
+    int epoch = 0;
+    /** Replica vector the epoch actually served with. */
+    std::vector<int> replicas;
+    double offered_qps = 0.0;
+    double p99_ms = 0.0;
+    double shed_rate = 0.0;
+    /** Mean worker-pool utilization per sparse shard. */
+    std::vector<double> shard_utilization;
+    double max_shard_utilization = 0.0;
+};
+
+/** Per-epoch replica-vector policy. */
+class Autoscaler
+{
+  public:
+    virtual ~Autoscaler() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * The replica vector for `epoch`, decided before it runs. `last` is
+     * the previous epoch's observation (null before the first epoch).
+     * The load model's forecast is visible; its realized (burst) rate is
+     * not — that is the information asymmetry the policies differ on.
+     */
+    virtual std::vector<int> decide(int epoch,
+                                    const workload::DiurnalLoadModel &load,
+                                    const EpochObservation *last) = 0;
+};
+
+/** Shared planner parameters (StaticPeak + Predictive). */
+struct PlannerConfig
+{
+    sched::SloSpec slo;
+    /** Provision for forecast * headroom (burst + error margin). */
+    double headroom = 1.25;
+    /** Per-replica utilization ceiling ProvisionLoop sizes to. */
+    double target_utilization = 0.6;
+    int min_replicas = 1;
+    int max_replicas = 8;
+    /** ProvisionLoop fixed-point iteration cap per plan. */
+    int provision_iterations = 4;
+    /** Request-sample length for planning simulations. */
+    std::size_t planning_requests = 256;
+    /**
+     * Quantize target rates onto a geometric grid before planning, so a
+     * repeating diurnal profile reuses cached plans instead of
+     * re-simulating every epoch (and small forecast wiggles do not
+     * thrash the fleet).
+     */
+    double qps_quantum = 1.10;
+    /**
+     * Verify each plan with a CapacitySearch probe at the target rate
+     * and bump every shard by one replica (up to max_replicas) until the
+     * probe meets the SLO — the "capacity search at the SLO boundary"
+     * step that turns utilization-sized vectors into SLO-safe ones.
+     */
+    bool verify_slo_boundary = true;
+    int max_verify_bumps = 3;
+    std::uint64_t planning_seed = 0x91a2;
+};
+
+/**
+ * The ProvisionLoop + CapacitySearch composition both planned policies
+ * share: replicaVectorFor(qps) returns the cheapest per-shard replica
+ * vector the planner believes sustains `qps` under the SLO, caching by
+ * quantized rate.
+ */
+class CapacityPlanner
+{
+  public:
+    /**
+     * `planning_stream` is the request sample every plan simulates; an
+     * empty stream synthesizes an all-distinct one from planning_seed.
+     * Pass the load model's own traffic (e.g. epochRequests(0, n)) so
+     * plans price what the fleet actually serves — a planner fed
+     * repeat-free traffic over-provisions a result-cache-heavy fleet.
+     */
+    CapacityPlanner(const model::ModelSpec &spec,
+                    const core::ShardingPlan &plan,
+                    core::ServingConfig serving, PlannerConfig config,
+                    std::vector<workload::Request> planning_stream = {});
+
+    /** Plan (or fetch the cached plan) for one target rate. */
+    std::vector<int> replicaVectorFor(double qps);
+
+    /** Rate quantization: the grid point at or above `qps`. */
+    double quantize(double qps) const;
+
+    const PlannerConfig &config() const { return config_; }
+
+    /** Planning simulations executed so far (cache-miss count). */
+    int plansComputed() const { return plans_computed_; }
+
+  private:
+    model::ModelSpec spec_;
+    core::ShardingPlan plan_;
+    core::ServingConfig serving_;
+    PlannerConfig config_;
+    std::vector<workload::Request> planning_requests_;
+    /** Keyed by quantized rate (stable: quantize() is deterministic). */
+    std::map<double, std::vector<int>> cache_;
+    int plans_computed_ = 0;
+};
+
+/** Provision once for the diurnal peak; never reconfigure. */
+class StaticPeakAutoscaler : public Autoscaler
+{
+  public:
+    StaticPeakAutoscaler(std::shared_ptr<CapacityPlanner> planner);
+
+    std::string name() const override { return "static-peak"; }
+    std::vector<int> decide(int epoch,
+                            const workload::DiurnalLoadModel &load,
+                            const EpochObservation *last) override;
+
+  private:
+    std::shared_ptr<CapacityPlanner> planner_;
+    std::vector<int> vector_;
+};
+
+/** Reactive watermark parameters. */
+struct ReactiveConfig
+{
+    sched::SloSpec slo;
+    /**
+     * Scale up when any shard's mean utilization crosses this. The band
+     * sits LOWER than a forecast planner's target utilization on
+     * purpose: a feedback controller reacts a full epoch late, so it
+     * must hold enough slack to absorb a rise within its reaction time —
+     * which is exactly the efficiency a trustworthy forecast buys back.
+     */
+    double high_utilization = 0.5;
+    /** Scale down only when every shard sits under this. */
+    double low_utilization = 0.3;
+    /** Scale up when observed P99 exceeds this fraction of the SLO. */
+    double p99_guard_fraction = 0.85;
+    /**
+     * Epochs that must pass after any reconfiguration before another
+     * *scale-down* is allowed. Scale-ups are exempt: refusing capacity
+     * during an overload to respect churn budgets inverts priorities.
+     */
+    int cooldown_epochs = 2;
+    /** Per-shard replica step per decision (utilization drift). */
+    int step = 1;
+    /**
+     * Per-shard step when LATENCY is breaching (P99 past the guard or
+     * shedding): jump, don't creep — a controller that recovers an SLO
+     * breach one replica at a time spends epochs in violation. The
+     * overshoot is what a reactive fleet pays for not having a forecast;
+     * the cooldown then walks the surplus back down slowly.
+     */
+    int pressure_step = 2;
+    int min_replicas = 1;
+    int max_replicas = 8;
+};
+
+/** Measured-signal feedback scaler with hysteresis + cooldown. */
+class ReactiveAutoscaler : public Autoscaler
+{
+  public:
+    /** `initial` seeds epoch 0 (typically the StaticPeak vector). */
+    ReactiveAutoscaler(std::vector<int> initial, ReactiveConfig config);
+
+    std::string name() const override { return "reactive"; }
+    std::vector<int> decide(int epoch,
+                            const workload::DiurnalLoadModel &load,
+                            const EpochObservation *last) override;
+
+    const ReactiveConfig &config() const { return config_; }
+
+  private:
+    std::vector<int> vector_;
+    ReactiveConfig config_;
+    /** Epoch of the last reconfiguration this policy issued. */
+    int last_change_epoch_ = -1000000;
+};
+
+/** Forecast-driven planner invocation per epoch. */
+class PredictiveAutoscaler : public Autoscaler
+{
+  public:
+    PredictiveAutoscaler(std::shared_ptr<CapacityPlanner> planner);
+
+    std::string name() const override { return "predictive"; }
+    std::vector<int> decide(int epoch,
+                            const workload::DiurnalLoadModel &load,
+                            const EpochObservation *last) override;
+
+  private:
+    std::shared_ptr<CapacityPlanner> planner_;
+};
+
+} // namespace dri::fleet

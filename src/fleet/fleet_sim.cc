@@ -1,0 +1,486 @@
+#include "fleet/fleet_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "cache/lookup_model.h"
+#include "core/analysis.h"
+#include "stats/hash.h"
+
+namespace dri::fleet {
+
+namespace {
+
+/** FNV-1a over raw bytes: the fingerprint accumulator. */
+struct Fnv
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    add(double v)
+    {
+        std::uint64_t bits = 0;
+        static_assert(sizeof bits == sizeof v, "double must be 64-bit");
+        std::memcpy(&bits, &v, sizeof bits);
+        bytes(&bits, sizeof bits);
+    }
+
+    void add(std::int64_t v) { bytes(&v, sizeof v); }
+    void add(int v) { bytes(&v, sizeof v); }
+    void add(bool v) { const char c = v ? 1 : 0; bytes(&c, 1); }
+};
+
+double
+meanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double x : v)
+        sum += x;
+    return sum / static_cast<double>(v.size());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// FleetStats.
+// ---------------------------------------------------------------------------
+
+double
+FleetStats::totalMachineHours() const
+{
+    double total = 0.0;
+    for (const auto &e : epochs)
+        total += e.machine_hours;
+    return total;
+}
+
+double
+FleetStats::totalWattHours() const
+{
+    double total = 0.0;
+    for (const auto &e : epochs)
+        total += e.watt_hours;
+    return total;
+}
+
+int
+FleetStats::sloViolationEpochs() const
+{
+    int n = 0;
+    for (const auto &e : epochs)
+        n += e.slo_violation ? 1 : 0;
+    return n;
+}
+
+int
+FleetStats::steadySloViolationEpochs() const
+{
+    int n = 0;
+    for (const auto &e : epochs)
+        n += e.steady_slo_violation ? 1 : 0;
+    return n;
+}
+
+std::int64_t
+FleetStats::totalShedRequests() const
+{
+    std::int64_t n = 0;
+    for (const auto &e : epochs)
+        n += e.shed_requests;
+    return n;
+}
+
+int
+FleetStats::reconfigurations() const
+{
+    int n = 0;
+    for (const auto &e : epochs)
+        n += e.reconfigured ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+FleetStats::fingerprint() const
+{
+    Fnv fnv;
+    fnv.add(static_cast<std::int64_t>(epochs.size()));
+    for (const auto &e : epochs) {
+        fnv.add(e.epoch);
+        fnv.add(e.forecast_qps);
+        fnv.add(e.offered_qps);
+        for (const int r : e.replicas)
+            fnv.add(r);
+        fnv.add(e.reconfigured);
+        fnv.add(e.scaled_up);
+        fnv.add(e.scaled_down);
+        fnv.add(e.p99_ms);
+        fnv.add(e.steady_p99_ms);
+        fnv.add(e.shed_rate);
+        fnv.add(e.shed_requests);
+        fnv.add(e.slo_violation);
+        fnv.add(e.steady_slo_violation);
+        fnv.add(e.machine_hours);
+        fnv.add(e.watt_hours);
+        fnv.add(e.mean_sparse_utilization);
+        fnv.add(e.max_sparse_utilization);
+        fnv.add(e.result_cache_hit_rate);
+        fnv.add(e.planMemoryBytes());
+        fnv.add(e.planPowerWatts());
+        for (const auto &s : e.plan.shards) {
+            fnv.add(s.replicas);
+            fnv.add(s.cpu_utilization);
+            fnv.add(s.power_watts);
+        }
+    }
+    return fnv.h;
+}
+
+// ---------------------------------------------------------------------------
+// FleetSim.
+// ---------------------------------------------------------------------------
+
+struct FleetSim::SegmentResult
+{
+    std::vector<core::RequestStats> stats;
+    /** Mean worker-pool utilization per sparse shard. */
+    std::vector<double> shard_utilization;
+    double main_utilization = 0.0;
+    std::uint64_t result_cache_hits = 0;
+    std::uint64_t result_cache_lookups = 0;
+};
+
+FleetSim::FleetSim(const model::ModelSpec &spec,
+                   const core::ShardingPlan &plan,
+                   core::ServingConfig base_serving,
+                   const workload::DiurnalLoadModel &load,
+                   FleetConfig config)
+    : spec_(spec), plan_(plan), base_(std::move(base_serving)),
+      load_(load), cfg_(config)
+{
+    assert(plan_.numShards() > 0 && "fleet simulation needs sparse shards");
+    assert(cfg_.epochs > 0 && cfg_.requests_per_epoch > 0);
+    assert(cfg_.penalty.provisioning_lag_fraction >= 0.0 &&
+           cfg_.penalty.provisioning_lag_fraction < 1.0);
+    assert(cfg_.penalty.cold_cache_fraction >= 0.0 &&
+           cfg_.penalty.cold_cache_fraction < 1.0);
+}
+
+FleetSim::SegmentResult
+FleetSim::runSegment(const std::vector<int> &replicas,
+                     const std::vector<workload::Request> &slice,
+                     double qps,
+                     const std::vector<workload::Request> &prewarm,
+                     bool invalidate_result_cache,
+                     const std::vector<int> &prev_replicas,
+                     bool degrade_caches, std::uint64_t seed_salt)
+{
+    core::ServingConfig cfg = base_;
+    cfg.sparse_replicas_per_shard = replicas;
+    cfg.seed = stats::mix64(base_.seed ^ seed_salt);
+
+    if (degrade_caches && !base_.shard_cache_models.empty()) {
+        // Cold-replica warmup ramp: a shard that grew from r to r'
+        // replicas serves the window at (r + 0.5*(r'-r))/r' of its
+        // steady hit rate — surviving replicas stay warm, new ones ramp
+        // linearly from empty.
+        cfg.shard_cache_models = base_.shard_cache_models;
+        for (std::size_t s = 0; s < cfg.shard_cache_models.size() &&
+                                s < replicas.size();
+             ++s) {
+            const int now = replicas[s];
+            const int before =
+                s < prev_replicas.size() ? prev_replicas[s] : now;
+            if (now <= before || !cfg.shard_cache_models[s])
+                continue;
+            const double warm_share =
+                (static_cast<double>(before) +
+                 0.5 * static_cast<double>(now - before)) /
+                static_cast<double>(now);
+            cfg.shard_cache_models[s] =
+                std::make_shared<const cache::CachedLookupModel>(
+                    cfg.shard_cache_models[s]->scaled(warm_share));
+        }
+    }
+
+    core::ServingSimulation sim(spec_, plan_, cfg);
+    if (!prewarm.empty())
+        sim.replayOpenLoop(prewarm, qps); // warm caches; stats discarded
+    if (invalidate_result_cache)
+        sim.invalidateResultCache();
+    const std::uint64_t warm_hits = sim.resultCacheStats().hits;
+    const std::uint64_t warm_lookups = sim.resultCacheStats().lookups;
+
+    SegmentResult out;
+    out.stats = sim.replayOpenLoop(slice, qps);
+    out.main_utilization = sim.mainUtilization();
+    out.result_cache_hits = sim.resultCacheStats().hits - warm_hits;
+    out.result_cache_lookups =
+        sim.resultCacheStats().lookups - warm_lookups;
+
+    const auto shards = static_cast<std::size_t>(plan_.numShards());
+    const auto util = sim.serverUtilization();
+    const auto server_shard = sim.serverShards();
+    out.shard_utilization.assign(shards, 0.0);
+    std::vector<int> servers(shards, 0);
+    for (std::size_t srv = 0; srv < util.size(); ++srv) {
+        const auto s = static_cast<std::size_t>(server_shard[srv]);
+        out.shard_utilization[s] += util[srv];
+        ++servers[s];
+    }
+    for (std::size_t s = 0; s < shards; ++s)
+        if (servers[s] > 0)
+            out.shard_utilization[s] /= static_cast<double>(servers[s]);
+    return out;
+}
+
+FleetStats
+FleetSim::run(Autoscaler &policy)
+{
+    const auto shards = static_cast<std::size_t>(plan_.numShards());
+    const double epoch_hours = cfg_.epoch_duration_s / 3600.0;
+    const dc::Platform &sp = base_.sparse_platform;
+    const dc::Platform &mp = base_.main_platform;
+
+    FleetStats ledger;
+    ledger.policy = policy.name();
+
+    std::vector<int> prev; // empty before the first epoch
+    EpochObservation last;
+    bool have_last = false;
+    std::vector<workload::Request> prev_tail;
+
+    for (int e = 0; e < cfg_.epochs; ++e) {
+        std::vector<int> vec =
+            policy.decide(e, load_, have_last ? &last : nullptr);
+        vec.resize(shards, 1);
+        for (auto &r : vec)
+            r = std::max(1, r);
+
+        const double qps = load_.realizedQps(e);
+        const auto requests =
+            load_.epochRequests(e, cfg_.requests_per_epoch);
+        const std::size_t n = requests.size();
+
+        EpochRecord rec;
+        rec.epoch = e;
+        rec.forecast_qps = load_.forecastQps(e);
+        rec.offered_qps = qps;
+        rec.replicas = vec;
+        rec.reconfigured = !prev.empty() && vec != prev;
+        if (rec.reconfigured)
+            for (std::size_t s = 0; s < shards; ++s) {
+                rec.scaled_up |= vec[s] > prev[s];
+                rec.scaled_down |= vec[s] < prev[s];
+            }
+
+        // Segment boundaries (request-index space). The declared
+        // reconfiguration window is lag + cold; SLO attainment outside
+        // it is what scale-downs are held to.
+        const std::size_t lag_n =
+            rec.reconfigured && rec.scaled_up
+                ? static_cast<std::size_t>(std::llround(
+                      cfg_.penalty.provisioning_lag_fraction *
+                      static_cast<double>(n)))
+                : 0;
+        const std::size_t cold_n =
+            rec.reconfigured
+                ? static_cast<std::size_t>(std::llround(
+                      cfg_.penalty.cold_cache_fraction *
+                      static_cast<double>(n)))
+                : 0;
+
+        const std::uint64_t salt =
+            0xe70c0ULL + static_cast<std::uint64_t>(e) * 8;
+
+        std::vector<core::RequestStats> all_stats;
+        std::vector<core::RequestStats> steady_stats;
+        double watt_hours = 0.0;
+        std::uint64_t rc_hits = 0, rc_lookups = 0;
+        SegmentResult last_seg;
+
+        const auto slice = [&](std::size_t lo, std::size_t hi) {
+            return std::vector<workload::Request>(
+                requests.begin() + static_cast<std::ptrdiff_t>(lo),
+                requests.begin() + static_cast<std::ptrdiff_t>(hi));
+        };
+        const auto sparsePower = [&](const std::vector<int> &v,
+                                     const std::vector<double> &util) {
+            double watts = 0.0;
+            for (std::size_t s = 0; s < shards; ++s) {
+                const double u = s < util.size() ? util[s] : 0.0;
+                watts += static_cast<double>(v[s]) *
+                         (sp.idle_watts +
+                          (sp.busy_watts - sp.idle_watts) * u);
+            }
+            return watts;
+        };
+        const auto accountSegment = [&](const SegmentResult &seg,
+                                        const std::vector<int> &v,
+                                        std::size_t count, bool steady,
+                                        double booting_machines) {
+            all_stats.insert(all_stats.end(), seg.stats.begin(),
+                             seg.stats.end());
+            if (steady)
+                steady_stats.insert(steady_stats.end(), seg.stats.begin(),
+                                    seg.stats.end());
+            const double frac = static_cast<double>(count) /
+                                static_cast<double>(n);
+            double watts = sparsePower(v, seg.shard_utilization);
+            // Machines still booting draw idle power until they serve.
+            watts += booting_machines * sp.idle_watts;
+            if (cfg_.count_main_shard)
+                watts += mp.idle_watts +
+                         (mp.busy_watts - mp.idle_watts) *
+                             seg.main_utilization;
+            watt_hours += watts * epoch_hours * frac;
+            rc_hits += seg.result_cache_hits;
+            rc_lookups += seg.result_cache_lookups;
+        };
+
+        if (lag_n > 0) {
+            // Scale-up provisioning lag: the OLD vector keeps serving
+            // the new epoch's offered load; the new machines are booked
+            // (and drawing idle power) but not yet serving.
+            double booting = 0.0;
+            for (std::size_t s = 0; s < shards; ++s)
+                booting += std::max(0, vec[s] - prev[s]);
+            const auto seg =
+                runSegment(prev, slice(0, lag_n), qps, prev_tail,
+                           /*invalidate=*/false, prev,
+                           /*degrade=*/false, salt + 0);
+            accountSegment(seg, prev, lag_n, /*steady=*/false, booting);
+            last_seg = seg;
+        }
+        if (rec.reconfigured && lag_n + cold_n > lag_n) {
+            // Cold window on the new vector: fresh replicas' row caches
+            // ramp, and the pooled-result cache restarts from the
+            // resharding invalidation — so there is nothing to prewarm
+            // (replaying carry-over traffic only to invalidate it would
+            // be pure wasted simulation).
+            const auto seg = runSegment(
+                vec, slice(lag_n, std::min(n, lag_n + cold_n)), qps,
+                /*prewarm=*/{}, /*invalidate=*/true, prev,
+                /*degrade=*/true, salt + 1);
+            accountSegment(seg, vec,
+                           std::min(n, lag_n + cold_n) - lag_n,
+                           /*steady=*/false, 0.0);
+            last_seg = seg;
+        }
+        {
+            const std::size_t lo = std::min(n, lag_n + cold_n);
+            // Steady remainder (the whole epoch when nothing changed).
+            // Prewarm comes from the immediately preceding traffic so
+            // the pooled-result cache keeps cross-epoch continuity.
+            std::vector<workload::Request> prewarm;
+            if (rec.reconfigured) {
+                const std::size_t back =
+                    std::min(lo, cfg_.prewarm_requests);
+                prewarm = slice(lo - back, lo);
+            } else {
+                prewarm = prev_tail;
+            }
+            const auto seg =
+                runSegment(vec, slice(lo, n), qps, prewarm,
+                           /*invalidate=*/false, prev,
+                           /*degrade=*/false, salt + 2);
+            accountSegment(seg, vec, n - lo, /*steady=*/true, 0.0);
+            last_seg = seg;
+        }
+
+        // Machine-hours: the decided vector is billed for the whole
+        // epoch; during a scale-up lag the old plan's still-serving
+        // machines bill too (max of the two plans per shard).
+        double machines = cfg_.count_main_shard ? 1.0 : 0.0;
+        double lag_machines = machines;
+        for (std::size_t s = 0; s < shards; ++s) {
+            machines += vec[s];
+            lag_machines += std::max(
+                vec[s], prev.empty() ? vec[s] : prev[s]);
+        }
+        const double lag_frac =
+            static_cast<double>(lag_n) / static_cast<double>(n);
+        rec.machine_hours =
+            (lag_frac * lag_machines + (1.0 - lag_frac) * machines) *
+            epoch_hours;
+
+        rec.watt_hours = watt_hours;
+        rec.p99_ms = core::latencyQuantiles(all_stats).p99_ms;
+        rec.steady_p99_ms = core::latencyQuantiles(steady_stats).p99_ms;
+        rec.shed_rate = core::shedRate(all_stats);
+        for (const auto &s : all_stats)
+            rec.shed_requests += s.shed() ? 1 : 0;
+        const double steady_shed = core::shedRate(steady_stats);
+        rec.slo_violation = rec.p99_ms > cfg_.slo.p99_ms ||
+                            rec.shed_rate > cfg_.slo.max_shed_rate;
+        rec.steady_slo_violation =
+            rec.steady_p99_ms > cfg_.slo.p99_ms ||
+            steady_shed > cfg_.slo.max_shed_rate;
+        rec.mean_sparse_utilization = meanOf(last_seg.shard_utilization);
+        rec.max_sparse_utilization =
+            last_seg.shard_utilization.empty()
+                ? 0.0
+                : *std::max_element(last_seg.shard_utilization.begin(),
+                                    last_seg.shard_utilization.end());
+        rec.result_cache_hit_rate =
+            rc_lookups > 0 ? static_cast<double>(rc_hits) /
+                                 static_cast<double>(rc_lookups)
+                           : 0.0;
+
+        // dc::DeploymentPlan costing of the decided vector at measured
+        // utilization: the TCO view (power + memory) of this epoch.
+        for (std::size_t s = 0; s < shards; ++s) {
+            dc::ShardProvision p;
+            p.name = "sparse" + std::to_string(s);
+            p.replicas = vec[s];
+            p.total_memory_bytes =
+                static_cast<std::int64_t>(vec[s]) *
+                static_cast<std::int64_t>(
+                    plan_.capacityBytes(spec_, static_cast<int>(s)));
+            p.cpu_utilization =
+                s < last_seg.shard_utilization.size()
+                    ? last_seg.shard_utilization[s]
+                    : 0.0;
+            p.power_watts =
+                static_cast<double>(p.replicas) *
+                (sp.idle_watts +
+                 (sp.busy_watts - sp.idle_watts) * p.cpu_utilization);
+            rec.plan.shards.push_back(p);
+        }
+
+        // Next-epoch observation + carry-over. Policies see the STEADY
+        // P99: the declared reconfiguration window is exempt from SLO
+        // accounting, and a controller penalized on its own window's
+        // cold-cache spike scales up right after every scale-down — a
+        // self-inflicted reconfigure loop.
+        last.epoch = e;
+        last.replicas = vec;
+        last.offered_qps = qps;
+        last.p99_ms = rec.steady_p99_ms;
+        last.shed_rate = rec.shed_rate;
+        last.shard_utilization = last_seg.shard_utilization;
+        last.max_shard_utilization = rec.max_sparse_utilization;
+        have_last = true;
+        prev = vec;
+        const std::size_t back = std::min(n, cfg_.prewarm_requests);
+        prev_tail = slice(n - back, n);
+
+        ledger.epochs.push_back(std::move(rec));
+    }
+    return ledger;
+}
+
+} // namespace dri::fleet

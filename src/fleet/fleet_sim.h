@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The fleet-level control-plane simulator: run the serving engine through
+ * a sequence of diurnal load epochs and reconfigure it between them.
+ *
+ * Each epoch e:
+ *   1. The Autoscaler decides the sparse-replica vector for e (seeing
+ *      only the load model's forecast and the previous epoch's measured
+ *      observation).
+ *   2. The epoch's request sample replays open-loop at the *realized*
+ *      rate (bursts included) through fresh ServingSimulations, split
+ *      into segments when the vector changed:
+ *        - scale-up provisioning lag: the first lag_fraction of the
+ *          epoch still serves on the OLD vector (new machines are
+ *          booting — and billed) while offered load is already the new
+ *          epoch's;
+ *        - cold-cache window: the next cold_fraction serves on the new
+ *          vector with scaled-up shards' row-cache hit rates degraded by
+ *          the cold-replica warmup ramp (a shard that grew from r to r'
+ *          replicas serves at (r + 0.5*(r'-r))/r' of its steady hit rate
+ *          while the new caches fill), and with the pooled-result cache
+ *          invalidated through ServingSimulation::invalidateResultCache()
+ *          — reconfiguration reshards traffic, so pooled responses from
+ *          the old layout are dropped and must be re-earned;
+ *        - steady remainder: new vector, warm caches.
+ *      Request streams carry over between epochs via a prewarm slice
+ *      (replayed before counters engage) so the pooled-result cache has
+ *      cross-epoch continuity exactly when no reconfiguration happened.
+ *   3. The ledger charges machine-hours (decided vector for the whole
+ *      epoch, plus the old plan's extra machines during a scale-up lag),
+ *      watt-hours (per-segment measured utilization through the platform
+ *      idle/busy power curve, idle draw for still-booting replicas), SLO
+ *      violations (overall and outside the declared reconfiguration
+ *      window), and shed volume.
+ *
+ * Everything is seeded: two runs with the same configuration produce
+ * byte-identical FleetStats (fingerprint()-comparable), which is what
+ * makes policy ledgers diffable across commits.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/serving.h"
+#include "core/sharding_plan.h"
+#include "dc/replication.h"
+#include "fleet/autoscaler.h"
+#include "model/model_spec.h"
+#include "sched/capacity_search.h"
+#include "workload/diurnal.h"
+
+namespace dri::fleet {
+
+/** Reconfiguration penalty model. */
+struct ReconfigPenaltyConfig
+{
+    /**
+     * Fraction of a scale-up epoch served by the OLD vector while new
+     * replicas boot. Offered load is already the new epoch's, so an
+     * under-provisioned old plan eats the queueing this window causes.
+     */
+    double provisioning_lag_fraction = 0.1;
+    /**
+     * Fraction of a reconfigured epoch (after the lag) during which
+     * scaled-up shards serve with cold-replica row caches and the
+     * pooled-result cache refills from its invalidation.
+     */
+    double cold_cache_fraction = 0.15;
+};
+
+/** Fleet-simulation parameters. */
+struct FleetConfig
+{
+    sched::SloSpec slo;
+    /** Epochs to simulate (across days of config().epochs_per_day). */
+    int epochs = 24;
+    /** Wall-clock length one epoch stands for (machine-hour unit). */
+    double epoch_duration_s = 3600.0;
+    /** Request-sample length replayed per epoch. */
+    std::size_t requests_per_epoch = 280;
+    /** Carry-over slice replayed before counters engage (0 disables). */
+    std::size_t prewarm_requests = 48;
+    ReconfigPenaltyConfig penalty;
+    /** Count the main shard's machine in the ledgers. */
+    bool count_main_shard = true;
+    std::uint64_t seed = 0xf1ee7;
+};
+
+/** One epoch's ledger row. */
+struct EpochRecord
+{
+    int epoch = 0;
+    double forecast_qps = 0.0;
+    double offered_qps = 0.0;
+    std::vector<int> replicas;
+    bool reconfigured = false;
+    bool scaled_up = false;
+    bool scaled_down = false;
+
+    /** Served-request P99 across the whole epoch. */
+    double p99_ms = 0.0;
+    /** Served-request P99 outside the declared reconfiguration window. */
+    double steady_p99_ms = 0.0;
+    double shed_rate = 0.0;
+    std::int64_t shed_requests = 0;
+    /** SLO check over the whole epoch (reconfiguration window included). */
+    bool slo_violation = false;
+    /** SLO check outside the declared reconfiguration window. */
+    bool steady_slo_violation = false;
+
+    double machine_hours = 0.0;
+    double watt_hours = 0.0;
+    double mean_sparse_utilization = 0.0;
+    double max_sparse_utilization = 0.0;
+    double result_cache_hit_rate = 0.0;
+
+    /** dc-costed deployment at the decided vector (measured utilization). */
+    dc::DeploymentPlan plan;
+    std::int64_t planMemoryBytes() const { return plan.totalMemoryBytes(); }
+    double planPowerWatts() const { return plan.totalPowerWatts(); }
+};
+
+/** The fleet ledger one policy run produces. */
+struct FleetStats
+{
+    std::string policy;
+    std::vector<EpochRecord> epochs;
+
+    double totalMachineHours() const;
+    double totalWattHours() const;
+    int sloViolationEpochs() const;
+    int steadySloViolationEpochs() const;
+    std::int64_t totalShedRequests() const;
+    int reconfigurations() const;
+
+    /**
+     * Order-sensitive hash over every numeric field of every epoch (bit
+     * patterns, not rounded values): equal fingerprints mean
+     * byte-identical ledgers, the determinism contract reruns assert.
+     */
+    std::uint64_t fingerprint() const;
+};
+
+/** Epoch driver: one policy through one diurnal trace. */
+class FleetSim
+{
+  public:
+    FleetSim(const model::ModelSpec &spec, const core::ShardingPlan &plan,
+             core::ServingConfig base_serving,
+             const workload::DiurnalLoadModel &load, FleetConfig config);
+
+    /** Run the policy through all epochs and return its ledger. */
+    FleetStats run(Autoscaler &policy);
+
+    const FleetConfig &config() const { return cfg_; }
+
+  private:
+    struct SegmentResult;
+
+    SegmentResult
+    runSegment(const std::vector<int> &replicas,
+               const std::vector<workload::Request> &slice, double qps,
+               const std::vector<workload::Request> &prewarm,
+               bool invalidate_result_cache,
+               const std::vector<int> &prev_replicas, bool degrade_caches,
+               std::uint64_t seed_salt);
+
+    model::ModelSpec spec_;
+    core::ShardingPlan plan_;
+    core::ServingConfig base_;
+    const workload::DiurnalLoadModel &load_;
+    FleetConfig cfg_;
+};
+
+} // namespace dri::fleet

@@ -14,6 +14,23 @@ resultSignature(std::int64_t batch_items, std::int64_t lookups)
                         static_cast<std::uint64_t>(lookups));
 }
 
+std::uint64_t
+resultSignature(std::int64_t batch_items, std::int64_t lookups,
+                std::uint64_t content_hash, int batch_id)
+{
+    const std::uint64_t shape = resultSignature(batch_items, lookups);
+    if (content_hash == 0)
+        return shape; // no content identity: legacy shape-only keying
+    // Fold the request's content identity and the batch's position in
+    // its wave split into the signature: batch b of two content-equal
+    // requests covers the same item slice (same key), while two distinct
+    // feature vectors of equal shape never alias.
+    return stats::mix64(
+        shape ^ stats::mix64(content_hash +
+                             static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(batch_id))));
+}
+
 ResultCache::ResultCache(ResultCacheConfig config) : config_(config) {}
 
 bool

@@ -76,6 +76,20 @@ struct ResultCacheStats
 std::uint64_t resultSignature(std::int64_t batch_items,
                               std::int64_t lookups);
 
+/**
+ * Content-addressed signature: the shape signature folded with the
+ * request's feature-vector hash (workload::Request::content_hash) and
+ * the batch's index within the request's wave split. Identical feature
+ * vectors across users share entries (same content, same split => same
+ * keys); distinct vectors of equal shape do not. A zero content hash
+ * (hand-built requests with no content identity) degrades to the
+ * shape-only signature, preserving the pre-content-addressing sharing
+ * semantics.
+ */
+std::uint64_t resultSignature(std::int64_t batch_items,
+                              std::int64_t lookups,
+                              std::uint64_t content_hash, int batch_id);
+
 /** LRU + TTL cache of pooled sparse responses, keyed per (net, group). */
 class ResultCache
 {

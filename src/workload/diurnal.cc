@@ -1,0 +1,150 @@
+#include "workload/diurnal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/hash.h"
+#include "stats/rng.h"
+
+namespace dri::workload {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+
+/** Small-mean Poisson draw (Knuth); burst rates are O(1) per epoch. */
+int
+samplePoisson(double mean, stats::Rng &rng)
+{
+    if (mean <= 0.0)
+        return 0;
+    const double l = std::exp(-mean);
+    double p = 1.0;
+    int k = 0;
+    do {
+        ++k;
+        p *= rng.uniform();
+    } while (p > l);
+    return k - 1;
+}
+
+} // namespace
+
+DiurnalLoadModel::DiurnalLoadModel(const model::ModelSpec &spec,
+                                   DiurnalLoadConfig config)
+    : spec_(spec), config_(config)
+{
+    assert(config_.base_qps > 0.0);
+    assert(config_.amplitude >= 0.0 && config_.amplitude < 1.0);
+    assert(config_.epochs_per_day > 0);
+    assert(config_.burst_fraction >= 0.0 && config_.burst_fraction <= 1.0);
+    assert(config_.net_mix_amplitude >= 0.0 &&
+           config_.net_mix_amplitude < 1.0);
+}
+
+double
+DiurnalLoadModel::forecastQps(int epoch) const
+{
+    const double t =
+        (static_cast<double>(epoch) + config_.phase_epochs) /
+        static_cast<double>(config_.epochs_per_day);
+    return config_.base_qps * (1.0 + config_.amplitude * std::sin(kTwoPi * t));
+}
+
+double
+DiurnalLoadModel::peakForecastQps() const
+{
+    // The continuous peak base*(1+amplitude) may fall between epoch grid
+    // points; a static provisioner must cover every epoch it will face,
+    // so report the grid maximum over one full day.
+    double peak = 0.0;
+    for (int e = 0; e < config_.epochs_per_day; ++e)
+        peak = std::max(peak, forecastQps(e));
+    return peak;
+}
+
+int
+DiurnalLoadModel::burstCount(int epoch) const
+{
+    if (config_.bursts_per_epoch <= 0.0)
+        return 0;
+    // Independent per-epoch stream: draws for epoch e never perturb
+    // epoch e+1, so any policy observing any prefix sees identical
+    // bursts.
+    stats::Rng rng(stats::mix64(
+        config_.seed ^ (0xb1a5e5ULL + static_cast<std::uint64_t>(
+                                          static_cast<std::uint32_t>(epoch)) *
+                                          0x9e3779b97f4a7c15ULL)));
+    return samplePoisson(config_.bursts_per_epoch, rng);
+}
+
+double
+DiurnalLoadModel::realizedQps(int epoch) const
+{
+    const double uplift = static_cast<double>(burstCount(epoch)) *
+                          (config_.burst_multiplier - 1.0) *
+                          config_.burst_fraction;
+    return forecastQps(epoch) * (1.0 + std::max(0.0, uplift));
+}
+
+double
+DiurnalLoadModel::mixShift(int epoch) const
+{
+    if (config_.net_mix_amplitude <= 0.0)
+        return 0.0;
+    const double t = static_cast<double>(epoch) /
+                     static_cast<double>(config_.epochs_per_day);
+    return config_.net_mix_amplitude * std::sin(kTwoPi * t);
+}
+
+std::vector<Request>
+DiurnalLoadModel::epochRequests(int epoch, std::size_t n) const
+{
+    GeneratorConfig gc;
+    gc.seed = stats::mix64(config_.seed +
+                           0x5eed0000ULL * static_cast<std::uint64_t>(
+                                               static_cast<std::uint32_t>(
+                                                   epoch + 1)));
+    RequestGenerator gen(spec_, gc);
+    std::vector<Request> requests;
+    if (config_.context_pool > 0) {
+        // Recurring contexts: the pool is seeded by the model seed ONLY
+        // (stable across epochs — contexts persist day over day, which
+        // is what gives the pooled-result cache cross-epoch continuity
+        // to lose at a reconfiguration); the per-epoch stream is the
+        // sampling order and the user ids.
+        RequestGenerator pool_gen(spec_,
+                                  GeneratorConfig{config_.seed ^ 0x9001});
+        const auto pool = pool_gen.generate(config_.context_pool);
+        stats::Rng pick(gc.seed);
+        requests.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            Request req = pool[static_cast<std::size_t>(pick.uniformInt(
+                0, static_cast<std::int64_t>(pool.size()) - 1))];
+            req.id = (static_cast<std::uint64_t>(
+                          static_cast<std::uint32_t>(epoch))
+                      << 32) |
+                     static_cast<std::uint64_t>(i);
+            requests.push_back(std::move(req));
+        }
+    } else {
+        requests = gen.generate(n);
+    }
+
+    const double shift = mixShift(epoch);
+    if (shift != 0.0) {
+        for (auto &req : requests) {
+            for (std::size_t t = 0; t < req.table_lookups.size(); ++t) {
+                const bool odd = (spec_.tables[t].net_id % 2) != 0;
+                const double scale = odd ? 1.0 + shift : 1.0 - shift;
+                req.table_lookups[t] = static_cast<std::int32_t>(
+                    std::llround(scale * req.table_lookups[t]));
+            }
+            req.content_hash = req.computeContentHash();
+        }
+    }
+    return requests;
+}
+
+} // namespace dri::workload

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "stats/hash.h"
+
 namespace dri::workload {
 
 std::int64_t
@@ -25,6 +27,20 @@ Request::lookupsForNet(const model::ModelSpec &spec, int net_id) const
     return total;
 }
 
+std::uint64_t
+Request::computeContentHash() const
+{
+    // Chained splitmix64 over the feature vector. The id is deliberately
+    // excluded: content identity is about *what* is ranked, not who
+    // asked.
+    std::uint64_t h =
+        stats::mix64(0x5eedc0deULL ^ static_cast<std::uint64_t>(items));
+    for (const auto n : table_lookups)
+        h = stats::mix64(h ^ static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(n)));
+    return h != 0 ? h : 1; // 0 is reserved for "no content identity"
+}
+
 Request
 mergeRequests(const std::vector<Request> &parts)
 {
@@ -37,6 +53,10 @@ mergeRequests(const std::vector<Request> &parts)
         for (std::size_t t = 0; t < merged.table_lookups.size(); ++t)
             merged.table_lookups[t] += p.table_lookups[t];
     }
+    // Content identity follows the merged feature vector, so two batches
+    // coalescing the same per-table totals share pooled results
+    // regardless of which users contributed them.
+    merged.content_hash = merged.computeContentHash();
     return merged;
 }
 
@@ -100,6 +120,7 @@ RequestGenerator::makeRequest(stats::Rng &rng, std::uint64_t id,
             req.table_lookups[i] = sampleCount(mean, rng);
         }
     }
+    req.content_hash = req.computeContentHash();
     return req;
 }
 

@@ -26,12 +26,27 @@ struct Request
     /** Lookups per table, indexed by TableSpec::id. */
     std::vector<std::int32_t> table_lookups;
 
+    /**
+     * Content identity: a hash of the request's feature vector (items +
+     * per-table lookup counts), *excluding* the user-facing id. Two
+     * requests from different users with identical feature vectors carry
+     * equal hashes — and may therefore share pooled-result-cache entries
+     * — while distinct vectors of equal total shape do not. Zero means
+     * "no content identity" (hand-built requests): consumers fall back
+     * to shape-only keying. The generator and mergeRequests always fill
+     * it; call computeContentHash() after mutating a request by hand.
+     */
+    std::uint64_t content_hash = 0;
+
     /** Total lookups across all tables. */
     std::int64_t totalLookups() const;
 
     /** Total lookups restricted to one net's tables. */
     std::int64_t lookupsForNet(const model::ModelSpec &spec,
                                int net_id) const;
+
+    /** Hash of (items, table_lookups); never returns 0. */
+    std::uint64_t computeContentHash() const;
 };
 
 /**

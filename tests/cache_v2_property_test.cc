@@ -158,6 +158,64 @@ TEST(TinyLfuProperty, NeverLowersHitRateOnZipfTraces)
     }
 }
 
+/**
+ * The W-TinyLFU property from the issue: on drifting-window traces —
+ * where the plain doorkeeper measurably hurts (every fresh row pays the
+ * admission lag, and the window drifts a fresh row in every
+ * drift_stride accesses) — the LRU admission window plus the adaptive
+ * climber recover the unfiltered hit rate to within 3% absolute, while
+ * plain TinyLFU stays far behind. Not-worse on the drifting trace is
+ * exactly what the ROADMAP said the old property tests merely
+ * "tolerated".
+ */
+TEST(WTinyLfuProperty, NotWorseOnDriftingWindowTraces)
+{
+    const auto spec = model::makeCacheStudySpec();
+    for (const double recency : {1.0, 0.5}) {
+        const auto trace = driftTrace(spec, recency);
+        const auto universe =
+            workload::traceFootprint(spec, trace).universe_bytes;
+        for (const double f : {0.1, 0.2, 0.4}) {
+            const double plain =
+                hitRate(spec, trace, universe, Policy::Lru, f);
+            const double doorkeeper = hitRate(
+                spec, trace, universe, Policy::Lru, f, Admission::TinyLfu);
+            const double windowed = hitRate(
+                spec, trace, universe, Policy::Lru, f, Admission::WTinyLfu);
+            // Not worse than no admission (the lag is gone)...
+            EXPECT_GE(windowed, plain - 0.03)
+                << "recency=" << recency << " f=" << f;
+            // ...and decisively better than the bare doorkeeper.
+            EXPECT_GE(windowed, doorkeeper + 0.02)
+                << "recency=" << recency << " f=" << f
+                << " doorkeeper=" << doorkeeper << " windowed=" << windowed;
+        }
+    }
+}
+
+/** The window must not give back the doorkeeper's Zipf win either. */
+TEST(WTinyLfuProperty, StaysCloseOnZipfTraces)
+{
+    const auto spec = model::makeCacheStudySpec();
+    for (const std::uint64_t seed : {17ull, 99ull}) {
+        const auto trace = zipfTrace(spec, 0.8, seed);
+        const auto universe =
+            workload::traceFootprint(spec, trace).universe_bytes;
+        for (const auto policy : {Policy::Lru, Policy::Arc}) {
+            for (const double f : kBudgets) {
+                const double plain =
+                    hitRate(spec, trace, universe, policy, f);
+                const double windowed = hitRate(spec, trace, universe,
+                                                policy, f,
+                                                Admission::WTinyLfu);
+                EXPECT_GE(windowed, plain - 0.03)
+                    << cache::policyName(policy) << " f=" << f
+                    << " seed=" << seed;
+            }
+        }
+    }
+}
+
 TEST(TinyLfuProperty, FiltersOneHitWondersUnderPressure)
 {
     const auto spec = model::makeCacheStudySpec();

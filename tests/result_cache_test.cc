@@ -128,6 +128,57 @@ TEST(ResultCache, SignatureSeparatesShapes)
     EXPECT_NE(rpc::resultSignature(64, 128), rpc::resultSignature(65, 128));
 }
 
+TEST(ResultCache, ContentSignatureSeparatesContentNotUsers)
+{
+    // Equal shape + equal content + equal batch index: shared.
+    EXPECT_EQ(rpc::resultSignature(64, 128, 0xabcdu, 0),
+              rpc::resultSignature(64, 128, 0xabcdu, 0));
+    // Equal shape, distinct feature vectors: never aliased.
+    EXPECT_NE(rpc::resultSignature(64, 128, 0xabcdu, 0),
+              rpc::resultSignature(64, 128, 0xef01u, 0));
+    // Distinct batch slices of the same request: never aliased.
+    EXPECT_NE(rpc::resultSignature(64, 128, 0xabcdu, 0),
+              rpc::resultSignature(64, 128, 0xabcdu, 1));
+    // Zero content hash degrades to the legacy shape-only signature.
+    EXPECT_EQ(rpc::resultSignature(64, 128, 0u, 3),
+              rpc::resultSignature(64, 128));
+}
+
+TEST(RequestContentHash, HashesFeatureVectorNotId)
+{
+    const auto spec = model::makeDrm2();
+    workload::RequestGenerator gen(spec, workload::GeneratorConfig{7});
+    auto a = gen.generate(1)[0];
+    ASSERT_NE(a.content_hash, 0u);
+    EXPECT_EQ(a.content_hash, a.computeContentHash());
+
+    // Different user, identical feature vector: identical hash.
+    auto b = a;
+    b.id = a.id + 1000;
+    EXPECT_EQ(b.computeContentHash(), a.content_hash);
+
+    // Shift one lookup between two tables: totals (shape) unchanged,
+    // content different.
+    auto c = a;
+    std::size_t t1 = 0;
+    while (t1 < c.table_lookups.size() && c.table_lookups[t1] == 0)
+        ++t1;
+    ASSERT_LT(t1 + 1, c.table_lookups.size());
+    c.table_lookups[t1] -= 1;
+    c.table_lookups[t1 + 1] += 1;
+    c.content_hash = c.computeContentHash();
+    EXPECT_EQ(c.totalLookups(), a.totalLookups());
+    EXPECT_NE(c.content_hash, a.content_hash);
+
+    // The batcher's merge derives content identity from the merged
+    // vector, so merge order does not matter.
+    const auto m1 = workload::mergeRequests({a, b});
+    auto b2 = b, a2 = a;
+    const auto m2 = workload::mergeRequests({b2, a2});
+    EXPECT_EQ(m1.content_hash, m2.content_hash);
+    EXPECT_NE(m1.content_hash, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Serving integration.
 // ---------------------------------------------------------------------------
@@ -189,6 +240,75 @@ TEST(ResultCacheServing, RepeatedShapesShortCircuitRpcs)
     }
     EXPECT_EQ(hits, rcs.hits);
     EXPECT_EQ(misses, rcs.misses);
+}
+
+/**
+ * The content-addressing regression, both directions: a different user
+ * with the identical feature vector shares every pooled entry; a request
+ * with the same *shape* (identical per-group lookup totals) but a
+ * different per-table feature vector shares none.
+ */
+TEST(ResultCacheServing, ContentHashSharesVectorsNotShapes)
+{
+    const ServingFixture fx;
+    core::ServingSimulation sim(fx.spec, fx.plan, fx.config(true));
+
+    auto r1 = fx.requests[0];
+    ASSERT_NE(r1.content_hash, 0u);
+
+    // Same-user-content twin under a different id.
+    auto twin = r1;
+    twin.id = 777777;
+
+    // Equal-shape impostor: shift one lookup between two whole tables
+    // that live on the same shard and net, so every (net, group, batch)
+    // lookup total — the legacy key — is unchanged.
+    auto impostor = r1;
+    impostor.id = 888888;
+    int ta = -1, tb = -1;
+    for (std::size_t i = 0;
+         i < fx.spec.tables.size() && ta < 0; ++i) {
+        if (impostor.table_lookups[i] <= 0)
+            continue;
+        const auto &ai = fx.plan.assignmentFor(static_cast<int>(i));
+        if (ai.isSplit())
+            continue;
+        for (std::size_t j = i + 1; j < fx.spec.tables.size(); ++j) {
+            const auto &aj = fx.plan.assignmentFor(static_cast<int>(j));
+            if (aj.isSplit() || aj.shards[0] != ai.shards[0] ||
+                fx.spec.tables[j].net_id != fx.spec.tables[i].net_id)
+                continue;
+            ta = static_cast<int>(i);
+            tb = static_cast<int>(j);
+            break;
+        }
+    }
+    ASSERT_GE(ta, 0) << "fixture plan lost its co-located whole tables";
+    impostor.table_lookups[static_cast<std::size_t>(ta)] -= 1;
+    impostor.table_lookups[static_cast<std::size_t>(tb)] += 1;
+    impostor.content_hash = impostor.computeContentHash();
+    ASSERT_NE(impostor.content_hash, r1.content_hash);
+
+    auto run = [&](const workload::Request &r) {
+        core::RequestStats out;
+        sim.inject(r, [&out](const core::RequestStats &s) { out = s; });
+        sim.engine().run();
+        return out;
+    };
+
+    const auto first = run(r1);
+    EXPECT_EQ(first.result_cache_hits, 0);
+    EXPECT_GT(first.result_cache_misses, 0);
+
+    // Identical feature vector, different user: every probe hits.
+    const auto s_twin = run(twin);
+    EXPECT_EQ(s_twin.result_cache_misses, 0);
+    EXPECT_EQ(s_twin.result_cache_hits, first.result_cache_misses);
+
+    // Identical shape, different feature vector: no probe hits.
+    const auto s_imp = run(impostor);
+    EXPECT_EQ(s_imp.result_cache_hits, 0);
+    EXPECT_GT(s_imp.result_cache_misses, 0);
 }
 
 TEST(ResultCacheServing, DisabledLeavesCountersZero)
