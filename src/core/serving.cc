@@ -11,6 +11,7 @@
 
 #include "cache/lookup_model.h"
 #include "netsim/message.h"
+#include "obs/span_tracer.h"
 #include "rpc/discovery.h"
 #include "stats/summary.h"
 
@@ -81,6 +82,8 @@ struct ServingSimulation::Impl
         sim::SimTime dispatch_time = 0;
         sim::SimTime last_response = 0;
         std::int64_t response_bytes = 0;
+        obs::SpanId sp_batch = obs::kNoSpan; //!< BatchExec span
+        obs::SpanId sp_embed = obs::kNoSpan; //!< EmbeddedWait span
         /**
          * The batch's fan-out ops; each holds one reference so the
          * pointers stay valid for mid-flight shed cancellation until
@@ -106,6 +109,8 @@ struct ServingSimulation::Impl
         /** Busy components for proportional refund on cancellation. */
         sim::Duration service = 0, serde = 0, overhead = 0, op_ns = 0;
         std::size_t sidx = 0, nidx = 0;
+        obs::SpanId sp_attempt = obs::kNoSpan; //!< RpcAttempt span
+        obs::SpanId sp_exec = obs::kNoSpan;    //!< RemoteCompute span
     };
 
     /**
@@ -118,6 +123,12 @@ struct ServingSimulation::Impl
     struct RpcOp
     {
         BatchState *bt = nullptr;
+        /**
+         * Owning request's id, copied at dispatch: cancelled attempts
+         * can outlive the batch (and its Active), so span bookkeeping
+         * on those paths must not chase bt->req.
+         */
+        std::uint64_t request_id = 0;
         const NetInfo *ni = nullptr;
         std::size_t gi = 0;
         std::int64_t lookups = 0;
@@ -125,6 +136,7 @@ struct ServingSimulation::Impl
         sim::SimTime dispatched = 0; //!< primary dispatch (client clock)
         int primary_server = -1;     //!< replica the primary landed on
         bool won = false;            //!< an attempt finished remote service
+        bool shed = false; //!< won was set by shed poisoning, not a race win
         int refs = 0;
         /** Result-cache key this op's winning response is memoized under. */
         rpc::ResultCache::Key cache_key;
@@ -132,6 +144,7 @@ struct ServingSimulation::Impl
         std::uint64_t cache_epoch = 0;
         /** [0] = primary, [1] = hedge. */
         AttemptExec exec[2];
+        obs::SpanId sp_op = obs::kNoSpan; //!< RpcOp span
     };
 
     struct Active
@@ -162,6 +175,9 @@ struct ServingSimulation::Impl
         bool finishing = false;
         /** Batches with RPC fan-out currently outstanding. */
         std::vector<BatchState *> live_batches;
+
+        obs::SpanId sp_root = obs::kNoSpan; //!< Request span
+        obs::SpanId sp_net = obs::kNoSpan;  //!< current NetPhase span
     };
 
     Impl(const model::ModelSpec &spec, const ShardingPlan &plan,
@@ -170,6 +186,10 @@ struct ServingSimulation::Impl
           link(cfg.link), service(cfg.service), rng(cfg.seed),
           hedge_tracker(cfg.hedge.window), result_cache(cfg.result_cache)
     {
+        // Cache the tracer pointer once: the hot path pays exactly one
+        // null check per emission site when tracing is off.
+        tr = (cfg.tracer != nullptr && cfg.tracer->enabled()) ? cfg.tracer
+                                                              : nullptr;
         const auto n_shards =
             static_cast<std::size_t>(std::max(plan.numShards(), 0));
         shard_trackers.reserve(n_shards);
@@ -220,6 +240,8 @@ struct ServingSimulation::Impl
     const ShardingPlan &plan;
     ServingConfig cfg;
     trace::TraceCollector &collector;
+    /** Cached span tracer; null when tracing is disabled. */
+    obs::SpanTracer *tr = nullptr;
 
     sim::Engine engine;
     std::unique_ptr<sim::Resource> main_cores;
@@ -461,7 +483,7 @@ struct ServingSimulation::Impl
         if (!a->slot_waiters.empty()) {
             auto next = std::move(a->slot_waiters.front());
             a->slot_waiters.pop_front();
-            engine.schedule(0, std::move(next));
+            engine.schedule(0, sim::kEvGrant, std::move(next));
         } else {
             ++a->slots_free;
         }
@@ -520,6 +542,8 @@ struct ServingSimulation::Impl
     shedRequest(Active *a, ShedReason reason)
     {
         unregisterLive(a);
+        if (tr)
+            tr->end(a->sp_root, engine.now(), obs::kFlagShed);
         a->st.shed_reason = reason;
         a->st.completion = engine.now();
         a->st.e2e = a->st.completion - a->st.arrival;
@@ -535,6 +559,12 @@ struct ServingSimulation::Impl
     void
     destroyBatch(BatchState *bt)
     {
+        if (tr) {
+            // Shed drains reach here with the wait/exec spans still
+            // open; close them as cancelled debris.
+            tr->end(bt->sp_embed, engine.now(), obs::kFlagCancelled);
+            tr->end(bt->sp_batch, engine.now(), obs::kFlagCancelled);
+        }
         for (RpcOp *op : bt->ops)
             derefOp(op);
         pending_top_.erase(bt);
@@ -578,6 +608,10 @@ struct ServingSimulation::Impl
         AttemptExec &ex = op->exec[idx];
         ex.cancelled = true;
         ex.executing = false;
+        if (tr) {
+            tr->end(ex.sp_exec, engine.now(), obs::kFlagCancelled);
+            tr->end(ex.sp_attempt, engine.now(), obs::kFlagCancelled);
+        }
         const sim::Duration consumed = engine.now() - ex.exec_start;
         const sim::Duration saved = ex.busy - consumed;
         const double f = ex.busy > 0 ? static_cast<double>(saved) /
@@ -618,6 +652,9 @@ struct ServingSimulation::Impl
                 if (op->won)
                     continue; // decided: response delivered or in flight
                 op->won = true; // poison: remaining attempts self-cancel
+                op->shed = true;
+                if (tr)
+                    tr->end(op->sp_op, engine.now(), obs::kFlagCancelled);
                 ++shed_cancelled_rpcs;
                 ++cancelled_now[bi];
                 for (int i = 0; i < 2; ++i)
@@ -626,7 +663,11 @@ struct ServingSimulation::Impl
             }
         }
 
-        // 2. Emit the settled stats.
+        // 2. Emit the settled stats. The root span closes here, at the
+        // moment the client gives up; the remaining machinery drains as
+        // cancelled debris spans that may outlive it.
+        if (tr)
+            tr->end(a->sp_root, engine.now(), obs::kFlagShed);
         a->st.shed_reason = ShedReason::DeadlineExceeded;
         a->st.completion = engine.now();
         a->st.e2e = a->st.completion - a->st.arrival;
@@ -682,6 +723,16 @@ struct ServingSimulation::Impl
         a->slots_free = std::max(1, cfg.request_parallelism);
         a->st.arrival = arrival >= 0 ? arrival : engine.now();
 
+        if (tr) {
+            a->sp_root = tr->begin(a->st.id, obs::SpanKind::Request,
+                                   obs::kNoSpan, a->st.arrival);
+            // A backdated arrival means the dynamic batcher held the
+            // request while coalescing riders.
+            if (a->st.arrival < engine.now())
+                tr->record(a->st.id, obs::SpanKind::BatchCoalesce,
+                           a->sp_root, a->st.arrival, engine.now());
+        }
+
         // Admission control: cap the main-shard wait queue at arrival.
         if (cfg.admission.max_main_queue > 0 &&
             main_cores->queued() >=
@@ -699,7 +750,7 @@ struct ServingSimulation::Impl
                 0,
                 a->st.arrival + cfg.admission.deadline_ns - engine.now());
             const std::uint64_t id = a->st.id;
-            engine.schedule(delay,
+            engine.schedule(delay, sim::kEvTimer,
                             [this, id, a] { shedTimerFired(id, a); });
         }
 
@@ -734,7 +785,14 @@ struct ServingSimulation::Impl
             a->st.cpu_serde_ns += static_cast<double>(deserde);
             span(trace::Layer::RequestSerDe, trace::kMainShard, -1, -1,
                  engine.now(), engine.now() + handler + deserde, a->st.id);
-            engine.schedule(handler + deserde, [this, a] {
+            if (tr) {
+                if (engine.now() > q0)
+                    tr->record(a->st.id, obs::SpanKind::QueueWait,
+                               a->sp_root, q0, engine.now());
+                tr->record(a->st.id, obs::SpanKind::Deserialize, a->sp_root,
+                           engine.now(), engine.now() + handler + deserde);
+            }
+            engine.schedule(handler + deserde, sim::kEvMainCompute, [this, a] {
                 main_cores->release();
                 if (a->shed_mid_flight) {
                     delete a; // shed during request deserde; nothing queued
@@ -756,6 +814,10 @@ struct ServingSimulation::Impl
         computeNetLookups(a, ni);
         a->net_embedded_max = 0;
         a->batches_left = a->nb;
+        if (tr)
+            a->sp_net =
+                tr->begin(a->st.id, obs::SpanKind::NetPhase, a->sp_root,
+                          engine.now(), obs::kMainShard, ni.net_id);
         // Framework scheduling cost appears once on the net's critical
         // path (batches pay it in parallel).
         a->st.lat_net_overhead += scaled(
@@ -776,14 +838,24 @@ struct ServingSimulation::Impl
         }
         const NetInfo *nip0 = &nets[a->net_idx];
         const sim::SimTime q0 = engine.now();
-        main_cores->acquire([this, a, nip0, b, q0] {
-            (void)q0;
+        obs::SpanId sp_batch = obs::kNoSpan;
+        if (tr)
+            sp_batch = tr->begin(a->st.id, obs::SpanKind::BatchExec,
+                                 a->sp_net, q0, obs::kMainShard,
+                                 nets[a->net_idx].net_id, b);
+        main_cores->acquire([this, a, nip0, b, q0, sp_batch] {
             if (a->shed_mid_flight) {
+                if (tr)
+                    tr->end(sp_batch, engine.now(), obs::kFlagCancelled);
                 main_cores->release();
                 releaseSlot(a);
                 batchDone(a);
                 return;
             }
+            if (tr && engine.now() > q0)
+                tr->record(a->st.id, obs::SpanKind::QueueWait, sp_batch, q0,
+                           engine.now(), obs::kMainShard,
+                           nip0->net_id, b);
             const NetInfo &ni = *nip0;
             const std::int64_t bitems = batchItems(a, b);
             const double dense_total =
@@ -821,14 +893,34 @@ struct ServingSimulation::Impl
                      engine.now() + overhead + bottom + sparse,
                      engine.now() + overhead + bottom + sparse + top,
                      a->st.id);
+                if (tr) {
+                    const sim::SimTime t0 = engine.now();
+                    tr->record(a->st.id, obs::SpanKind::DenseBottom,
+                               sp_batch, t0, t0 + overhead + bottom,
+                               obs::kMainShard, ni.net_id, b);
+                    tr->record(a->st.id, obs::SpanKind::InlineSparse,
+                               sp_batch, t0 + overhead + bottom,
+                               t0 + overhead + bottom + sparse,
+                               obs::kMainShard, ni.net_id, b);
+                    tr->record(a->st.id, obs::SpanKind::DenseTop, sp_batch,
+                               t0 + overhead + bottom + sparse,
+                               t0 + overhead + bottom + sparse + top,
+                               obs::kMainShard, ni.net_id, b);
+                }
                 engine.schedule(
-                    overhead + bottom + sparse + top, [this, a, sparse] {
+                    overhead + bottom + sparse + top, sim::kEvMainCompute,
+                    [this, a, sparse, sp_batch] {
                         main_cores->release();
                         releaseSlot(a);
                         if (a->shed_mid_flight) {
+                            if (tr)
+                                tr->end(sp_batch, engine.now(),
+                                        obs::kFlagCancelled);
                             batchDone(a);
                             return;
                         }
+                        if (tr)
+                            tr->end(sp_batch, engine.now());
                         a->net_embedded_max =
                             std::max(a->net_embedded_max, sparse);
                         a->max_inline_sparse =
@@ -866,9 +958,19 @@ struct ServingSimulation::Impl
                             netsim::sparseResponseBytes(
                                 static_cast<std::int64_t>(g.sum_dims),
                                 bitems);
+                        if (tr)
+                            tr->record(a->st.id,
+                                       obs::SpanKind::ResultCacheProbe,
+                                       sp_batch, engine.now(), engine.now(),
+                                       g.shard, ni.net_id, b,
+                                       obs::kFlagCacheHit);
                         continue;
                     }
                     ++a->st.result_cache_misses;
+                    if (tr)
+                        tr->record(a->st.id, obs::SpanKind::ResultCacheProbe,
+                                   sp_batch, engine.now(), engine.now(),
+                                   g.shard, ni.net_id, b);
                 }
                 active.push_back(gi);
                 const std::int64_t bytes = netsim::sparseRequestBytes(
@@ -879,7 +981,22 @@ struct ServingSimulation::Impl
             if (active.empty()) {
                 // No sparse work anywhere this batch (or every group hit
                 // the result cache): pure dense path.
-                engine.schedule(overhead + bottom + top, [this, a] {
+                if (tr) {
+                    const sim::SimTime t0 = engine.now();
+                    tr->record(a->st.id, obs::SpanKind::DenseBottom,
+                               sp_batch, t0, t0 + overhead + bottom,
+                               obs::kMainShard, ni.net_id, b);
+                    tr->record(a->st.id, obs::SpanKind::DenseTop, sp_batch,
+                               t0 + overhead + bottom,
+                               t0 + overhead + bottom + top,
+                               obs::kMainShard, ni.net_id, b);
+                }
+                engine.schedule(overhead + bottom + top, sim::kEvMainCompute,
+                                [this, a, sp_batch] {
+                    if (tr)
+                        tr->end(sp_batch, engine.now(),
+                                a->shed_mid_flight ? obs::kFlagCancelled
+                                                   : obs::kFlagNone);
                     main_cores->release();
                     releaseSlot(a);
                     batchDone(a);
@@ -891,12 +1008,25 @@ struct ServingSimulation::Impl
             span(trace::Layer::ClientDispatch, trace::kMainShard, ni.net_id,
                  b, engine.now() + overhead + bottom,
                  engine.now() + overhead + bottom + send_cpu, a->st.id);
+            if (tr) {
+                const sim::SimTime t0 = engine.now();
+                tr->record(a->st.id, obs::SpanKind::DenseBottom, sp_batch,
+                           t0, t0 + overhead + bottom, obs::kMainShard,
+                           ni.net_id, b);
+                tr->record(a->st.id, obs::SpanKind::ClientSerde, sp_batch,
+                           t0 + overhead + bottom,
+                           t0 + overhead + bottom + send_cpu,
+                           obs::kMainShard, ni.net_id, b);
+            }
             engine.schedule(
-                overhead + bottom + send_cpu,
-                [this, a, nip, b, bitems, top, active] {
+                overhead + bottom + send_cpu, sim::kEvMainCompute,
+                [this, a, nip, b, bitems, top, active, sp_batch] {
                     if (a->shed_mid_flight) {
                         // Shed during the dense phase: the fan-out is
                         // never dispatched.
+                        if (tr)
+                            tr->end(sp_batch, engine.now(),
+                                    obs::kFlagCancelled);
                         main_cores->release();
                         releaseSlot(a);
                         batchDone(a);
@@ -909,6 +1039,11 @@ struct ServingSimulation::Impl
                     bt->batch_items = bitems;
                     bt->pending = static_cast<int>(active.size());
                     bt->dispatch_time = engine.now();
+                    bt->sp_batch = sp_batch;
+                    if (tr)
+                        bt->sp_embed = tr->begin(
+                            a->st.id, obs::SpanKind::EmbeddedWait, sp_batch,
+                            engine.now(), obs::kMainShard, nip->net_id, b);
                     a->live_batches.push_back(bt);
                     for (std::size_t gi : active)
                         sendRpc(bt, *nip, gi);
@@ -932,6 +1067,19 @@ struct ServingSimulation::Impl
     {
         if (--op->refs == 0)
             delete op;
+    }
+
+    /**
+     * Span flags for an attempt self-cancelling after its op was
+     * decided: a race decision makes it a loser; a shed poisons the op
+     * with no winner, so the attempt is merely cancelled.
+     */
+    static std::uint8_t
+    loseFlags(const RpcOp *op)
+    {
+        return op->shed ? obs::kFlagCancelled
+                        : static_cast<std::uint8_t>(obs::kFlagCancelled |
+                                                    obs::kFlagLoser);
     }
 
     /** Is a backup dispatch within the hedge budget right now? */
@@ -981,6 +1129,7 @@ struct ServingSimulation::Impl
 
         auto *op = new RpcOp();
         op->bt = bt;
+        op->request_id = a->st.id;
         op->ni = &ni;
         op->gi = gi;
         op->lookups = lk;
@@ -992,6 +1141,10 @@ struct ServingSimulation::Impl
                                  a->req->content_hash, bt->batch_id)};
         op->cache_epoch = result_cache.epoch();
         op->refs = 2; // the primary attempt + the batch's ops registry
+        if (tr)
+            op->sp_op = tr->begin(a->st.id, obs::SpanKind::RpcOp,
+                                  bt->sp_embed, engine.now(), g.shard,
+                                  ni.net_id, bt->batch_id);
         bt->ops.push_back(op);
         launchAttempt(op, /*is_hedge=*/false);
         maybeScheduleHedge(op);
@@ -1016,10 +1169,10 @@ struct ServingSimulation::Impl
             trackerFor(op->ni->groups[op->gi].shard);
         if (tracker.count() < std::max<std::size_t>(1, hc.min_samples))
             return;
-        const sim::Duration deadline = std::max(
-            hc.min_deadline_ns, tracker.quantile(hc.quantile));
+        const sim::Duration deadline =
+            tracker.deadline(hc.quantile, hc.min_deadline_ns);
         ++op->refs; // the timer (held across re-arms)
-        engine.schedule(deadline,
+        engine.schedule(deadline, sim::kEvTimer,
                         [this, op, deadline] { hedgeTimerFired(op, deadline); });
     }
 
@@ -1035,7 +1188,7 @@ struct ServingSimulation::Impl
         // re-arm rather than silently dropping the hedge. The wire delay
         // is finite, so this terminates.
         if (op->primary_server < 0) {
-            engine.schedule(deadline, [this, op, deadline] {
+            engine.schedule(deadline, sim::kEvTimer, [this, op, deadline] {
                 hedgeTimerFired(op, deadline);
             });
             return;
@@ -1088,12 +1241,25 @@ struct ServingSimulation::Impl
         salt = salt * 0x100000001b3ULL ^ (is_hedge ? 2u : 1u);
         stats::Rng arng = rng.fork(salt);
 
+        AttemptExec &ex = op->exec[is_hedge ? 1 : 0];
+        if (tr) {
+            ex.sp_attempt = tr->begin(
+                a->st.id, obs::SpanKind::RpcAttempt, op->sp_op,
+                engine.now(), g.shard, op->ni->net_id, op->bt->batch_id,
+                is_hedge ? obs::kFlagHedge : obs::kFlagNone);
+        }
+
         const sim::Duration out_delay =
             link.oneWayDelay(op->req_bytes, arng);
         span(trace::Layer::Network, g.shard, op->ni->net_id,
              op->bt->batch_id, engine.now(), engine.now() + out_delay,
              a->st.id);
-        engine.schedule(out_delay, [this, op, rec, is_hedge, arng] {
+        if (tr)
+            tr->record(a->st.id, obs::SpanKind::WireOut, ex.sp_attempt,
+                       engine.now(), engine.now() + out_delay, g.shard,
+                       op->ni->net_id, op->bt->batch_id);
+        engine.schedule(out_delay, sim::kEvWire, [this, op, rec, is_hedge,
+                                                  arng] {
             attemptArrive(op, rec, is_hedge, arng);
         });
     }
@@ -1104,6 +1270,11 @@ struct ServingSimulation::Impl
     {
         // Race already decided while this attempt was on the wire.
         if (op->won) {
+            // A shed poisons the op without anyone winning; only a real
+            // race decision makes this attempt a loser.
+            if (tr)
+                tr->end(op->exec[is_hedge ? 1 : 0].sp_attempt, engine.now(),
+                        loseFlags(op));
             if (is_hedge)
                 ++hedge_cancelled;
             derefOp(op);
@@ -1135,6 +1306,14 @@ struct ServingSimulation::Impl
             // Cancelled while queued: the winner returned before this
             // attempt reached a core, so it costs nothing but its slot.
             if (op->won) {
+                if (tr) {
+                    AttemptExec &ex0 = op->exec[is_hedge ? 1 : 0];
+                    tr->record(op->request_id,
+                               obs::SpanKind::RemoteQueue, ex0.sp_attempt,
+                               q0, engine.now(), rec.shard_id, rec.net_id,
+                               rec.batch_id, loseFlags(op));
+                    tr->end(ex0.sp_attempt, engine.now(), loseFlags(op));
+                }
                 sparse_cores[static_cast<std::size_t>(server)]->release();
                 if (is_hedge)
                     ++hedge_cancelled;
@@ -1208,8 +1387,19 @@ struct ServingSimulation::Impl
             span(trace::Layer::SparseOp, g2.shard, op->ni->net_id,
                  op->bt->batch_id, engine.now(), engine.now() + busy,
                  a2->st.id);
-            engine.schedule(busy, [this, op, rec, resp_bytes, busy,
-                                   is_hedge, server, arng]() mutable {
+            if (tr) {
+                if (engine.now() > q0)
+                    tr->record(a2->st.id, obs::SpanKind::RemoteQueue,
+                               ex.sp_attempt, q0, engine.now(), g2.shard,
+                               op->ni->net_id, op->bt->batch_id);
+                ex.sp_exec = tr->begin(a2->st.id,
+                                       obs::SpanKind::RemoteCompute,
+                                       ex.sp_attempt, engine.now(), g2.shard,
+                                       op->ni->net_id, op->bt->batch_id);
+            }
+            engine.schedule(busy, sim::kEvSparseCompute,
+                            [this, op, rec, resp_bytes, busy,
+                             is_hedge, server, arng]() mutable {
                 AttemptExec &self = op->exec[is_hedge ? 1 : 0];
                 self.executing = false;
                 if (self.cancelled) {
@@ -1226,12 +1416,19 @@ struct ServingSimulation::Impl
                     // duplicate work. The request may already be
                     // finalized, so only simulation-level counters are
                     // touched here.
+                    if (tr) {
+                        tr->end(self.sp_exec, engine.now(), obs::kFlagLoser);
+                        tr->end(self.sp_attempt, engine.now(),
+                                obs::kFlagLoser);
+                    }
                     wasted_busy_ns += static_cast<double>(busy);
                     if (is_hedge)
                         ++hedge_losses;
                     derefOp(op);
                     return;
                 }
+                if (tr)
+                    tr->end(self.sp_exec, engine.now());
                 op->won = true;
                 op->bt->req->st.hedge_wasted_cpu_ns -=
                     static_cast<double>(busy);
@@ -1246,19 +1443,39 @@ struct ServingSimulation::Impl
                 const sim::SimTime dispatched = op->dispatched;
                 const rpc::ResultCache::Key ckey = op->cache_key;
                 const std::uint64_t cepoch = op->cache_epoch;
+                // Span ids survive the op (they index the tracer), so
+                // the response path can close the winning attempt and
+                // the logical op at arrival without touching the op.
+                const obs::SpanId sp_attempt = self.sp_attempt;
+                const obs::SpanId sp_op = op->sp_op;
                 derefOp(op); // response path only needs the batch
                 const sim::Duration back =
                     link.oneWayDelay(resp_bytes, arng);
                 span(trace::Layer::Network, rec.shard_id, rec.net_id,
                      rec.batch_id, engine.now(), engine.now() + back,
                      bt->req->st.id);
-                engine.schedule(back, [this, bt, resp_bytes, rec,
-                                       dispatched, ckey, cepoch] {
+                if (tr)
+                    tr->record(bt->req->st.id, obs::SpanKind::WireBack,
+                               sp_attempt, engine.now(),
+                               engine.now() + back, rec.shard_id,
+                               rec.net_id, rec.batch_id);
+                engine.schedule(back, sim::kEvWire,
+                                [this, bt, resp_bytes, rec, dispatched,
+                                 ckey, cepoch, sp_attempt, sp_op] {
                     // The tracker sees the client-observed latency of the
                     // *logical* RPC (primary dispatch to winning
                     // response), which is what the next hedge deadline
                     // must be quantile-of.
                     trackerFor(rec.shard_id).add(engine.now() - dispatched);
+                    if (tr) {
+                        // A response landing after a mid-flight shed is
+                        // discarded: its spans close as cancelled debris.
+                        const std::uint8_t fl = bt->req->shed_mid_flight
+                                                    ? obs::kFlagCancelled
+                                                    : obs::kFlagNone;
+                        tr->end(sp_attempt, engine.now(), fl);
+                        tr->end(sp_op, engine.now(), fl);
+                    }
                     // Memoize the pooled response for repeats of this
                     // (net, group, batch shape) — unless the snapshot it
                     // was pooled from was invalidated while on the wire.
@@ -1287,6 +1504,11 @@ struct ServingSimulation::Impl
             return;
         loser.cancelled = true;
         loser.executing = false;
+        if (tr) {
+            const std::uint8_t fl = obs::kFlagCancelled | obs::kFlagLoser;
+            tr->end(loser.sp_exec, engine.now(), fl);
+            tr->end(loser.sp_attempt, engine.now(), fl);
+        }
         const sim::Duration consumed = engine.now() - loser.exec_start;
         const sim::Duration saved = loser.busy - consumed;
         const double f =
@@ -1337,7 +1559,10 @@ struct ServingSimulation::Impl
         span(trace::Layer::EmbeddedWait, trace::kMainShard,
              nets[bt->net_idx].net_id, bt->batch_id, bt->dispatch_time,
              bt->last_response, a->st.id);
-        main_cores->acquireFront([this, a, bt, embedded] {
+        if (tr)
+            tr->end(bt->sp_embed, bt->last_response);
+        const sim::SimTime merge0 = engine.now();
+        main_cores->acquireFront([this, a, bt, embedded, merge0] {
             if (a->shed_mid_flight) {
                 main_cores->release();
                 destroyBatch(bt);
@@ -1355,7 +1580,23 @@ struct ServingSimulation::Impl
             span(trace::Layer::DenseOp, trace::kMainShard,
                  nets[bt->net_idx].net_id, bt->batch_id, engine.now(),
                  engine.now() + resp_deserde + top, a->st.id);
-            engine.schedule(resp_deserde + top, [this, a, bt, embedded] {
+            if (tr) {
+                const int net_id = nets[bt->net_idx].net_id;
+                if (engine.now() > merge0)
+                    tr->record(a->st.id, obs::SpanKind::QueueWait,
+                               bt->sp_batch, merge0, engine.now(),
+                               obs::kMainShard, net_id, bt->batch_id);
+                tr->record(a->st.id, obs::SpanKind::ResponseDeserde,
+                           bt->sp_batch, engine.now(),
+                           engine.now() + resp_deserde, obs::kMainShard,
+                           net_id, bt->batch_id);
+                tr->record(a->st.id, obs::SpanKind::DenseTop, bt->sp_batch,
+                           engine.now() + resp_deserde,
+                           engine.now() + resp_deserde + top,
+                           obs::kMainShard, net_id, bt->batch_id);
+            }
+            engine.schedule(resp_deserde + top, sim::kEvMainCompute,
+                            [this, a, bt, embedded] {
                 main_cores->release();
                 releaseSlot(a);
                 if (a->shed_mid_flight) {
@@ -1363,6 +1604,8 @@ struct ServingSimulation::Impl
                     batchDone(a);
                     return;
                 }
+                if (tr)
+                    tr->end(bt->sp_batch, engine.now());
                 a->net_embedded_max =
                     std::max(a->net_embedded_max, embedded);
                 destroyBatch(bt);
@@ -1379,9 +1622,13 @@ struct ServingSimulation::Impl
         if (a->shed_mid_flight) {
             // Last batch of the shed request drained; its stats were
             // emitted at shed time, so the carcass just goes away.
+            if (tr)
+                tr->end(a->sp_net, engine.now(), obs::kFlagCancelled);
             delete a;
             return;
         }
+        if (tr)
+            tr->end(a->sp_net, engine.now());
         a->st.lat_embedded += a->net_embedded_max;
         ++a->net_idx;
         startNet(a);
@@ -1393,7 +1640,8 @@ struct ServingSimulation::Impl
         // Past the point of useful shedding: the sparse work is done and
         // only the response serde remains, so the shed timer stands down.
         a->finishing = true;
-        main_cores->acquireFront([this, a] {
+        const sim::SimTime q0 = engine.now();
+        main_cores->acquireFront([this, a, q0] {
             const std::int64_t resp_bytes =
                 netsim::rankingResponseBytes(a->req->items);
             const sim::Duration resp_serde =
@@ -1407,7 +1655,16 @@ struct ServingSimulation::Impl
             span(trace::Layer::RequestSerDe, trace::kMainShard, -1, -1,
                  engine.now(), engine.now() + resp_serde + handler,
                  a->st.id);
-            engine.schedule(resp_serde + handler, [this, a] {
+            if (tr) {
+                if (engine.now() > q0)
+                    tr->record(a->st.id, obs::SpanKind::QueueWait,
+                               a->sp_root, q0, engine.now());
+                tr->record(a->st.id, obs::SpanKind::ResponseSerialize,
+                           a->sp_root, engine.now(),
+                           engine.now() + resp_serde + handler);
+            }
+            engine.schedule(resp_serde + handler, sim::kEvMainCompute,
+                            [this, a] {
                 main_cores->release();
                 finalize(a);
             });
@@ -1418,6 +1675,8 @@ struct ServingSimulation::Impl
     finalize(Active *a)
     {
         unregisterLive(a);
+        if (tr)
+            tr->end(a->sp_root, engine.now());
         a->st.completion = engine.now();
         a->st.e2e = a->st.completion - a->st.arrival;
         const sim::Duration accounted =
@@ -1477,7 +1736,7 @@ ServingSimulation::replaySerial(const std::vector<workload::Request> &requests)
         if (i >= requests.size())
             return;
         impl_->inject(requests[i], [this, &launch, i](const RequestStats &) {
-            impl_->engine.schedule(config_.serial_gap_ns,
+            impl_->engine.schedule(config_.serial_gap_ns, sim::kEvDriver,
                                    [&launch, i] { launch(i + 1); });
         });
     };
@@ -1501,7 +1760,7 @@ ServingSimulation::replayOpenLoop(
     for (const auto &req : requests) {
         t += static_cast<sim::Duration>(
             arrivals.exponential(qps) * static_cast<double>(sim::kSecond));
-        impl_->engine.scheduleAt(t, [this, &req] {
+        impl_->engine.scheduleAt(t, sim::kEvDriver, [this, &req] {
             impl_->inject(req, nullptr);
         });
     }

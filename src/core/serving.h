@@ -46,6 +46,10 @@ namespace dri::cache {
 class CachedLookupModel;
 }
 
+namespace dri::obs {
+class SpanTracer;
+}
+
 namespace dri::core {
 
 /**
@@ -196,6 +200,18 @@ struct ServingConfig
     std::uint64_t seed = 1234;
     /** Retain raw spans (needed for trace rendering; memory-heavy). */
     bool retain_spans = false;
+    /**
+     * Optional request-level span tracer (src/obs). When set and
+     * enabled, the serving engine emits a nested span tree per request
+     * covering the full lifecycle — admission, queue wait, batch
+     * coalescing, dense phases, per-shard RPC attempts (primary and
+     * hedge, wire/remote-queue/remote-compute), result-cache probes,
+     * and the response merge — in simulated time. The tracer is a pure
+     * observer: attaching it never changes RequestStats (enforced
+     * byte-for-byte by serving_stress_test). Not owned; must outlive
+     * the simulation.
+     */
+    obs::SpanTracer *tracer = nullptr;
     /** Gap between a completion and the next injection in serial replay. */
     sim::Duration serial_gap_ns = 0;
 };

@@ -138,6 +138,8 @@ FleetStats::fingerprint() const
         fnv.add(e.mean_sparse_utilization);
         fnv.add(e.max_sparse_utilization);
         fnv.add(e.result_cache_hit_rate);
+        fnv.add(e.hedge_rate);
+        fnv.add(e.peak_replica_queue);
         fnv.add(e.planMemoryBytes());
         fnv.add(e.planPowerWatts());
         for (const auto &s : e.plan.shards) {
@@ -161,6 +163,9 @@ struct FleetSim::SegmentResult
     double main_utilization = 0.0;
     std::uint64_t result_cache_hits = 0;
     std::uint64_t result_cache_lookups = 0;
+    std::uint64_t primary_rpcs = 0;
+    std::uint64_t hedges = 0;
+    std::size_t peak_replica_queue = 0;
 };
 
 FleetSim::FleetSim(const model::ModelSpec &spec,
@@ -230,6 +235,11 @@ FleetSim::runSegment(const std::vector<int> &replicas,
     out.result_cache_hits = sim.resultCacheStats().hits - warm_hits;
     out.result_cache_lookups =
         sim.resultCacheStats().lookups - warm_lookups;
+    const rpc::HedgeStats hs = sim.hedgeStats();
+    out.primary_rpcs = hs.primary_rpcs;
+    out.hedges = hs.hedges;
+    for (const std::size_t q : sim.serverPeakQueue())
+        out.peak_replica_queue = std::max(out.peak_replica_queue, q);
 
     const auto shards = static_cast<std::size_t>(plan_.numShards());
     const auto util = sim.serverUtilization();
@@ -310,6 +320,8 @@ FleetSim::run(Autoscaler &policy)
         std::vector<core::RequestStats> steady_stats;
         double watt_hours = 0.0;
         std::uint64_t rc_hits = 0, rc_lookups = 0;
+        std::uint64_t prim_rpcs = 0, hedges = 0;
+        std::size_t peak_rq = 0;
         SegmentResult last_seg;
 
         const auto slice = [&](std::size_t lo, std::size_t hi) {
@@ -349,6 +361,9 @@ FleetSim::run(Autoscaler &policy)
             watt_hours += watts * epoch_hours * frac;
             rc_hits += seg.result_cache_hits;
             rc_lookups += seg.result_cache_lookups;
+            prim_rpcs += seg.primary_rpcs;
+            hedges += seg.hedges;
+            peak_rq = std::max(peak_rq, seg.peak_replica_queue);
         };
 
         if (lag_n > 0) {
@@ -439,6 +454,11 @@ FleetSim::run(Autoscaler &policy)
             rc_lookups > 0 ? static_cast<double>(rc_hits) /
                                  static_cast<double>(rc_lookups)
                            : 0.0;
+        rec.hedge_rate = prim_rpcs > 0
+                             ? static_cast<double>(hedges) /
+                                   static_cast<double>(prim_rpcs)
+                             : 0.0;
+        rec.peak_replica_queue = static_cast<std::int64_t>(peak_rq);
 
         // dc::DeploymentPlan costing of the decided vector at measured
         // utilization: the TCO view (power + memory) of this epoch.
@@ -477,6 +497,46 @@ FleetSim::run(Autoscaler &policy)
         prev = vec;
         const std::size_t back = std::min(n, cfg_.prewarm_requests);
         prev_tail = slice(n - back, n);
+
+        // Per-epoch metrics time-series: gauges mirror the ledger row,
+        // counters accumulate across epochs, one snapshot per epoch at
+        // the epoch's end time. Pure observer of `rec` — nothing here
+        // feeds back into the simulation or the fingerprint.
+        if (cfg_.metrics != nullptr) {
+            obs::MetricsRegistry &m = *cfg_.metrics;
+            m.gauge("fleet.offered_qps").set(rec.offered_qps);
+            m.gauge("fleet.forecast_qps").set(rec.forecast_qps);
+            m.gauge("fleet.p99_ms").set(rec.p99_ms);
+            m.gauge("fleet.steady_p99_ms").set(rec.steady_p99_ms);
+            m.gauge("fleet.shed_rate").set(rec.shed_rate);
+            m.gauge("fleet.hedge_rate").set(rec.hedge_rate);
+            m.gauge("fleet.result_cache_hit_rate")
+                .set(rec.result_cache_hit_rate);
+            m.gauge("fleet.mean_sparse_utilization")
+                .set(rec.mean_sparse_utilization);
+            m.gauge("fleet.max_sparse_utilization")
+                .set(rec.max_sparse_utilization);
+            m.gauge("fleet.peak_replica_queue")
+                .set(static_cast<double>(rec.peak_replica_queue));
+            m.gauge("fleet.machine_hours").set(rec.machine_hours);
+            m.gauge("fleet.watt_hours").set(rec.watt_hours);
+            double total_replicas = 0.0;
+            for (std::size_t s = 0; s < shards; ++s) {
+                m.gauge("fleet.replicas.shard" + std::to_string(s))
+                    .set(static_cast<double>(vec[s]));
+                total_replicas += vec[s];
+            }
+            m.gauge("fleet.replicas.total").set(total_replicas);
+            m.counter("fleet.requests")
+                .inc(static_cast<std::int64_t>(all_stats.size()));
+            m.counter("fleet.shed_requests").inc(rec.shed_requests);
+            if (rec.reconfigured)
+                m.counter("fleet.reconfigurations").inc();
+            m.counter("fleet.slo_violation_epochs")
+                .inc(rec.slo_violation ? 1 : 0);
+            m.takeSnapshot(static_cast<double>(e + 1) *
+                           cfg_.epoch_duration_s);
+        }
 
         ledger.epochs.push_back(std::move(rec));
     }

@@ -47,6 +47,7 @@
 #include "dc/replication.h"
 #include "fleet/autoscaler.h"
 #include "model/model_spec.h"
+#include "obs/metrics.h"
 #include "sched/capacity_search.h"
 #include "workload/diurnal.h"
 
@@ -85,6 +86,16 @@ struct FleetConfig
     /** Count the main shard's machine in the ledgers. */
     bool count_main_shard = true;
     std::uint64_t seed = 0xf1ee7;
+    /**
+     * Optional metrics registry (src/obs). When set, FleetSim registers
+     * per-epoch gauges/counters (offered load, P99, shed/hedge/cache-hit
+     * rates, utilization, replica vector, peak replica queue) and takes
+     * one snapshot per epoch at the epoch's end time, turning autoscaler
+     * behavior into a plottable JSONL time-series instead of a final
+     * ledger. Pure observer — attaching it never changes the ledger
+     * fingerprint. Not owned; must outlive run().
+     */
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /** One epoch's ledger row. */
@@ -114,6 +125,10 @@ struct EpochRecord
     double mean_sparse_utilization = 0.0;
     double max_sparse_utilization = 0.0;
     double result_cache_hit_rate = 0.0;
+    /** Hedge backups per primary dispatch across the epoch's segments. */
+    double hedge_rate = 0.0;
+    /** Deepest replica queue (in-flight + queued) observed at dispatch. */
+    std::int64_t peak_replica_queue = 0;
 
     /** dc-costed deployment at the decided vector (measured utilization). */
     dc::DeploymentPlan plan;

@@ -1,0 +1,89 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace dri::obs {
+
+namespace {
+
+int
+pidOf(const SpanRecord &s)
+{
+    return static_cast<int>(s.shard) + 2; // main shard (-1) -> pid 1
+}
+
+void
+writeFlags(std::ostream &os, std::uint8_t flags)
+{
+    os << "\"flags\":\"";
+    bool first = true;
+    const auto emit = [&](std::uint8_t bit, const char *name) {
+        if ((flags & bit) == 0)
+            return;
+        if (!first)
+            os << "|";
+        os << name;
+        first = false;
+    };
+    emit(kFlagHedge, "hedge");
+    emit(kFlagCancelled, "cancelled");
+    emit(kFlagLoser, "loser");
+    emit(kFlagShed, "shed");
+    emit(kFlagCacheHit, "cache_hit");
+    os << "\"";
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<SpanRecord> &spans)
+{
+    os << "[";
+    bool first = true;
+
+    std::set<int> pids;
+    for (const SpanRecord &s : spans)
+        pids.insert(pidOf(s));
+    for (const int pid : pids) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":\""
+           << (pid == 1 ? std::string("main-shard")
+                        : "sparse-shard-" + std::to_string(pid - 2))
+           << "\"}}";
+    }
+
+    for (const SpanRecord &s : spans) {
+        if (s.open())
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"ph\":\"X\",\"name\":\"" << spanKindName(s.kind)
+           << "\",\"cat\":\"" << pathBucketName(bucketOf(s.kind))
+           << "\",\"pid\":" << pidOf(s) << ",\"tid\":" << s.request_id
+           << ",\"ts\":" << static_cast<double>(s.begin) / 1000.0
+           << ",\"dur\":" << static_cast<double>(s.duration()) / 1000.0
+           << ",\"args\":{\"request\":" << s.request_id
+           << ",\"span\":" << s.id << ",\"parent\":" << s.parent
+           << ",\"net\":" << s.net << ",\"batch\":" << s.batch << ",";
+        writeFlags(os, s.flags);
+        os << "}}";
+    }
+    os << "]\n";
+}
+
+std::string
+chromeTraceJson(const std::vector<SpanRecord> &spans)
+{
+    std::ostringstream os;
+    writeChromeTrace(os, spans);
+    return os.str();
+}
+
+} // namespace dri::obs

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Chrome trace_event JSON export for obs spans.
+ *
+ * Emits the JSON Array Format understood by chrome://tracing and
+ * Perfetto: one "X" (complete) event per closed span with microsecond
+ * ts/dur, plus "M" metadata naming each process. Spans are mapped
+ * pid = shard + 2 (so the main shard, -1, lands on pid 1) and
+ * tid = request id, which renders each request as one row per shard —
+ * the natural way to eyeball a hedge race or a straggling replica.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace dri::obs {
+
+/** Write trace_event JSON for @p spans to @p os. Open spans are skipped. */
+void writeChromeTrace(std::ostream &os, const std::vector<SpanRecord> &spans);
+
+/** Convenience: trace_event JSON as a string. */
+std::string chromeTraceJson(const std::vector<SpanRecord> &spans);
+
+} // namespace dri::obs

@@ -1,0 +1,149 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+
+namespace dri::obs {
+
+PathBucket
+CriticalPath::dominant() const
+{
+    std::size_t best = static_cast<std::size_t>(PathBucket::Other);
+    for (std::size_t b = 0; b < kPathBucketCount; ++b)
+        if (bucket_ns[b] > bucket_ns[best])
+            best = b;
+    return static_cast<PathBucket>(best);
+}
+
+namespace {
+
+/**
+ * Walk one subtree rooted at @p node. The frontier `cur` starts at the
+ * node's end and retreats toward its begin; each step either descends
+ * into the last-finishing eligible child (the one whose end gates the
+ * frontier) or attributes the remaining gap to the node itself.
+ */
+void
+walkSpan(const std::vector<SpanRecord> &spans,
+         const std::vector<std::vector<SpanId>> &children,
+         const SpanRecord &node, CriticalPath *out)
+{
+    sim::SimTime cur = node.end;
+
+    // Children that can gate completion: closed, not cancelled/loser,
+    // ending within the node, sorted by end descending.
+    std::vector<const SpanRecord *> kids;
+    for (const SpanId cid : children[node.id - 1]) {
+        const SpanRecord &c = spans[cid - 1];
+        if (c.open() || c.cancelled())
+            continue;
+        if (c.end > node.end || c.begin < node.begin)
+            continue; // off-path debris (shouldn't happen for clean kids)
+        kids.push_back(&c);
+    }
+    std::sort(kids.begin(), kids.end(),
+              [](const SpanRecord *a, const SpanRecord *b) {
+                  if (a->end != b->end)
+                      return a->end > b->end;
+                  return a->begin > b->begin;
+              });
+
+    for (const SpanRecord *c : kids) {
+        if (c->end > cur)
+            continue; // finished after the frontier: not on the path
+        if (c->end < cur) {
+            // Gap between this child's completion and the frontier is
+            // the node's own time.
+            out->segments.push_back({node.kind, bucketOf(node.kind),
+                                     node.shard, c->end, cur});
+        }
+        walkSpan(spans, children, *c, out);
+        cur = c->begin;
+        if (cur <= node.begin)
+            break;
+    }
+    if (cur > node.begin)
+        out->segments.push_back(
+            {node.kind, bucketOf(node.kind), node.shard, node.begin, cur});
+}
+
+} // namespace
+
+std::vector<CriticalPath>
+criticalPaths(const std::vector<SpanRecord> &spans)
+{
+    std::vector<std::vector<SpanId>> children(spans.size());
+    for (const SpanRecord &s : spans)
+        if (s.parent != kNoSpan && s.parent <= spans.size())
+            children[s.parent - 1].push_back(s.id);
+
+    std::vector<CriticalPath> paths;
+    for (const SpanRecord &s : spans) {
+        if (s.kind != SpanKind::Request || s.parent != kNoSpan)
+            continue;
+        if (s.open() || (s.flags & kFlagShed) != 0)
+            continue;
+        CriticalPath cp;
+        cp.request_id = s.request_id;
+        cp.total = s.duration();
+        walkSpan(spans, children, s, &cp);
+        std::sort(cp.segments.begin(), cp.segments.end(),
+                  [](const PathSegment &a, const PathSegment &b) {
+                      return a.begin < b.begin;
+                  });
+        for (const PathSegment &seg : cp.segments)
+            cp.bucket_ns[static_cast<std::size_t>(seg.bucket)] +=
+                seg.duration();
+        paths.push_back(std::move(cp));
+    }
+    return paths;
+}
+
+PathProfile
+profilePaths(const std::vector<CriticalPath> &paths)
+{
+    PathProfile prof;
+    for (const CriticalPath &p : paths) {
+        ++prof.requests;
+        prof.total_ns += p.total;
+        for (std::size_t b = 0; b < kPathBucketCount; ++b)
+            prof.bucket_ns[b] += p.bucket_ns[b];
+        ++prof.dominant_count[static_cast<std::size_t>(p.dominant())];
+    }
+    return prof;
+}
+
+ConservationReport
+checkConservation(const std::vector<SpanRecord> &spans)
+{
+    ConservationReport rep;
+    rep.total_spans = spans.size();
+    for (const SpanRecord &s : spans) {
+        if (s.open()) {
+            ++rep.open_spans;
+            continue;
+        }
+        if (s.cancelled())
+            ++rep.cancelled_spans;
+        if (s.kind == SpanKind::Request && s.parent == kNoSpan) {
+            ++rep.root_spans;
+            continue;
+        }
+        if (s.parent == kNoSpan || s.parent > spans.size()) {
+            ++rep.nesting_violations; // non-root span must have a parent
+            continue;
+        }
+        const SpanRecord &p = spans[s.parent - 1];
+        if (s.begin < p.begin) {
+            ++rep.nesting_violations;
+            continue;
+        }
+        // Cancelled/loser spans may end after their parent (race debris
+        // draining after the request completes); everything else must
+        // be fully contained.
+        if (!s.cancelled() && !p.open() && s.end > p.end)
+            ++rep.nesting_violations;
+    }
+    return rep;
+}
+
+} // namespace dri::obs

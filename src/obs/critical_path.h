@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-request critical-path analysis + span-conservation checking.
+ *
+ * The paper decomposes tail latency into queueing, compute, network and
+ * serde buckets from aggregate telemetry; with a span *tree* per request
+ * we can do better and attribute each request's end-to-end latency to
+ * the chain of spans that actually gated completion. The algorithm is
+ * the classic last-finisher walk: starting from the root, repeatedly
+ * descend into the child whose end time is the latest one not after the
+ * current frontier, attribute the uncovered gap to the parent, and move
+ * the frontier to that child's begin. Cancelled and hedge-loser spans
+ * are skipped — they are debris of a decided race, not the path. The
+ * produced segments partition [root.begin, root.end] exactly, so the
+ * bucket totals sum to the request's e2e latency by construction (a
+ * property the tests assert).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace dri::obs {
+
+/** One segment of a request's critical path. */
+struct PathSegment
+{
+    SpanKind kind = SpanKind::Request;
+    PathBucket bucket = PathBucket::Other;
+    std::int16_t shard = kMainShard;
+    sim::SimTime begin = 0;
+    sim::SimTime end = 0;
+
+    sim::Duration duration() const { return end - begin; }
+};
+
+/** Critical path of one request. */
+struct CriticalPath
+{
+    std::uint64_t request_id = 0;
+    sim::Duration total = 0;                 //!< == root span duration
+    sim::Duration bucket_ns[kPathBucketCount] = {};
+    std::vector<PathSegment> segments;       //!< begin-time order
+
+    /** Bucket with the largest share of @ref total. */
+    PathBucket dominant() const;
+};
+
+/**
+ * Compute critical paths for every closed, non-shed root span in
+ * @p spans. Spans must come from one SpanTracer (ids are tracer-local).
+ */
+std::vector<CriticalPath> criticalPaths(const std::vector<SpanRecord> &spans);
+
+/** Aggregate bucket attribution across a set of critical paths. */
+struct PathProfile
+{
+    std::uint64_t requests = 0;
+    sim::Duration total_ns = 0;
+    sim::Duration bucket_ns[kPathBucketCount] = {};
+    std::uint64_t dominant_count[kPathBucketCount] = {};
+
+    double bucketShare(PathBucket b) const
+    {
+        return total_ns > 0 ? static_cast<double>(
+                                  bucket_ns[static_cast<std::size_t>(b)]) /
+                                  static_cast<double>(total_ns)
+                            : 0.0;
+    }
+};
+
+PathProfile profilePaths(const std::vector<CriticalPath> &paths);
+
+/**
+ * Structural invariants over a finished trace. `ok()` is the
+ * self-check trace_explorer and the tests gate on:
+ *  - every injected request closed exactly one root span;
+ *  - no span is still open;
+ *  - every non-cancelled child nests inside its parent in sim-time
+ *    (cancelled/loser spans may outlive the parent — see SpanFlags).
+ */
+struct ConservationReport
+{
+    std::uint64_t total_spans = 0;
+    std::uint64_t root_spans = 0;
+    std::uint64_t open_spans = 0;
+    std::uint64_t nesting_violations = 0;
+    std::uint64_t cancelled_spans = 0;
+
+    bool ok(std::uint64_t expected_roots) const
+    {
+        return root_spans == expected_roots && open_spans == 0 &&
+               nesting_violations == 0;
+    }
+};
+
+ConservationReport checkConservation(const std::vector<SpanRecord> &spans);
+
+} // namespace dri::obs

@@ -1,0 +1,218 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace dri::obs {
+
+Histogram::Histogram(unsigned sub_bucket_bits)
+    : sub_bucket_bits_(sub_bucket_bits),
+      sub_(std::int64_t{1} << sub_bucket_bits)
+{
+}
+
+namespace {
+
+/** Position of the most significant set bit (value must be > 0). */
+unsigned
+msb(std::int64_t value)
+{
+    unsigned pos = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++pos;
+    }
+    return pos;
+}
+
+} // namespace
+
+std::size_t
+Histogram::bucketIndex(std::int64_t value) const
+{
+    if (value < 0)
+        value = 0;
+    if (value < sub_)
+        return static_cast<std::size_t>(value);
+    const unsigned top = msb(value) - sub_bucket_bits_;
+    return static_cast<std::size_t>(
+        (static_cast<std::int64_t>(top) << sub_bucket_bits_) +
+        ((value >> top) - sub_) + sub_);
+}
+
+std::int64_t
+Histogram::bucketLowerBound(std::size_t idx) const
+{
+    const auto i = static_cast<std::int64_t>(idx);
+    if (i < sub_)
+        return i;
+    const std::int64_t top = (i - sub_) >> sub_bucket_bits_;
+    const std::int64_t rem = (i - sub_) & (sub_ - 1);
+    return (sub_ + rem) << top;
+}
+
+void
+Histogram::observe(std::int64_t value)
+{
+    if (value < 0)
+        value = 0;
+    const std::size_t idx = bucketIndex(value);
+    if (idx >= buckets_.size())
+        buckets_.resize(idx + 1, 0);
+    ++buckets_[idx];
+    if (count_ == 0 || value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+    sum_ += value;
+    ++count_;
+}
+
+std::int64_t
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Nearest-rank within the bucketed distribution.
+    const auto rank = static_cast<std::uint64_t>(std::max(
+        1.0, std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) {
+            // Clamp to observed extremes so p0/p100 are exact.
+            const std::int64_t lo = bucketLowerBound(i);
+            return std::min(max_, std::max(min_, lo));
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.sub_bucket_bits_ != sub_bucket_bits_)
+        throw std::logic_error(
+            "Histogram::merge: sub_bucket_bits mismatch");
+    if (other.count_ == 0)
+        return;
+    if (other.buckets_.size() > buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    if (count_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::find(const std::string &name, MetricKind kind)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+        Entry &e = entries_[it->second];
+        if (e.kind != kind)
+            throw std::logic_error("MetricsRegistry: metric '" + name +
+                                   "' re-registered with different kind");
+        return e;
+    }
+    Entry e;
+    e.name = name;
+    e.kind = kind;
+    index_.emplace(name, entries_.size());
+    entries_.push_back(std::move(e));
+    return entries_.back();
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    Entry &e = find(name, MetricKind::Counter);
+    if (e.counter == nullptr) {
+        counters_.emplace_back();
+        e.counter = &counters_.back();
+    }
+    return *e.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    Entry &e = find(name, MetricKind::Gauge);
+    if (e.gauge == nullptr) {
+        gauges_.emplace_back();
+        e.gauge = &gauges_.back();
+    }
+    return *e.gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, unsigned sub_bucket_bits)
+{
+    Entry &e = find(name, MetricKind::Histogram);
+    if (e.histogram == nullptr) {
+        histograms_.emplace_back(sub_bucket_bits);
+        e.histogram = &histograms_.back();
+    }
+    return *e.histogram;
+}
+
+void
+MetricsRegistry::takeSnapshot(double t_seconds)
+{
+    MetricsSnapshot snap;
+    snap.t = t_seconds;
+    for (const Entry &e : entries_) {
+        switch (e.kind) {
+        case MetricKind::Counter:
+            snap.values.emplace_back(
+                e.name, static_cast<double>(e.counter->value()));
+            break;
+        case MetricKind::Gauge:
+            snap.values.emplace_back(e.name, e.gauge->value());
+            break;
+        case MetricKind::Histogram: {
+            const Histogram &h = *e.histogram;
+            snap.values.emplace_back(
+                e.name + ".count", static_cast<double>(h.count()));
+            snap.values.emplace_back(
+                e.name + ".p50", static_cast<double>(h.quantile(0.50)));
+            snap.values.emplace_back(
+                e.name + ".p99", static_cast<double>(h.quantile(0.99)));
+            snap.values.emplace_back(e.name + ".max",
+                                     static_cast<double>(h.max()));
+            break;
+        }
+        }
+    }
+    snapshots_.push_back(std::move(snap));
+}
+
+void
+MetricsRegistry::writeJsonl(std::ostream &os) const
+{
+    for (const MetricsSnapshot &snap : snapshots_) {
+        os << "{\"t\":" << snap.t;
+        for (const auto &[name, value] : snap.values)
+            os << ",\"" << name << "\":" << value;
+        os << "}\n";
+    }
+}
+
+void
+MetricsRegistry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    entries_.clear();
+    index_.clear();
+    snapshots_.clear();
+}
+
+} // namespace dri::obs

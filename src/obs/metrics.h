@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Named-metrics registry: counters, gauges, and log-linear histograms
+ * with typed handles, periodic sim-time snapshots, and a JSONL
+ * time-series exporter.
+ *
+ * The registry turns the fleet simulator's end-of-run ledgers into
+ * plottable series: FleetSim registers its gauges once, updates them
+ * per epoch, and calls takeSnapshot(t) — each snapshot captures every
+ * registered metric in registration order, so the export is
+ * deterministic across runs with the same seed.
+ *
+ * Handles are stable references into node-based storage (std::deque),
+ * so registering metric N+1 never invalidates the handle for metric N.
+ * Registering the same (name, kind) twice returns the SAME handle —
+ * two subsystems can share a counter by name; re-registering a name
+ * with a different kind throws std::logic_error.
+ *
+ * Histograms use HDR-style log-linear bucketing: values below
+ * 2^sub_bucket_bits get exact unit buckets; above that, each power-of-
+ * two range is split into 2^sub_bucket_bits linear sub-buckets, giving
+ * a bounded relative error of 2^-sub_bucket_bits with O(log range)
+ * memory.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dri::obs {
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void inc(std::int64_t by = 1) { value_ += by; }
+    std::int64_t value() const { return value_; }
+
+  private:
+    std::int64_t value_ = 0;
+};
+
+/** Point-in-time level (queue depth, utilization, replica count...). */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Log-linear histogram over non-negative integer values. */
+class Histogram
+{
+  public:
+    explicit Histogram(unsigned sub_bucket_bits = 5);
+
+    void observe(std::int64_t value);
+
+    std::uint64_t count() const { return count_; }
+    std::int64_t min() const { return count_ > 0 ? min_ : 0; }
+    std::int64_t max() const { return max_; }
+    std::int64_t sum() const { return sum_; }
+    double mean() const
+    {
+        return count_ > 0 ? static_cast<double>(sum_) /
+                                static_cast<double>(count_)
+                          : 0.0;
+    }
+
+    /**
+     * Quantile estimate: lower bound of the bucket holding the q-th
+     * observation (nearest-rank). Exact for values < 2^sub_bucket_bits.
+     */
+    std::int64_t quantile(double q) const;
+
+    unsigned subBucketBits() const { return sub_bucket_bits_; }
+
+    /** Bucket index a value lands in (exposed for boundary tests). */
+    std::size_t bucketIndex(std::int64_t value) const;
+
+    /** Smallest value mapping to bucket @p idx (inverse of bucketIndex). */
+    std::int64_t bucketLowerBound(std::size_t idx) const;
+
+    /** Merge another histogram (same sub_bucket_bits) into this one. */
+    void merge(const Histogram &other);
+
+  private:
+    unsigned sub_bucket_bits_;
+    std::int64_t sub_;                 //!< 1 << sub_bucket_bits_
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::int64_t sum_ = 0;
+    std::int64_t min_ = 0;
+    std::int64_t max_ = 0;
+};
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+/** One captured time-point: every registered metric, flattened. */
+struct MetricsSnapshot
+{
+    double t = 0.0; //!< sim-time seconds
+    std::vector<std::pair<std::string, double>> values;
+};
+
+class MetricsRegistry
+{
+  public:
+    /**
+     * Register-or-fetch by name. Same (name, kind) returns the same
+     * handle; a kind clash throws std::logic_error.
+     */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name,
+                         unsigned sub_bucket_bits = 5);
+
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * Capture every registered metric at sim-time @p t_seconds.
+     * Counters/gauges flatten to one value; histograms to
+     * name.count/.p50/.p99/.max. Iteration is registration order, so
+     * snapshots are deterministic.
+     */
+    void takeSnapshot(double t_seconds);
+
+    const std::vector<MetricsSnapshot> &snapshots() const
+    {
+        return snapshots_;
+    }
+
+    /** One JSON object per snapshot: {"t":..., "<name>":...,...}. */
+    void writeJsonl(std::ostream &os) const;
+
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        MetricKind kind;
+        Counter *counter = nullptr;
+        Gauge *gauge = nullptr;
+        Histogram *histogram = nullptr;
+    };
+
+    Entry &find(const std::string &name, MetricKind kind);
+
+    std::deque<Counter> counters_;
+    std::deque<Gauge> gauges_;
+    std::deque<Histogram> histograms_;
+    std::vector<Entry> entries_; //!< registration order
+    std::unordered_map<std::string, std::size_t> index_;
+    std::vector<MetricsSnapshot> snapshots_;
+};
+
+} // namespace dri::obs

@@ -1,0 +1,81 @@
+#include "obs/span.h"
+
+namespace dri::obs {
+
+const char *
+spanKindName(SpanKind kind)
+{
+    switch (kind) {
+    case SpanKind::Request: return "request";
+    case SpanKind::BatchCoalesce: return "batch_coalesce";
+    case SpanKind::QueueWait: return "queue_wait";
+    case SpanKind::Deserialize: return "deserialize";
+    case SpanKind::NetPhase: return "net_phase";
+    case SpanKind::BatchExec: return "batch_exec";
+    case SpanKind::DenseBottom: return "dense_bottom";
+    case SpanKind::InlineSparse: return "inline_sparse";
+    case SpanKind::DenseTop: return "dense_top";
+    case SpanKind::ClientSerde: return "client_serde";
+    case SpanKind::ResultCacheProbe: return "result_cache_probe";
+    case SpanKind::EmbeddedWait: return "embedded_wait";
+    case SpanKind::RpcOp: return "rpc_op";
+    case SpanKind::RpcAttempt: return "rpc_attempt";
+    case SpanKind::WireOut: return "wire_out";
+    case SpanKind::RemoteQueue: return "remote_queue";
+    case SpanKind::RemoteCompute: return "remote_compute";
+    case SpanKind::WireBack: return "wire_back";
+    case SpanKind::ResponseDeserde: return "response_deserde";
+    case SpanKind::ResponseSerialize: return "response_serialize";
+    }
+    return "unknown";
+}
+
+const char *
+pathBucketName(PathBucket bucket)
+{
+    switch (bucket) {
+    case PathBucket::Queue: return "queue";
+    case PathBucket::Compute: return "compute";
+    case PathBucket::Serde: return "serde";
+    case PathBucket::Network: return "network";
+    case PathBucket::Wait: return "wait";
+    case PathBucket::Other: return "other";
+    }
+    return "other";
+}
+
+PathBucket
+bucketOf(SpanKind kind)
+{
+    switch (kind) {
+    case SpanKind::QueueWait:
+    case SpanKind::RemoteQueue:
+        return PathBucket::Queue;
+    case SpanKind::DenseBottom:
+    case SpanKind::InlineSparse:
+    case SpanKind::DenseTop:
+    case SpanKind::RemoteCompute:
+    case SpanKind::BatchExec:
+    case SpanKind::NetPhase:
+        return PathBucket::Compute;
+    case SpanKind::Deserialize:
+    case SpanKind::ClientSerde:
+    case SpanKind::ResponseDeserde:
+    case SpanKind::ResponseSerialize:
+        return PathBucket::Serde;
+    case SpanKind::WireOut:
+    case SpanKind::WireBack:
+        return PathBucket::Network;
+    case SpanKind::BatchCoalesce:
+    case SpanKind::EmbeddedWait:
+    case SpanKind::RpcOp:
+    case SpanKind::RpcAttempt:
+        return PathBucket::Wait;
+    case SpanKind::Request:
+    case SpanKind::ResultCacheProbe:
+        return PathBucket::Other;
+    }
+    return PathBucket::Other;
+}
+
+} // namespace dri::obs

@@ -1,0 +1,74 @@
+#include "obs/span_tracer.h"
+
+namespace dri::obs {
+
+SpanRecord *
+SpanTracer::get(SpanId id)
+{
+    if (id == kNoSpan || id > spans_.size())
+        return nullptr;
+    return &spans_[id - 1];
+}
+
+SpanId
+SpanTracer::begin(std::uint64_t request_id, SpanKind kind, SpanId parent,
+                  sim::SimTime at, int shard, int net, int batch,
+                  std::uint8_t flags)
+{
+    if (!enabled_)
+        return kNoSpan;
+    SpanRecord rec;
+    rec.request_id = request_id;
+    rec.id = static_cast<SpanId>(spans_.size() + 1);
+    rec.parent = parent;
+    rec.kind = kind;
+    rec.flags = flags;
+    rec.shard = static_cast<std::int16_t>(shard);
+    rec.net = static_cast<std::int16_t>(net);
+    rec.batch = static_cast<std::int16_t>(batch);
+    rec.begin = at;
+    spans_.push_back(rec);
+    ++allocations_;
+    ++open_;
+    return rec.id;
+}
+
+void
+SpanTracer::end(SpanId id, sim::SimTime at, std::uint8_t add_flags)
+{
+    SpanRecord *rec = get(id);
+    if (rec == nullptr || !rec->open())
+        return;
+    rec->end = at;
+    rec->flags |= add_flags;
+    --open_;
+}
+
+SpanId
+SpanTracer::record(std::uint64_t request_id, SpanKind kind, SpanId parent,
+                   sim::SimTime begin, sim::SimTime end, int shard, int net,
+                   int batch, std::uint8_t flags)
+{
+    const SpanId id =
+        this->begin(request_id, kind, parent, begin, shard, net, batch, flags);
+    this->end(id, end);
+    return id;
+}
+
+void
+SpanTracer::addFlags(SpanId id, std::uint8_t flags)
+{
+    SpanRecord *rec = get(id);
+    if (rec != nullptr)
+        rec->flags |= flags;
+}
+
+void
+SpanTracer::clear()
+{
+    spans_.clear();
+    open_ = 0;
+    allocations_ = 0;
+}
+
+} // namespace dri::obs

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Append-only per-request span tracer.
+ *
+ * The tracer is the write side of the observability layer: the serving
+ * engine calls begin()/end()/record() at lifecycle boundaries, all in
+ * simulated time. Two properties are load-bearing:
+ *
+ *  - **Zero overhead when disabled.** A disabled tracer returns
+ *    kNoSpan from begin() and never touches its storage; allocations()
+ *    counts every vector append, so tests can assert "disabled tracer
+ *    performed zero allocations" with a counter instead of a timing
+ *    heuristic. The serving engine additionally caches a null pointer
+ *    when tracing is off so the hot path pays one branch, not a call.
+ *
+ *  - **Pure observation.** The tracer never consumes randomness and
+ *    never schedules events, so attaching it cannot perturb the
+ *    simulation: RequestStats are byte-identical with tracing on/off
+ *    (enforced by serving_stress_test).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace dri::obs {
+
+class SpanTracer
+{
+  public:
+    explicit SpanTracer(bool enabled = true) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    /**
+     * Open a span at @p at. Returns kNoSpan when disabled; all other
+     * calls accept kNoSpan and become no-ops, so call sites need no
+     * extra guards beyond the cached tracer pointer.
+     */
+    SpanId begin(std::uint64_t request_id, SpanKind kind, SpanId parent,
+                 sim::SimTime at, int shard = kMainShard, int net = -1,
+                 int batch = -1, std::uint8_t flags = kFlagNone);
+
+    /** Close an open span at @p at, OR-ing @p add_flags in. */
+    void end(SpanId id, sim::SimTime at, std::uint8_t add_flags = kFlagNone);
+
+    /** Record a span whose begin and end are both already known. */
+    SpanId record(std::uint64_t request_id, SpanKind kind, SpanId parent,
+                  sim::SimTime begin, sim::SimTime end,
+                  int shard = kMainShard, int net = -1, int batch = -1,
+                  std::uint8_t flags = kFlagNone);
+
+    /** OR flags into an existing span without closing it. */
+    void addFlags(SpanId id, std::uint8_t flags);
+
+    const std::vector<SpanRecord> &spans() const { return spans_; }
+
+    /** Spans currently open (begun, not yet ended). */
+    std::uint64_t openCount() const { return open_; }
+
+    /**
+     * Heap appends performed since construction/clear. Exactly 0 for a
+     * disabled tracer — the zero-overhead contract, testable without
+     * timing.
+     */
+    std::uint64_t allocations() const { return allocations_; }
+
+    void clear();
+
+  private:
+    SpanRecord *get(SpanId id);
+
+    bool enabled_;
+    std::vector<SpanRecord> spans_;
+    std::uint64_t open_ = 0;
+    std::uint64_t allocations_ = 0;
+};
+
+} // namespace dri::obs

@@ -39,4 +39,10 @@ LatencyTracker::quantile(double q) const
     return scratch_[rank];
 }
 
+sim::Duration
+LatencyTracker::deadline(double q, sim::Duration floor_ns) const
+{
+    return std::max(floor_ns, quantile(q));
+}
+
 } // namespace dri::rpc

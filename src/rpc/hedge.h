@@ -129,6 +129,14 @@ class LatencyTracker
      */
     sim::Duration quantile(double q) const;
 
+    /**
+     * The hedge deadline this window implies: the q-quantile, floored at
+     * `floor_ns` (HedgeConfig::min_deadline_ns). The one place the
+     * quantile-vs-floor rule lives, so the serving engine and any
+     * offline analysis agree on the armed deadline.
+     */
+    sim::Duration deadline(double q, sim::Duration floor_ns) const;
+
   private:
     std::size_t window_;
     std::size_t next_ = 0; //!< ring write cursor once the window is full

@@ -132,7 +132,7 @@ DynamicBatcher::armTimer(sim::SimTime deadline)
         when = std::min(deadline, engine.now() + recheck);
     }
     engine.schedule(
-        std::max<sim::Duration>(0, when - engine.now()),
+        std::max<sim::Duration>(0, when - engine.now()), sim::kEvTimer,
         [this, epoch, deadline] {
             if (epoch != epoch_ || pending_.empty())
                 return; // batch already flushed
@@ -170,6 +170,15 @@ DynamicBatcher::flushNow()
 
     ++batches_injected_;
     coalesced_total_ += batch.parts.size();
+
+    if (cfg_.metrics != nullptr) {
+        cfg_.metrics->counter("batcher.flushes").inc();
+        cfg_.metrics->histogram("batcher.coalesced")
+            .observe(static_cast<std::int64_t>(batch.parts.size()));
+        cfg_.metrics->histogram("batcher.hold_us")
+            .observe((batch.injected_at - batch.parts.front().arrival) /
+                     sim::kMicrosecond);
+    }
 
     // `batch` lives in the deque until completion; references from the
     // capture and from the sim's Request pointer stay valid (deque ends
@@ -288,11 +297,12 @@ runBatchedOpenLoop(core::ServingSimulation &sim,
     for (const auto &req : requests) {
         t += static_cast<sim::Duration>(
             arrivals.exponential(qps) * static_cast<double>(sim::kSecond));
-        engine.scheduleAt(t, [&batcher, &req] { batcher.offer(req); });
+        engine.scheduleAt(t, sim::kEvDriver,
+                          [&batcher, &req] { batcher.offer(req); });
     }
     // Same timestamp as the last offer but a later sequence number, so the
     // end-of-stream drain runs after every arrival.
-    engine.scheduleAt(t, [&batcher] { batcher.flush(); });
+    engine.scheduleAt(t, sim::kEvDriver, [&batcher] { batcher.flush(); });
     engine.run();
     sim.takeResults(); // merged-level stats; superseded by per-part stats
     return batcher.takeStats();

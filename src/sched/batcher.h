@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/serving.h"
+#include "obs/metrics.h"
 #include "sim/time.h"
 #include "stats/rng.h"
 #include "workload/request_generator.h"
@@ -69,6 +70,14 @@ struct BatcherConfig
     sim::Duration max_queue_delay_ns = 2 * sim::kMillisecond;
     /** Adaptive: EWMA smoothing for the arrival-rate estimate. */
     double ewma_alpha = 0.2;
+    /**
+     * Optional metrics registry (src/obs). When set, every flush bumps
+     * `batcher.flushes` and records `batcher.coalesced` (riders per
+     * injected batch) and `batcher.hold_us` (oldest-rider coalescing
+     * wait) histograms. Pure observer — attaching it never changes
+     * batching decisions or RequestStats. Not owned.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /**

@@ -1,22 +1,64 @@
 #include "sim/engine.h"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace dri::sim {
 
-void
-Engine::schedule(Duration delay, EventFn fn)
+const char *
+eventTagName(EventTag tag)
 {
-    assert(delay >= 0);
-    scheduleAt(now_ + delay, std::move(fn));
+    switch (tag) {
+    case kEvUntagged: return "untagged";
+    case kEvMainCompute: return "main_compute";
+    case kEvSparseCompute: return "sparse_compute";
+    case kEvWire: return "wire";
+    case kEvTimer: return "timer";
+    case kEvGrant: return "grant";
+    case kEvDriver: return "driver";
+    case kEvTagCount: break;
+    }
+    return "invalid";
 }
 
 void
-Engine::scheduleAt(SimTime when, EventFn fn)
+Engine::schedule(Duration delay, EventTag tag, EventFn fn)
+{
+    assert(delay >= 0);
+    scheduleAt(now_ + delay, tag, std::move(fn));
+}
+
+void
+Engine::scheduleAt(SimTime when, EventTag tag, EventFn fn)
 {
     assert(when >= now_);
-    queue_.push(Event{when, next_seq_++, std::move(fn)});
+    assert(tag < kEvTagCount);
+    queue_.push(Event{when, next_seq_++, tag, std::move(fn)});
+    ++profile_.scheduled;
+    if (queue_.size() > profile_.peak_pending)
+        profile_.peak_pending = queue_.size();
+}
+
+void
+Engine::dispatch(Event &ev)
+{
+    now_ = ev.when;
+    ++profile_.tag_events[ev.tag];
+    if (profiling_) {
+        const auto t0 = std::chrono::steady_clock::now();
+        ev.fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count();
+        profile_.wall_ns += ns;
+        profile_.tag_wall_ns[ev.tag] += ns;
+    } else {
+        ev.fn();
+    }
+    ++executed_;
+    ++profile_.executed;
 }
 
 std::size_t
@@ -27,10 +69,8 @@ Engine::run()
         // Move the event out before popping so the callback may schedule.
         Event ev = std::move(const_cast<Event &>(queue_.top()));
         queue_.pop();
-        now_ = ev.when;
-        ev.fn();
+        dispatch(ev);
         ++n;
-        ++executed_;
     }
     return n;
 }
@@ -42,10 +82,8 @@ Engine::runUntil(SimTime horizon)
     while (!queue_.empty() && queue_.top().when <= horizon) {
         Event ev = std::move(const_cast<Event &>(queue_.top()));
         queue_.pop();
-        now_ = ev.when;
-        ev.fn();
+        dispatch(ev);
         ++n;
-        ++executed_;
     }
     if (now_ < horizon)
         now_ = horizon;

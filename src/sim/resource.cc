@@ -55,7 +55,7 @@ Resource::release()
     // Hand the unit directly to the oldest waiter; in_use_ stays constant.
     Grant next = std::move(waiters_.front());
     waiters_.pop_front();
-    engine_.schedule(0, std::move(next));
+    engine_.schedule(0, kEvGrant, std::move(next));
 }
 
 double

@@ -59,6 +59,23 @@ QuantileEstimator::sum() const
 }
 
 void
+QuantileEstimator::merge(const QuantileEstimator &other)
+{
+    if (other.samples_.empty())
+        return;
+    if (&other == this) {
+        // Self-merge doubles the stream; copy first so the insertion
+        // never reads through iterators a reallocation invalidated.
+        const std::vector<double> copy = samples_;
+        samples_.insert(samples_.end(), copy.begin(), copy.end());
+    } else {
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+    }
+    sorted_ = false;
+}
+
+void
 QuantileEstimator::clear()
 {
     samples_.clear();

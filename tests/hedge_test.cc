@@ -15,6 +15,8 @@
 #include "core/serving.h"
 #include "core/strategies.h"
 #include "model/generators.h"
+#include "obs/critical_path.h"
+#include "obs/span_tracer.h"
 #include "rpc/hedge.h"
 #include "sched/capacity_search.h"
 #include "workload/request_generator.h"
@@ -392,6 +394,104 @@ TEST(HedgeProperty, PerShardDeadlineNarrowsHedgeRateSpread)
     }
     // On average the narrowing is decisive, not marginal.
     EXPECT_LT(per_shard_sum, 0.5 * global_sum);
+}
+
+/**
+ * Regression for the span-closure inconsistency the observability layer
+ * surfaced: hedged-loser attempts and attempts cancelled mid-execution
+ * used to leave their spans dangling open. Every RPC attempt (primary,
+ * hedge winner, hedge loser, wire-cancelled) must close: the trace ends
+ * with zero open spans, one RpcAttempt span per launched attempt, and
+ * every loser/cancelled attempt carries the matching flag with a real
+ * end time.
+ */
+TEST(HedgeTrace, LoserAndCancelledAttemptsCloseTheirSpans)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = testPlan(spec);
+    const auto requests = testRequests(spec, 300);
+
+    auto cfg = sched::hedgeStudyConfig(
+        rpc::LoadBalancePolicy::LeastOutstanding, 3, /*hedged=*/true);
+    obs::SpanTracer tracer;
+    cfg.tracer = &tracer;
+    core::ServingSimulation sim(spec, plan, cfg);
+    sim.replayOpenLoop(requests, 1500.0);
+    const auto h = sim.hedgeStats();
+    ASSERT_GT(h.hedges, 0u);
+
+    EXPECT_EQ(tracer.openCount(), 0u);
+    const auto rep = obs::checkConservation(tracer.spans());
+    EXPECT_TRUE(rep.ok(requests.size()))
+        << "roots=" << rep.root_spans << " open=" << rep.open_spans
+        << " violations=" << rep.nesting_violations;
+
+    std::uint64_t attempts = 0, hedge_attempts = 0, losers = 0;
+    for (const auto &s : tracer.spans()) {
+        EXPECT_FALSE(s.open()) << "span " << s.id << " kind "
+                               << obs::spanKindName(s.kind);
+        if (s.kind != obs::SpanKind::RpcAttempt)
+            continue;
+        ++attempts;
+        if ((s.flags & obs::kFlagHedge) != 0)
+            ++hedge_attempts;
+        if ((s.flags & obs::kFlagLoser) != 0) {
+            ++losers;
+            EXPECT_GE(s.end, s.begin);
+        }
+    }
+    // One attempt span per launched attempt: primaries + backups.
+    EXPECT_EQ(attempts, h.primary_rpcs + h.hedges);
+    EXPECT_EQ(hedge_attempts, h.hedges);
+    // Races were decided, so somebody lost (wins imply losers).
+    if (h.wins > 0)
+        EXPECT_GT(losers, 0u);
+}
+
+/**
+ * Same closure contract under mid-flight shed cancellation: the
+ * poisoned fan-out's attempts close flagged Cancelled, and the trace
+ * still conserves (the shed root closes flagged Shed).
+ */
+TEST(HedgeTrace, MidFlightShedClosesCancelledAttemptSpans)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    const auto requests = testRequests(spec, 300);
+
+    auto cfg = sched::sparseBoundStudyConfig(
+        rpc::LoadBalancePolicy::LeastOutstanding, 2);
+    cfg.admission.deadline_ns = 15 * sim::kMillisecond;
+    cfg.admission.cancel_in_flight = true;
+    obs::SpanTracer tracer;
+    cfg.tracer = &tracer;
+    core::ServingSimulation sim(spec, plan, cfg);
+    const auto stats = sim.replayOpenLoop(requests, 1800.0);
+    ASSERT_GT(sim.shedCancelledRpcs(), 0u);
+
+    EXPECT_EQ(tracer.openCount(), 0u);
+    const auto rep = obs::checkConservation(tracer.spans());
+    EXPECT_TRUE(rep.ok(requests.size()))
+        << "roots=" << rep.root_spans << " open=" << rep.open_spans
+        << " violations=" << rep.nesting_violations;
+    EXPECT_GT(rep.cancelled_spans, 0u);
+
+    // Shed roots carry the Shed flag; their count matches the stats.
+    std::uint64_t shed_roots = 0, cancelled_closed = 0;
+    for (const auto &s : tracer.spans()) {
+        if (s.kind == obs::SpanKind::Request &&
+            (s.flags & obs::kFlagShed) != 0)
+            ++shed_roots;
+        if ((s.flags & obs::kFlagCancelled) != 0) {
+            EXPECT_FALSE(s.open());
+            ++cancelled_closed;
+        }
+    }
+    std::uint64_t shed_requests = 0;
+    for (const auto &s : stats)
+        shed_requests += s.shed() ? 1 : 0;
+    EXPECT_EQ(shed_roots, shed_requests);
+    EXPECT_GT(cancelled_closed, 0u);
 }
 
 /** Wasted duplicate work stays below the configured budget at low load. */

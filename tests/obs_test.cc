@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Unit tests for the observability layer (src/obs): span tracer
+ * semantics (including the zero-allocation-when-disabled contract),
+ * critical-path extraction on a hand-built span tree, conservation
+ * checking, Chrome trace export sanity, and the metrics registry's
+ * edge cases (duplicate registration, kind clashes, histogram bucket
+ * boundaries, snapshot determinism).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/chrome_trace.h"
+#include "obs/critical_path.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
+
+namespace {
+
+using namespace dri;
+using obs::SpanKind;
+
+// ---------------------------------------------------------------------------
+// SpanTracer
+// ---------------------------------------------------------------------------
+
+TEST(SpanTracer, DisabledTracerPerformsZeroAllocations)
+{
+    obs::SpanTracer tracer(/*enabled=*/false);
+    const auto root = tracer.begin(1, SpanKind::Request, obs::kNoSpan, 0);
+    EXPECT_EQ(root, obs::kNoSpan);
+    // Every other call must degrade to a no-op on the kNoSpan handle.
+    tracer.end(root, 100);
+    tracer.addFlags(root, obs::kFlagShed);
+    const auto rec =
+        tracer.record(1, SpanKind::QueueWait, root, 0, 50);
+    EXPECT_EQ(rec, obs::kNoSpan);
+    // The contract tests rely on: a counter, not a timing heuristic.
+    EXPECT_EQ(tracer.allocations(), 0u);
+    EXPECT_TRUE(tracer.spans().empty());
+    EXPECT_EQ(tracer.openCount(), 0u);
+}
+
+TEST(SpanTracer, BeginEndLifecycle)
+{
+    obs::SpanTracer tracer;
+    const auto root = tracer.begin(7, SpanKind::Request, obs::kNoSpan, 10);
+    ASSERT_NE(root, obs::kNoSpan);
+    EXPECT_EQ(tracer.openCount(), 1u);
+
+    const auto child =
+        tracer.begin(7, SpanKind::QueueWait, root, 10, /*shard=*/2);
+    EXPECT_EQ(tracer.openCount(), 2u);
+    tracer.end(child, 30);
+    EXPECT_EQ(tracer.openCount(), 1u);
+    // Double-end is a no-op, not a corruption.
+    tracer.end(child, 99);
+    EXPECT_EQ(tracer.openCount(), 1u);
+    tracer.end(root, 50, obs::kFlagShed);
+    EXPECT_EQ(tracer.openCount(), 0u);
+
+    ASSERT_EQ(tracer.spans().size(), 2u);
+    const auto &r = tracer.spans()[0];
+    const auto &c = tracer.spans()[1];
+    EXPECT_EQ(r.request_id, 7u);
+    EXPECT_EQ(r.begin, 10);
+    EXPECT_EQ(r.end, 50);
+    EXPECT_EQ(r.flags, obs::kFlagShed);
+    EXPECT_EQ(c.parent, root);
+    EXPECT_EQ(c.shard, 2);
+    EXPECT_EQ(c.end, 30);
+    EXPECT_GT(tracer.allocations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Critical path + conservation on a hand-built span tree
+// ---------------------------------------------------------------------------
+
+/**
+ * One request, one sequential lifecycle, one remote RPC chain:
+ *
+ *   Request [0,100]
+ *     QueueWait [0,10]            queue
+ *     Deserialize [10,20]         serde
+ *     NetPhase [20,90]
+ *       BatchExec [20,90]
+ *         DenseBottom [20,30]     compute
+ *         EmbeddedWait [30,80]
+ *           RpcOp [30,80]
+ *             RpcAttempt [30,80]
+ *               WireOut [30,40]       network
+ *               RemoteQueue [40,50]   queue
+ *               RemoteCompute [50,70] compute
+ *               WireBack [70,80]      network
+ *         DenseTop [80,90]        compute
+ *     ResponseSerialize [90,100]  serde
+ *
+ * The last-finisher walk must partition [0,100] exactly into
+ * queue=20, serde=20, compute=40, network=20.
+ */
+obs::SpanTracer
+buildCanonicalTree()
+{
+    obs::SpanTracer t;
+    const auto root = t.record(1, SpanKind::Request, obs::kNoSpan, 0, 100);
+    t.record(1, SpanKind::QueueWait, root, 0, 10);
+    t.record(1, SpanKind::Deserialize, root, 10, 20);
+    const auto net = t.record(1, SpanKind::NetPhase, root, 20, 90);
+    const auto batch = t.record(1, SpanKind::BatchExec, net, 20, 90);
+    t.record(1, SpanKind::DenseBottom, batch, 20, 30);
+    const auto wait = t.record(1, SpanKind::EmbeddedWait, batch, 30, 80);
+    const auto op = t.record(1, SpanKind::RpcOp, wait, 30, 80);
+    const auto att = t.record(1, SpanKind::RpcAttempt, op, 30, 80);
+    t.record(1, SpanKind::WireOut, att, 30, 40);
+    t.record(1, SpanKind::RemoteQueue, att, 40, 50);
+    t.record(1, SpanKind::RemoteCompute, att, 50, 70);
+    t.record(1, SpanKind::WireBack, att, 70, 80);
+    t.record(1, SpanKind::DenseTop, batch, 80, 90);
+    t.record(1, SpanKind::ResponseSerialize, root, 90, 100);
+    return t;
+}
+
+TEST(CriticalPath, SegmentsPartitionRootExactly)
+{
+    const auto tracer = buildCanonicalTree();
+    const auto paths = obs::criticalPaths(tracer.spans());
+    ASSERT_EQ(paths.size(), 1u);
+    const auto &p = paths[0];
+    EXPECT_EQ(p.request_id, 1u);
+    EXPECT_EQ(p.total, 100);
+
+    // Segments tile [0, 100] with no gaps or overlaps, in time order.
+    ASSERT_FALSE(p.segments.empty());
+    sim::SimTime cursor = 0;
+    sim::Duration sum = 0;
+    for (const auto &seg : p.segments) {
+        EXPECT_EQ(seg.begin, cursor);
+        EXPECT_GE(seg.end, seg.begin);
+        cursor = seg.end;
+        sum += seg.duration();
+    }
+    EXPECT_EQ(cursor, 100);
+    EXPECT_EQ(sum, p.total);
+
+    using B = obs::PathBucket;
+    EXPECT_EQ(p.bucket_ns[static_cast<std::size_t>(B::Queue)], 20);
+    EXPECT_EQ(p.bucket_ns[static_cast<std::size_t>(B::Serde)], 20);
+    EXPECT_EQ(p.bucket_ns[static_cast<std::size_t>(B::Compute)], 40);
+    EXPECT_EQ(p.bucket_ns[static_cast<std::size_t>(B::Network)], 20);
+    EXPECT_EQ(p.dominant(), B::Compute);
+
+    sim::Duration bucket_sum = 0;
+    for (std::size_t b = 0; b < obs::kPathBucketCount; ++b)
+        bucket_sum += p.bucket_ns[b];
+    EXPECT_EQ(bucket_sum, p.total);
+
+    const auto profile = obs::profilePaths(paths);
+    EXPECT_EQ(profile.requests, 1u);
+    EXPECT_EQ(profile.total_ns, 100);
+    EXPECT_DOUBLE_EQ(profile.bucketShare(B::Compute), 0.4);
+}
+
+TEST(CriticalPath, CancelledAndLoserSpansAreExcluded)
+{
+    auto tracer = buildCanonicalTree();
+    // A hedge loser that outlived the request: closed, flagged, longer
+    // than everything else. It must not hijack the last-finisher walk.
+    const auto op = tracer.spans()[7].id; // RpcOp
+    tracer.record(1, SpanKind::RpcAttempt, op, 35, 300, /*shard=*/3, -1,
+                  -1, obs::kFlagHedge | obs::kFlagLoser);
+    const auto paths = obs::criticalPaths(tracer.spans());
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0].total, 100);
+    using B = obs::PathBucket;
+    EXPECT_EQ(paths[0].bucket_ns[static_cast<std::size_t>(B::Compute)], 40);
+}
+
+TEST(Conservation, CleanTreePasses)
+{
+    const auto tracer = buildCanonicalTree();
+    const auto rep = obs::checkConservation(tracer.spans());
+    EXPECT_EQ(rep.total_spans, 15u);
+    EXPECT_EQ(rep.root_spans, 1u);
+    EXPECT_EQ(rep.open_spans, 0u);
+    EXPECT_EQ(rep.nesting_violations, 0u);
+    EXPECT_TRUE(rep.ok(1));
+    EXPECT_FALSE(rep.ok(2));
+}
+
+TEST(Conservation, DetectsOpenSpans)
+{
+    obs::SpanTracer t;
+    const auto root = t.begin(1, SpanKind::Request, obs::kNoSpan, 0);
+    t.begin(1, SpanKind::QueueWait, root, 0); // never ended
+    t.end(root, 100);
+    const auto rep = obs::checkConservation(t.spans());
+    EXPECT_EQ(rep.open_spans, 1u);
+    EXPECT_FALSE(rep.ok(1));
+}
+
+TEST(Conservation, DetectsNestingViolations)
+{
+    obs::SpanTracer t;
+    const auto root = t.record(1, SpanKind::Request, obs::kNoSpan, 10, 100);
+    // Child escapes its parent on both sides without a cancel flag.
+    t.record(1, SpanKind::QueueWait, root, 0, 120);
+    const auto rep = obs::checkConservation(t.spans());
+    EXPECT_GT(rep.nesting_violations, 0u);
+    EXPECT_FALSE(rep.ok(1));
+
+    // The same overhang IS legal for cancelled/loser debris.
+    obs::SpanTracer t2;
+    const auto r2 = t2.record(1, SpanKind::Request, obs::kNoSpan, 10, 100);
+    t2.record(1, SpanKind::RpcAttempt, r2, 10, 120, obs::kMainShard, -1,
+              -1, obs::kFlagCancelled);
+    const auto rep2 = obs::checkConservation(t2.spans());
+    EXPECT_EQ(rep2.nesting_violations, 0u);
+    EXPECT_EQ(rep2.cancelled_spans, 1u);
+    EXPECT_TRUE(rep2.ok(1));
+}
+
+TEST(ChromeTrace, EmitsCompleteEventsForClosedSpans)
+{
+    auto tracer = buildCanonicalTree();
+    tracer.begin(2, SpanKind::Request, obs::kNoSpan, 500); // open: skipped
+    const std::string json = obs::chromeTraceJson(tracer.spans());
+    EXPECT_EQ(json.front(), '[');
+    // 15 closed spans -> 15 "X" events; the open root is skipped.
+    std::size_t events = 0, pos = 0;
+    while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+        ++events;
+        ++pos;
+    }
+    EXPECT_EQ(events, 15u);
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+    EXPECT_NE(json.find("main-shard"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, DuplicateRegistrationReturnsSameHandle)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter &a = reg.counter("requests");
+    obs::Counter &b = reg.counter("requests");
+    EXPECT_EQ(&a, &b);
+    a.inc(3);
+    b.inc(4);
+    EXPECT_EQ(a.value(), 7);
+    EXPECT_EQ(reg.size(), 1u);
+
+    obs::Histogram &h1 = reg.histogram("lat");
+    obs::Histogram &h2 = reg.histogram("lat");
+    EXPECT_EQ(&h1, &h2);
+    // Handles are stable across later registrations (deque storage).
+    for (int i = 0; i < 100; ++i)
+        reg.gauge("g" + std::to_string(i));
+    EXPECT_EQ(&reg.counter("requests"), &a);
+    EXPECT_EQ(&reg.histogram("lat"), &h1);
+}
+
+TEST(MetricsRegistry, KindClashThrows)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("x");
+    EXPECT_THROW(reg.gauge("x"), std::logic_error);
+    EXPECT_THROW(reg.histogram("x"), std::logic_error);
+    reg.gauge("y");
+    EXPECT_THROW(reg.counter("y"), std::logic_error);
+}
+
+TEST(MetricsRegistry, SnapshotsAreDeterministic)
+{
+    const auto drive = [](obs::MetricsRegistry &reg) {
+        reg.counter("served").inc(42);
+        reg.gauge("qps").set(1500.5);
+        auto &h = reg.histogram("wait_us");
+        for (int i = 1; i <= 1000; ++i)
+            h.observe(i);
+        reg.takeSnapshot(60.0);
+        reg.counter("served").inc(8);
+        reg.takeSnapshot(120.0);
+    };
+    obs::MetricsRegistry a, b;
+    drive(a);
+    drive(b);
+    ASSERT_EQ(a.snapshots().size(), 2u);
+    ASSERT_EQ(a.snapshots().size(), b.snapshots().size());
+    for (std::size_t i = 0; i < a.snapshots().size(); ++i) {
+        const auto &sa = a.snapshots()[i];
+        const auto &sb = b.snapshots()[i];
+        EXPECT_EQ(sa.t, sb.t);
+        ASSERT_EQ(sa.values.size(), sb.values.size());
+        for (std::size_t j = 0; j < sa.values.size(); ++j) {
+            EXPECT_EQ(sa.values[j].first, sb.values[j].first);
+            EXPECT_EQ(sa.values[j].second, sb.values[j].second);
+        }
+    }
+    // Registration order is snapshot order — counter first.
+    EXPECT_EQ(a.snapshots()[0].values[0].first, "served");
+    EXPECT_EQ(a.snapshots()[0].values[0].second, 42.0);
+    EXPECT_EQ(a.snapshots()[1].values[0].second, 50.0);
+
+    std::ostringstream ja, jb;
+    a.writeJsonl(ja);
+    b.writeJsonl(jb);
+    EXPECT_EQ(ja.str(), jb.str());
+    EXPECT_NE(ja.str().find("\"t\":60"), std::string::npos);
+    EXPECT_NE(ja.str().find("\"wait_us.p50\":"), std::string::npos);
+}
+
+TEST(Histogram, BucketBoundariesRoundTrip)
+{
+    const obs::Histogram h(/*sub_bucket_bits=*/2); // sub = 4
+    // Values below 2^bits land in exact unit buckets.
+    for (std::int64_t v = 0; v < 4; ++v) {
+        EXPECT_EQ(h.bucketIndex(v), static_cast<std::size_t>(v));
+        EXPECT_EQ(h.bucketLowerBound(static_cast<std::size_t>(v)), v);
+    }
+    // First log range: [4,8) in unit buckets of width 1 << 0.
+    EXPECT_EQ(h.bucketIndex(4), 4u);
+    EXPECT_EQ(h.bucketIndex(7), 7u);
+    // Second log range: [8,16) in buckets of width 2.
+    EXPECT_EQ(h.bucketIndex(8), 8u);
+    EXPECT_EQ(h.bucketIndex(9), 8u);
+    EXPECT_EQ(h.bucketIndex(10), 9u);
+    EXPECT_EQ(h.bucketLowerBound(8), 8);
+    EXPECT_EQ(h.bucketLowerBound(9), 10);
+    // Negative observations clamp to zero.
+    EXPECT_EQ(h.bucketIndex(-5), 0u);
+
+    // Round-trip property across several decades: the lower bound maps
+    // back to its own bucket and never exceeds the value.
+    for (std::int64_t v : {0LL, 1LL, 3LL, 4LL, 5LL, 15LL, 16LL, 17LL,
+                           1000LL, 123456LL, 1LL << 40}) {
+        const std::size_t idx = h.bucketIndex(v);
+        const std::int64_t lo = h.bucketLowerBound(idx);
+        EXPECT_LE(lo, v) << v;
+        EXPECT_EQ(h.bucketIndex(lo), idx) << v;
+    }
+}
+
+TEST(Histogram, QuantilesBoundedRelativeError)
+{
+    obs::Histogram h(/*sub_bucket_bits=*/5);
+    for (std::int64_t v = 1; v <= 100000; ++v)
+        h.observe(v);
+    EXPECT_EQ(h.count(), 100000u);
+    EXPECT_EQ(h.min(), 1);
+    EXPECT_EQ(h.max(), 100000);
+    EXPECT_DOUBLE_EQ(h.mean(), 50000.5);
+    // Log-linear bucketing guarantees <= 2^-5 relative error downward.
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+        const auto est = static_cast<double>(h.quantile(q));
+        const double exact = q * 100000.0;
+        EXPECT_LE(est, exact + 1.0) << q;
+        EXPECT_GE(est, exact * (1.0 - 1.0 / 32.0) - 1.0) << q;
+    }
+    EXPECT_EQ(h.quantile(0.0), 1);
+    // p100 reports the max's bucket lower bound, clamped into the
+    // observed range — within one bucket width of the true max.
+    EXPECT_LE(h.quantile(1.0), 100000);
+    EXPECT_GE(h.quantile(1.0), 100000 - (100000 >> 5));
+}
+
+TEST(Histogram, MergeEqualsWholeStream)
+{
+    obs::Histogram whole(5), left(5), right(5);
+    for (std::int64_t v = 0; v < 5000; ++v) {
+        const std::int64_t x = (v * 2654435761LL) % 1000003;
+        whole.observe(x);
+        (v % 2 == 0 ? left : right).observe(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_EQ(left.sum(), whole.sum());
+    EXPECT_EQ(left.min(), whole.min());
+    EXPECT_EQ(left.max(), whole.max());
+    for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_EQ(left.quantile(q), whole.quantile(q)) << q;
+
+    obs::Histogram other_bits(3);
+    EXPECT_THROW(left.merge(other_bits), std::logic_error);
+}
+
+} // namespace

@@ -20,6 +20,8 @@
 #include "core/serving.h"
 #include "core/strategies.h"
 #include "model/generators.h"
+#include "obs/critical_path.h"
+#include "obs/span_tracer.h"
 #include "sched/batcher.h"
 #include "sched/capacity_search.h"
 #include "workload/request_generator.h"
@@ -126,9 +128,11 @@ class ServingStressTest : public ::testing::Test
     }
 
     std::vector<core::RequestStats>
-    run(const GridPoint &p) const
+    run(const GridPoint &p, obs::SpanTracer *tracer = nullptr) const
     {
-        core::ServingSimulation sim(spec_, plan_, configFor(p));
+        auto cfg = configFor(p);
+        cfg.tracer = tracer;
+        core::ServingSimulation sim(spec_, plan_, cfg);
         if (!p.batched)
             return sim.replayOpenLoop(requests_, 1500.0);
         sched::BatcherConfig bc;
@@ -185,6 +189,51 @@ TEST_F(ServingStressTest, EveryConfigConservesRequests)
                         if (!p.hedged) {
                             EXPECT_EQ(s.hedges, 0) << p.label();
                         }
+                    }
+                }
+}
+
+/**
+ * The pure-observer contract of the span tracer: attaching it to any
+ * grid configuration leaves every field of every RequestStats
+ * byte-identical to the untraced run — the tracer never consumes
+ * randomness and never schedules events. The traced run additionally
+ * has to produce a structurally sound trace: zero open spans, zero
+ * nesting violations, and (for unbatched replays) exactly one root
+ * span per injected request.
+ */
+TEST_F(ServingStressTest, TracingLeavesStatsByteIdentical)
+{
+    for (const bool hedged : {false, true})
+        for (const bool batched : {false, true})
+            for (const bool admission : {false, true})
+                for (const bool rcache : {false, true}) {
+                    const GridPoint p{hedged, batched, admission, rcache};
+                    const auto baseline = run(p);
+                    obs::SpanTracer tracer;
+                    const auto traced = run(p, &tracer);
+                    ASSERT_EQ(baseline.size(), traced.size()) << p.label();
+                    for (std::size_t i = 0; i < baseline.size(); ++i)
+                        expectIdentical(baseline[i], traced[i],
+                                        p.label() + " traced req " +
+                                            std::to_string(i));
+
+                    const auto rep =
+                        obs::checkConservation(tracer.spans());
+                    EXPECT_GT(rep.total_spans, 0u) << p.label();
+                    EXPECT_EQ(rep.open_spans, 0u) << p.label();
+                    EXPECT_EQ(tracer.openCount(), 0u) << p.label();
+                    EXPECT_EQ(rep.nesting_violations, 0u) << p.label();
+                    if (!p.batched) {
+                        // One root per injected request; the batcher
+                        // merges requests so its root count is the
+                        // (config-dependent) batch count instead.
+                        EXPECT_TRUE(rep.ok(requests_.size()))
+                            << p.label() << " roots=" << rep.root_spans;
+                    } else {
+                        EXPECT_GT(rep.root_spans, 0u) << p.label();
+                        EXPECT_LE(rep.root_spans, requests_.size())
+                            << p.label();
                     }
                 }
 }

@@ -199,6 +199,54 @@ TEST(Quantile, ClearResets)
     EXPECT_TRUE(q.empty());
 }
 
+/**
+ * Merged per-shard estimators answer every query exactly like one
+ * estimator fed the whole stream — the property that lets fleet
+ * segments aggregate tails without centralizing samples.
+ */
+TEST(Quantile, MergedShardsMatchWholeStream)
+{
+    Rng rng(0x5eed);
+    QuantileEstimator whole;
+    QuantileEstimator shards[4];
+    for (int i = 0; i < 4000; ++i) {
+        const double v = rng.gaussian(10.0, 5.0);
+        whole.add(v);
+        shards[i % 4].add(v);
+    }
+    QuantileEstimator merged;
+    for (const auto &s : shards)
+        merged.merge(s);
+    ASSERT_EQ(merged.count(), whole.count());
+    for (double p = 0.0; p <= 1.0; p += 0.01)
+        EXPECT_DOUBLE_EQ(merged.quantile(p), whole.quantile(p)) << p;
+    EXPECT_DOUBLE_EQ(merged.p999(), whole.p999());
+    // Both buffers are sorted after the queries above, so the sums run
+    // in the same order and must agree to the bit.
+    EXPECT_DOUBLE_EQ(merged.sum(), whole.sum());
+}
+
+TEST(Quantile, MergeEdgeCases)
+{
+    QuantileEstimator a, empty;
+    a.addAll({3.0, 1.0, 2.0});
+    // Merging an empty estimator changes nothing.
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.p50(), 2.0);
+    // Merging INTO an empty estimator adopts the samples.
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 3u);
+    EXPECT_DOUBLE_EQ(empty.p50(), 2.0);
+    // Self-merge doubles the stream without corrupting it.
+    a.merge(a);
+    EXPECT_EQ(a.count(), 6u);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+    EXPECT_DOUBLE_EQ(a.p50(), 2.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
 /** Property: quantiles are monotone in q. */
 class QuantileMonotoneTest : public ::testing::TestWithParam<std::uint64_t>
 {
