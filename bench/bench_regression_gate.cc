@@ -1,0 +1,103 @@
+/**
+ * @file
+ * CLI front-end for the bench-artifact regression gate
+ * (src/obs/regression_gate.h): diff a freshly generated JSONL bench
+ * artifact against its committed baseline and exit non-zero on any
+ * violation — the CI step that keeps perf and determinism ratcheted.
+ *
+ * Usage:
+ *   bench_regression_gate --baseline bench/baselines/X.jsonl \
+ *                         --current perf/X.jsonl \
+ *                         [--skip-machine-dependent] \
+ *                         [--throughput-tolerance 0.75] \
+ *                         [--value-tolerance 2e-5] \
+ *                         [--check-wall-clock]
+ *
+ * Exit codes: 0 gate passed, 1 violations found, 2 usage/IO error.
+ *
+ * Refreshing baselines after an intentional change (CI compares the
+ * --smoke artifacts, so baselines are generated the same way):
+ *   ./build/bench_sim_throughput --smoke    | grep '^{' > bench/baselines/sim_throughput_smoke.jsonl
+ *   ./build/bench_fleet_autoscaling --smoke | grep '^{' > bench/baselines/fleet_autoscaling_smoke.jsonl
+ * then commit the diff alongside the change that caused it.
+ */
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/regression_gate.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " --baseline <file.jsonl> --current <file.jsonl>\n"
+        << "          [--skip-machine-dependent] [--check-wall-clock]\n"
+        << "          [--throughput-tolerance <t>] "
+           "[--value-tolerance <t>]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path;
+    std::string current_path;
+    dri::obs::GateConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--baseline") {
+            const char *v = next();
+            if (v == nullptr)
+                return usage(argv[0]);
+            baseline_path = v;
+        } else if (arg == "--current") {
+            const char *v = next();
+            if (v == nullptr)
+                return usage(argv[0]);
+            current_path = v;
+        } else if (arg == "--skip-machine-dependent") {
+            cfg.skip_machine_dependent = true;
+        } else if (arg == "--check-wall-clock") {
+            cfg.check_wall_clock = true;
+        } else if (arg == "--throughput-tolerance") {
+            const char *v = next();
+            if (v == nullptr)
+                return usage(argv[0]);
+            cfg.throughput_tolerance = std::atof(v);
+        } else if (arg == "--value-tolerance") {
+            const char *v = next();
+            if (v == nullptr)
+                return usage(argv[0]);
+            cfg.value_tolerance = std::atof(v);
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return usage(argv[0]);
+        }
+    }
+    if (baseline_path.empty() || current_path.empty())
+        return usage(argv[0]);
+
+    try {
+        const auto baseline =
+            dri::obs::parseArtifactFile(baseline_path);
+        const auto current = dri::obs::parseArtifactFile(current_path);
+        const dri::obs::GateReport report =
+            dri::obs::compareArtifacts(baseline, current, cfg);
+        dri::obs::writeReport(std::cout, report, baseline_path,
+                              current_path);
+        return report.pass() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::cerr << "bench_regression_gate: " << e.what() << "\n";
+        return 2;
+    }
+}

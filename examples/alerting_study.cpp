@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Alerting study: SLO burn-rate monitoring, burst detection against
+ * seeded ground truth, and an alert-driven autoscaling policy — the
+ * observability layer closed into a loop.
+ *
+ * The canonical diurnal fleet (fleet/study.h, smoke trace extended to
+ * two days) runs under the Reactive policy with telemetry attached:
+ * per-epoch error-budget burn rates for latency/shed/availability
+ * objectives, multi-window burn-rate alerts with hysteresis, and an
+ * EWMA+MAD anomaly detector watching the offered/forecast load ratio.
+ * Because the load model's Poisson burst overlays are seeded, the
+ * detector can be scored against the exact epochs that drew bursts —
+ * measurement-grade fault injection, no flakiness.
+ *
+ * Self-checking (exit 1 on violation):
+ *  - every burst episode starting after the detector's warmup is
+ *    detected within <= 2 epochs of its onset;
+ *  - zero false positives: no detector flag on a burst-free epoch, and
+ *    zero flags across an entire no-burst replay of the same fleet;
+ *  - the pure-observer contract: FleetStats::fingerprint() is
+ *    byte-identical with telemetry attached and detached;
+ *  - telemetry itself is deterministic: reruns reproduce a
+ *    byte-identical telemetry ledger (alert stream included);
+ *  - closing the loop pays: the burn-rate-alert-driven policy spends
+ *    no more machine-hours than watermark-Reactive at no worse SLO
+ *    attainment (steady violation epochs).
+ */
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_sim.h"
+#include "fleet/study.h"
+#include "stats/table_printer.h"
+
+namespace {
+
+bool g_all_pass = true;
+
+void
+check(bool ok, const std::string &what)
+{
+    if (!ok) {
+        std::cout << "SELF-CHECK FAIL: " << what << "\n";
+        g_all_pass = false;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace dri;
+    using stats::TablePrinter;
+
+    // Two diurnal days at the smoke request sample: enough epochs for
+    // several seeded burst episodes while staying CI-budget friendly.
+    auto study = fleet::makeFleetStudy(true);
+    study.fleet.epochs = 24;
+    // Denser burst overlay than the canonical study: more ground-truth
+    // episodes per trace makes the detection scorecard meaningful.
+    study.load.bursts_per_epoch = 0.4;
+    const workload::DiurnalLoadModel load(study.spec, study.load);
+    fleet::FleetSim sim(study.spec, study.plan, study.serving, load,
+                        study.fleet);
+
+    std::cout << "Alerting study: " << study.spec.name << " on "
+              << study.plan.label() << ", " << study.fleet.epochs
+              << " epochs, SLO P99 <= " << study.fleet.slo.p99_ms
+              << " ms, burst rate " << study.load.bursts_per_epoch
+              << "/epoch.\n\n";
+
+    auto planner = std::make_shared<fleet::CapacityPlanner>(
+        study.spec, study.plan, study.serving, study.planner,
+        load.epochRequests(0, study.planner.planning_requests));
+    const auto peak_vector =
+        planner->replicaVectorFor(load.peakForecastQps());
+
+    // ---- Monitored Reactive run -----------------------------------------
+    fleet::ReactiveAutoscaler reactive(peak_vector, study.reactive);
+    const auto monitored = sim.run(reactive);
+    const auto &tele = monitored.telemetry;
+
+    TablePrinter tt({"epoch", "load ratio", "burst?", "flag", "lat fast",
+                     "lat slow", "shed fast", "avail fast", "firing"});
+    for (const auto &t : tele.epochs)
+        tt.addRow({std::to_string(t.epoch),
+                   TablePrinter::num(t.load_ratio, 3),
+                   load.burstCount(t.epoch) > 0 ? "burst" : "",
+                   t.burst_flagged ? "FLAG" : "",
+                   TablePrinter::num(t.latency_fast_burn, 2),
+                   TablePrinter::num(t.latency_slow_burn, 2),
+                   TablePrinter::num(t.shed_fast_burn, 2),
+                   TablePrinter::num(t.availability_fast_burn, 2),
+                   std::to_string(t.alerts_firing)});
+    std::cout << tt.render() << "\n";
+
+    if (!tele.alerts.empty()) {
+        TablePrinter at({"t(h)", "objective", "transition", "fast burn",
+                         "slow burn"});
+        for (const auto &a : tele.alerts)
+            at.addRow({TablePrinter::num(a.t_s / 3600.0, 1), a.objective,
+                       obs::toString(a.transition),
+                       TablePrinter::num(a.fast_burn, 2),
+                       TablePrinter::num(a.slow_burn, 2)});
+        std::cout << "alert lifecycle log:\n" << at.render() << "\n";
+    }
+
+    const auto &eval = tele.burst_eval;
+    std::cout << "burst detection: " << eval.episodes << " episodes, "
+              << eval.detected << " detected, " << eval.missed
+              << " missed, " << eval.false_positives
+              << " false positives, mean latency "
+              << TablePrinter::num(eval.meanLatency(), 2)
+              << " epochs (max " << eval.maxLatency() << ").\n\n";
+
+    // ---- Acceptance: detection latency + false-positive rate ------------
+    const int warmup = study.fleet.telemetry.burst_detector.warmup_samples;
+    int post_warmup_episodes = 0;
+    for (int e = 0; e < study.fleet.epochs; ++e) {
+        const bool start = load.burstCount(e) > 0 &&
+                           (e == 0 || load.burstCount(e - 1) == 0);
+        if (!start || e < warmup)
+            continue;
+        ++post_warmup_episodes;
+        bool detected_in_2 = false;
+        for (int f = e; f <= std::min(study.fleet.epochs - 1, e + 2); ++f)
+            detected_in_2 |= tele.epochs[static_cast<std::size_t>(f)]
+                                 .burst_flagged;
+        check(detected_in_2, "burst episode at epoch " +
+                                 std::to_string(e) +
+                                 " detected within 2 epochs");
+    }
+    check(post_warmup_episodes > 0,
+          "trace contains at least one post-warmup burst episode");
+    check(eval.false_positives == 0,
+          "zero detector false positives on the burst trace");
+    check(eval.maxLatency() <= 2,
+          "every credited detection within 2 epochs of onset");
+
+    // ---- Acceptance: zero false alarms on a burst-free trace ------------
+    {
+        auto flat = study;
+        flat.load.bursts_per_epoch = 0.0;
+        const workload::DiurnalLoadModel flat_load(flat.spec, flat.load);
+        fleet::FleetSim flat_sim(flat.spec, flat.plan, flat.serving,
+                                 flat_load, flat.fleet);
+        fleet::ReactiveAutoscaler flat_react(peak_vector, flat.reactive);
+        const auto flat_run = flat_sim.run(flat_react);
+        check(flat_run.telemetry.burst_eval.flags == 0,
+              "zero detector flags across the no-burst trace");
+        check(flat_run.telemetry.burst_eval.false_positives == 0,
+              "zero false positives across the no-burst trace");
+    }
+
+    // ---- Acceptance: telemetry is a pure observer -----------------------
+    {
+        auto blind = study;
+        blind.fleet.telemetry.enabled = false;
+        fleet::FleetSim blind_sim(blind.spec, blind.plan, blind.serving,
+                                  load, blind.fleet);
+        fleet::ReactiveAutoscaler blind_react(peak_vector,
+                                              blind.reactive);
+        const auto blind_run = blind_sim.run(blind_react);
+        check(blind_run.fingerprint() == monitored.fingerprint(),
+              "FleetStats fingerprint identical with telemetry on/off");
+        check(blind_run.telemetry.epochs.empty() &&
+                  blind_run.telemetry.alerts.empty(),
+              "disabled telemetry leaves an empty side-ledger");
+    }
+
+    // ---- Acceptance: telemetry determinism ------------------------------
+    {
+        fleet::ReactiveAutoscaler again(peak_vector, study.reactive);
+        const auto rerun = sim.run(again);
+        check(rerun.fingerprint() == monitored.fingerprint(),
+              "rerun reproduces the simulation ledger");
+        check(rerun.telemetryFingerprint() ==
+                  monitored.telemetryFingerprint(),
+              "rerun reproduces a byte-identical telemetry ledger");
+    }
+
+    // ---- Acceptance: the burn-rate policy closes the loop ---------------
+    fleet::BurnRateConfig brc;
+    brc.base = study.reactive;
+    fleet::BurnRateAutoscaler burn(peak_vector, brc);
+    fleet::ReactiveAutoscaler react2(peak_vector, study.reactive);
+    const auto s_burn = sim.run(burn);
+    const auto s_react = sim.run(react2);
+
+    TablePrinter pt({"policy", "machine-h", "watt-h", "steady viol",
+                     "shed", "reconfigs"});
+    for (const auto *s : {&s_react, &s_burn})
+        pt.addRow({s->policy, TablePrinter::num(s->totalMachineHours()),
+                   TablePrinter::num(s->totalWattHours(), 0),
+                   std::to_string(s->steadySloViolationEpochs()),
+                   std::to_string(s->totalShedRequests()),
+                   std::to_string(s->reconfigurations())});
+    std::cout << pt.render() << "\n";
+
+    check(s_burn.steadySloViolationEpochs() <=
+              s_react.steadySloViolationEpochs(),
+          "burn-rate policy SLO attainment no worse than reactive");
+    check(s_burn.totalMachineHours() <=
+              s_react.totalMachineHours() * 1.0001,
+          "burn-rate policy machine-hours no worse than reactive");
+
+    if (!g_all_pass) {
+        std::cout << "FAIL: one or more alerting acceptance checks "
+                     "failed.\n";
+        return EXIT_FAILURE;
+    }
+    std::cout << "All alerting acceptance checks passed: seeded bursts "
+                 "are caught within two\nepochs with zero false alarms, "
+                 "telemetry observes without perturbing, and\nalert-"
+                 "driven scaling matches watermark feedback on cost at "
+                 "equal attainment.\n";
+    return EXIT_SUCCESS;
+}

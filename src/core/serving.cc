@@ -12,6 +12,7 @@
 #include "cache/lookup_model.h"
 #include "netsim/message.h"
 #include "obs/span_tracer.h"
+#include "obs/timeseries.h"
 #include "rpc/discovery.h"
 #include "stats/summary.h"
 
@@ -1077,7 +1078,7 @@ struct ServingSimulation::Impl
     static std::uint8_t
     loseFlags(const RpcOp *op)
     {
-        return op->shed ? obs::kFlagCancelled
+        return op->shed ? static_cast<std::uint8_t>(obs::kFlagCancelled)
                         : static_cast<std::uint8_t>(obs::kFlagCancelled |
                                                     obs::kFlagLoser);
     }
@@ -1679,6 +1680,9 @@ struct ServingSimulation::Impl
             tr->end(a->sp_root, engine.now());
         a->st.completion = engine.now();
         a->st.e2e = a->st.completion - a->st.arrival;
+        if (cfg.latency_feed != nullptr)
+            cfg.latency_feed->observe(
+                static_cast<double>(a->st.completion) * 1e-9, a->st.e2e);
         const sim::Duration accounted =
             a->st.queue_wait + a->st.lat_serde + a->st.lat_service +
             a->st.lat_net_overhead + a->st.lat_embedded;

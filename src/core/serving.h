@@ -48,6 +48,7 @@ class CachedLookupModel;
 
 namespace dri::obs {
 class SpanTracer;
+class RollingHistogram;
 }
 
 namespace dri::core {
@@ -212,6 +213,18 @@ struct ServingConfig
      * the simulation.
      */
     obs::SpanTracer *tracer = nullptr;
+    /**
+     * Optional rolling in-run latency feed (src/obs). When set, every
+     * SERVED request's end-to-end latency (nanoseconds) is pushed into
+     * the window at its completion time, so a monitor can ask for the
+     * rolling P99 while the replay is still in flight instead of
+     * waiting for the final RequestStats ledger. Shed requests are
+     * excluded, matching latencyQuantiles(). Pure observer under the
+     * same contract as `tracer`: attaching it never changes
+     * RequestStats (enforced byte-for-byte by serving_stress_test).
+     * Not owned; must outlive the simulation.
+     */
+    obs::RollingHistogram *latency_feed = nullptr;
     /** Gap between a completion and the next injection in serial replay. */
     sim::Duration serial_gap_ns = 0;
 };

@@ -215,6 +215,124 @@ ReactiveAutoscaler::decide(int epoch, const workload::DiurnalLoadModel &,
 }
 
 // ---------------------------------------------------------------------------
+// Burn-rate.
+// ---------------------------------------------------------------------------
+
+BurnRateAutoscaler::BurnRateAutoscaler(std::vector<int> initial,
+                                       BurnRateConfig config)
+    : vector_(std::move(initial)), config_(config)
+{
+    assert(!vector_.empty());
+    for (auto &r : vector_)
+        r = std::clamp(r, config_.base.min_replicas,
+                       config_.base.max_replicas);
+
+    // Objectives run on the epoch index as their clock: horizon N
+    // "seconds" with N buckets is one bucket per epoch.
+    const auto objective = [&](const char *name, double budget) {
+        obs::SloObjective o;
+        o.name = name;
+        o.budget_fraction = budget;
+        o.fast_horizon_s = config_.fast_window_epochs;
+        o.slow_horizon_s = config_.slow_window_epochs;
+        o.buckets = config_.slow_window_epochs;
+        o.fast_burn_threshold = config_.fast_burn_threshold;
+        o.slow_burn_threshold = config_.slow_burn_threshold;
+        o.pending_ticks = config_.pending_ticks;
+        o.resolve_ticks = config_.resolve_ticks;
+        return monitor_.addObjective(o);
+    };
+    const double shed_budget = config_.shed_budget_fraction > 0.0
+                                   ? config_.shed_budget_fraction
+                                   : config_.base.slo.max_shed_rate;
+    latency_objective_ =
+        objective("latency", config_.latency_budget_fraction);
+    shed_objective_ = objective("shed", shed_budget);
+}
+
+std::vector<int>
+BurnRateAutoscaler::decide(int epoch, const workload::DiurnalLoadModel &,
+                           const EpochObservation *last)
+{
+    if (last == nullptr)
+        return vector_; // nothing measured yet: serve the seed vector
+
+    // Fold the finished epoch into the error budgets. Mid-epoch stamp:
+    // bucket boundaries sit at integers, so epoch e is period e.
+    const double t = static_cast<double>(last->epoch) + 0.5;
+    const std::int64_t served =
+        std::max<std::int64_t>(0, last->requests - last->shed_requests);
+    const std::int64_t over = std::clamp<std::int64_t>(
+        last->over_latency_target, 0, served);
+    monitor_.record(latency_objective_, t,
+                    static_cast<std::uint64_t>(served - over),
+                    static_cast<std::uint64_t>(over));
+    monitor_.record(shed_objective_, t,
+                    static_cast<std::uint64_t>(served),
+                    static_cast<std::uint64_t>(last->shed_requests));
+    monitor_.evaluate(t);
+
+    const bool alert_firing = monitor_.anyFiring();
+    const bool util_pressure =
+        last->max_shard_utilization > config_.base.high_utilization;
+
+    if (alert_firing || util_pressure) {
+        healthy_streak_ = 0;
+        // A firing burn-rate alert is the fleet-wide signal (the budget
+        // is provably burning everywhere the tail reaches); bare
+        // utilization pressure creeps only the hot shards, as Reactive.
+        const int step = alert_firing ? config_.base.pressure_step
+                                      : config_.base.step;
+        bool changed = false;
+        for (std::size_t s = 0; s < vector_.size(); ++s) {
+            const bool hot =
+                alert_firing ||
+                (s < last->shard_utilization.size() &&
+                 last->shard_utilization[s] >
+                     config_.base.high_utilization);
+            if (hot && vector_[s] < config_.base.max_replicas) {
+                vector_[s] = std::min(config_.base.max_replicas,
+                                      vector_[s] + step);
+                changed = true;
+            }
+        }
+        if (changed)
+            last_change_epoch_ = epoch;
+        return vector_;
+    }
+
+    // Budget health: nothing firing and both slow burns comfortably
+    // inside budget. Only a sustained healthy streak may scale down.
+    const bool healthy =
+        monitor_.status(latency_objective_).slow_burn <
+            config_.health_burn_fraction * config_.slow_burn_threshold &&
+        monitor_.status(shed_objective_).slow_burn <
+            config_.health_burn_fraction * config_.slow_burn_threshold;
+    healthy_streak_ = healthy ? healthy_streak_ + 1 : 0;
+
+    if (healthy_streak_ < config_.healthy_epochs ||
+        epoch - last_change_epoch_ <= config_.base.cooldown_epochs)
+        return vector_;
+    if (last->max_shard_utilization < config_.base.low_utilization) {
+        bool changed = false;
+        for (std::size_t s = 0; s < vector_.size(); ++s) {
+            const bool idle =
+                s >= last->shard_utilization.size() ||
+                last->shard_utilization[s] <
+                    config_.base.low_utilization;
+            if (idle && vector_[s] > config_.base.min_replicas) {
+                vector_[s] = std::max(config_.base.min_replicas,
+                                      vector_[s] - config_.base.step);
+                changed = true;
+            }
+        }
+        if (changed)
+            last_change_epoch_ = epoch;
+    }
+    return vector_;
+}
+
+// ---------------------------------------------------------------------------
 // Predictive.
 // ---------------------------------------------------------------------------
 

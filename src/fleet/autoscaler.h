@@ -39,6 +39,7 @@
 #include "core/serving.h"
 #include "core/sharding_plan.h"
 #include "model/model_spec.h"
+#include "obs/slo_monitor.h"
 #include "sched/capacity_search.h"
 #include "workload/diurnal.h"
 
@@ -56,6 +57,15 @@ struct EpochObservation
     /** Mean worker-pool utilization per sparse shard. */
     std::vector<double> shard_utilization;
     double max_shard_utilization = 0.0;
+
+    // ---- Event counts behind the rates (what error-budget accounting
+    //      needs: a burn rate is bad events over total events, not a
+    //      quantile). Zero for policies that predate them.
+    /** Requests offered this epoch (served + shed). */
+    std::int64_t requests = 0;
+    std::int64_t shed_requests = 0;
+    /** SERVED requests whose e2e latency exceeded the SLO P99 target. */
+    std::int64_t over_latency_target = 0;
 };
 
 /** Per-epoch replica-vector policy. */
@@ -223,6 +233,74 @@ class ReactiveAutoscaler : public Autoscaler
     ReactiveConfig config_;
     /** Epoch of the last reconfiguration this policy issued. */
     int last_change_epoch_ = -1000000;
+};
+
+/** Burn-rate-driven variant of the reactive policy (src/obs alerts). */
+struct BurnRateConfig
+{
+    /** Steps, watermarks, cooldown, and SLO shared with Reactive. */
+    ReactiveConfig base;
+
+    /** Allowed fraction of served requests over the SLO P99 target. */
+    double latency_budget_fraction = 0.01;
+    /** Allowed shed fraction; <= 0 inherits base.slo.max_shed_rate. */
+    double shed_budget_fraction = 0.0;
+
+    /** Burn windows in EPOCHS (the policy's clock is the epoch index). */
+    int fast_window_epochs = 1;
+    int slow_window_epochs = 4;
+    /**
+     * Fire when the fast burn reaches this multiple AND the slow burn
+     * reaches slow_burn_threshold. Fast at 2x/slow at 1x means "the
+     * last epoch burned twice its share and the longer horizon is
+     * already over budget" — one bad epoch with a healthy history only
+     * arms the alert, a sustained breach fires it.
+     */
+    double fast_burn_threshold = 2.0;
+    double slow_burn_threshold = 1.0;
+    int pending_ticks = 1;
+    int resolve_ticks = 1;
+
+    /**
+     * Budget health required before a scale-down: no alert firing and
+     * both slow burns under this fraction of their threshold, for
+     * healthy_epochs consecutive epochs (on top of base.cooldown).
+     */
+    double health_burn_fraction = 0.5;
+    int healthy_epochs = 2;
+};
+
+/**
+ * Scale up when a multi-window burn-rate alert FIRES (the SLO's error
+ * budget is provably burning), creep hot shards on the utilization
+ * watermark, and scale down only under sustained budget health. Same
+ * actuation machinery as ReactiveAutoscaler — the difference under
+ * test is purely the trigger: raw-threshold feedback vs error-budget
+ * burn rates with hysteresis.
+ */
+class BurnRateAutoscaler : public Autoscaler
+{
+  public:
+    /** `initial` seeds epoch 0 (typically the StaticPeak vector). */
+    BurnRateAutoscaler(std::vector<int> initial, BurnRateConfig config);
+
+    std::string name() const override { return "burn-rate"; }
+    std::vector<int> decide(int epoch,
+                            const workload::DiurnalLoadModel &load,
+                            const EpochObservation *last) override;
+
+    const BurnRateConfig &config() const { return config_; }
+    /** The policy's own monitor (alert log inspection in tests). */
+    const obs::SloMonitor &monitor() const { return monitor_; }
+
+  private:
+    std::vector<int> vector_;
+    BurnRateConfig config_;
+    obs::SloMonitor monitor_;
+    int latency_objective_ = -1;
+    int shed_objective_ = -1;
+    int last_change_epoch_ = -1000000;
+    int healthy_streak_ = 0;
 };
 
 /** Forecast-driven planner invocation per epoch. */

@@ -56,6 +56,55 @@ meanOf(const std::vector<double> &v)
 } // namespace
 
 // ---------------------------------------------------------------------------
+// TelemetryLedger.
+// ---------------------------------------------------------------------------
+
+int
+TelemetryLedger::alertCount(obs::AlertTransition t) const
+{
+    int n = 0;
+    for (const auto &a : alerts)
+        n += a.transition == t ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+TelemetryLedger::fingerprint() const
+{
+    Fnv fnv;
+    fnv.add(static_cast<std::int64_t>(epochs.size()));
+    for (const auto &e : epochs) {
+        fnv.add(e.epoch);
+        fnv.add(e.load_ratio);
+        fnv.add(e.burst_flagged);
+        fnv.add(e.latency_fast_burn);
+        fnv.add(e.latency_slow_burn);
+        fnv.add(e.shed_fast_burn);
+        fnv.add(e.shed_slow_burn);
+        fnv.add(e.availability_fast_burn);
+        fnv.add(e.availability_slow_burn);
+        fnv.add(e.latency_budget_consumed);
+        fnv.add(e.alerts_firing);
+    }
+    fnv.add(static_cast<std::int64_t>(alerts.size()));
+    for (const auto &a : alerts) {
+        fnv.add(a.t_s);
+        fnv.bytes(a.objective.data(), a.objective.size());
+        fnv.add(static_cast<int>(a.transition));
+        fnv.add(a.fast_burn);
+        fnv.add(a.slow_burn);
+    }
+    fnv.add(burst_eval.episodes);
+    fnv.add(burst_eval.detected);
+    fnv.add(burst_eval.missed);
+    fnv.add(burst_eval.false_positives);
+    fnv.add(burst_eval.flags);
+    for (const int l : burst_eval.latencies)
+        fnv.add(l);
+    return fnv.h;
+}
+
+// ---------------------------------------------------------------------------
 // FleetStats.
 // ---------------------------------------------------------------------------
 
@@ -273,6 +322,39 @@ FleetSim::run(Autoscaler &policy)
     bool have_last = false;
     std::vector<workload::Request> prev_tail;
 
+    // Telemetry analysis (pure observer: consumes only measured ledger
+    // values, after the epoch's simulations finished). One bucket per
+    // epoch in each burn window.
+    const TelemetryConfig &tele = cfg_.telemetry;
+    obs::SloMonitor monitor;
+    int lat_obj = -1, shed_obj = -1, avail_obj = -1;
+    obs::EwmaMadDetector burst_detector(tele.burst_detector);
+    std::vector<bool> burst_flags;
+    std::size_t alert_transitions_counted = 0;
+    if (tele.enabled) {
+        const auto objective = [&](const char *name, double budget) {
+            obs::SloObjective o;
+            o.name = name;
+            o.budget_fraction = budget;
+            o.fast_horizon_s =
+                tele.fast_window_epochs * cfg_.epoch_duration_s;
+            o.slow_horizon_s =
+                tele.slow_window_epochs * cfg_.epoch_duration_s;
+            o.buckets = tele.slow_window_epochs;
+            o.fast_burn_threshold = tele.fast_burn_threshold;
+            o.slow_burn_threshold = tele.slow_burn_threshold;
+            o.pending_ticks = tele.pending_ticks;
+            o.resolve_ticks = tele.resolve_ticks;
+            return monitor.addObjective(o);
+        };
+        lat_obj = objective("latency", tele.latency_budget_fraction);
+        shed_obj = objective("shed", tele.shed_budget_fraction > 0.0
+                                         ? tele.shed_budget_fraction
+                                         : cfg_.slo.max_shed_rate);
+        avail_obj = objective("availability",
+                              tele.availability_budget_fraction);
+    }
+
     for (int e = 0; e < cfg_.epochs; ++e) {
         std::vector<int> vec =
             policy.decide(e, load_, have_last ? &last : nullptr);
@@ -481,6 +563,16 @@ FleetSim::run(Autoscaler &policy)
             rec.plan.shards.push_back(p);
         }
 
+        // Served requests over the SLO latency target: the event count
+        // behind the latency error budget (a P99-vs-target check says
+        // "breached"; the over-target fraction says HOW MUCH budget
+        // burned).
+        std::int64_t over_latency = 0;
+        const double slo_ns = cfg_.slo.p99_ms * 1e6;
+        for (const auto &s : all_stats)
+            if (!s.shed() && static_cast<double>(s.e2e) > slo_ns)
+                ++over_latency;
+
         // Next-epoch observation + carry-over. Policies see the STEADY
         // P99: the declared reconfiguration window is exempt from SLO
         // accounting, and a controller penalized on its own window's
@@ -493,10 +585,62 @@ FleetSim::run(Autoscaler &policy)
         last.shed_rate = rec.shed_rate;
         last.shard_utilization = last_seg.shard_utilization;
         last.max_shard_utilization = rec.max_sparse_utilization;
+        last.requests = static_cast<std::int64_t>(all_stats.size());
+        last.shed_requests = rec.shed_requests;
+        last.over_latency_target = over_latency;
         have_last = true;
         prev = vec;
         const std::size_t back = std::min(n, cfg_.prewarm_requests);
         prev_tail = slice(n - back, n);
+
+        // Telemetry analysis over the finished epoch: burn the error
+        // budgets, evaluate the alert rules, step the burst detector.
+        // Mid-epoch timestamps keep records off bucket boundaries.
+        EpochTelemetry trow;
+        if (tele.enabled) {
+            const double t_mid =
+                (static_cast<double>(e) + 0.5) * cfg_.epoch_duration_s;
+            const auto served = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(all_stats.size()) -
+                rec.shed_requests);
+            const auto over =
+                static_cast<std::uint64_t>(over_latency);
+            monitor.record(lat_obj, t_mid, served - over, over);
+            monitor.record(shed_obj, t_mid, served,
+                           static_cast<std::uint64_t>(
+                               rec.shed_requests));
+            monitor.record(avail_obj, t_mid,
+                           rec.slo_violation ? 0 : 1,
+                           rec.slo_violation ? 1 : 0);
+            const auto emitted = monitor.evaluate(t_mid);
+            ledger.telemetry.alerts.insert(
+                ledger.telemetry.alerts.end(), emitted.begin(),
+                emitted.end());
+
+            trow.epoch = e;
+            trow.load_ratio =
+                rec.offered_qps / std::max(1e-9, rec.forecast_qps);
+            trow.burst_flagged = burst_detector.step(trow.load_ratio);
+            burst_flags.push_back(trow.burst_flagged);
+            trow.latency_fast_burn = monitor.status(lat_obj).fast_burn;
+            trow.latency_slow_burn = monitor.status(lat_obj).slow_burn;
+            trow.shed_fast_burn = monitor.status(shed_obj).fast_burn;
+            trow.shed_slow_burn = monitor.status(shed_obj).slow_burn;
+            trow.availability_fast_burn =
+                monitor.status(avail_obj).fast_burn;
+            trow.availability_slow_burn =
+                monitor.status(avail_obj).slow_burn;
+            trow.latency_budget_consumed =
+                monitor.status(lat_obj).budgetConsumed(
+                    monitor.objective(lat_obj).budget_fraction);
+            for (std::size_t o = 0; o < monitor.objectiveCount(); ++o)
+                trow.alerts_firing +=
+                    monitor.status(static_cast<int>(o)).state ==
+                            obs::AlertState::Firing
+                        ? 1
+                        : 0;
+            ledger.telemetry.epochs.push_back(trow);
+        }
 
         // Per-epoch metrics time-series: gauges mirror the ledger row,
         // counters accumulate across epochs, one snapshot per epoch at
@@ -534,12 +678,42 @@ FleetSim::run(Autoscaler &policy)
                 m.counter("fleet.reconfigurations").inc();
             m.counter("fleet.slo_violation_epochs")
                 .inc(rec.slo_violation ? 1 : 0);
+            if (tele.enabled) {
+                m.gauge("slo.latency_fast_burn")
+                    .set(trow.latency_fast_burn);
+                m.gauge("slo.latency_slow_burn")
+                    .set(trow.latency_slow_burn);
+                m.gauge("slo.shed_fast_burn").set(trow.shed_fast_burn);
+                m.gauge("slo.shed_slow_burn").set(trow.shed_slow_burn);
+                m.gauge("slo.availability_fast_burn")
+                    .set(trow.availability_fast_burn);
+                m.gauge("slo.latency_budget_consumed")
+                    .set(trow.latency_budget_consumed);
+                m.gauge("slo.alerts_firing")
+                    .set(static_cast<double>(trow.alerts_firing));
+                m.gauge("detect.load_ratio").set(trow.load_ratio);
+                m.gauge("detect.burst_flag")
+                    .set(trow.burst_flagged ? 1.0 : 0.0);
+                m.counter("slo.alert_transitions")
+                    .inc(static_cast<std::int64_t>(
+                        ledger.telemetry.alerts.size() -
+                        alert_transitions_counted));
+                alert_transitions_counted =
+                    ledger.telemetry.alerts.size();
+            }
             m.takeSnapshot(static_cast<double>(e + 1) *
                            cfg_.epoch_duration_s);
         }
 
         ledger.epochs.push_back(std::move(rec));
     }
+
+    // Score the online burst detector against the load model's seeded
+    // ground truth (which epochs actually drew bursts).
+    if (tele.enabled)
+        ledger.telemetry.burst_eval =
+            obs::scoreFlags(burst_detector.name(), burst_flags, load_,
+                            tele.detect_match_window_epochs);
     return ledger;
 }
 

@@ -47,7 +47,9 @@
 #include "dc/replication.h"
 #include "fleet/autoscaler.h"
 #include "model/model_spec.h"
+#include "obs/detect.h"
 #include "obs/metrics.h"
+#include "obs/slo_monitor.h"
 #include "sched/capacity_search.h"
 #include "workload/diurnal.h"
 
@@ -68,6 +70,43 @@ struct ReconfigPenaltyConfig
      * pooled-result cache refills from its invalidation.
      */
     double cold_cache_fraction = 0.15;
+};
+
+/**
+ * Telemetry analysis attached to a fleet run: SLO burn-rate alerting
+ * over the measured per-epoch event counts, plus an online burst
+ * detector on the offered/forecast load ratio, scored against the load
+ * model's seeded ground truth. Pure post-epoch arithmetic over values
+ * the ledger already measured — it can NEVER feed back into the
+ * simulation, so FleetStats::fingerprint() is byte-identical with the
+ * analysis on or off (the purity contract fleet_test pins down). Only
+ * an autoscaling policy that consumes its own alert stream (e.g.
+ * BurnRateAutoscaler) changes a run, and that is a different policy,
+ * not a monitor side effect.
+ */
+struct TelemetryConfig
+{
+    bool enabled = true;
+
+    /** Burn windows in epochs (scaled by epoch_duration_s). */
+    int fast_window_epochs = 2;
+    int slow_window_epochs = 6;
+    double fast_burn_threshold = 4.0;
+    double slow_burn_threshold = 2.0;
+    int pending_ticks = 1;
+    int resolve_ticks = 2;
+
+    /** Allowed fraction of served requests over the SLO P99 target. */
+    double latency_budget_fraction = 0.01;
+    /** Allowed shed fraction; <= 0 inherits slo.max_shed_rate. */
+    double shed_budget_fraction = 0.0;
+    /** Allowed fraction of epochs in (whole-epoch) SLO violation. */
+    double availability_budget_fraction = 0.10;
+
+    /** Online burst detector over offered/forecast per epoch. */
+    obs::EwmaMadConfig burst_detector;
+    /** Episode-matching window for the detection scorecard. */
+    int detect_match_window_epochs = 2;
 };
 
 /** Fleet-simulation parameters. */
@@ -96,6 +135,8 @@ struct FleetConfig
      * fingerprint. Not owned; must outlive run().
      */
     obs::MetricsRegistry *metrics = nullptr;
+    /** Burn-rate/detector analysis folded into FleetStats::telemetry. */
+    TelemetryConfig telemetry;
 };
 
 /** One epoch's ledger row. */
@@ -136,11 +177,52 @@ struct EpochRecord
     double planPowerWatts() const { return plan.totalPowerWatts(); }
 };
 
+/** One epoch's telemetry row (parallel to EpochRecord). */
+struct EpochTelemetry
+{
+    int epoch = 0;
+    /** Offered/forecast ratio — the burst detector's input signal. */
+    double load_ratio = 0.0;
+    /** The online anomaly detector flagged this epoch. */
+    bool burst_flagged = false;
+    double latency_fast_burn = 0.0;
+    double latency_slow_burn = 0.0;
+    double shed_fast_burn = 0.0;
+    double shed_slow_burn = 0.0;
+    double availability_fast_burn = 0.0;
+    double availability_slow_burn = 0.0;
+    /** Cumulative latency error budget consumed (> 1 = exhausted). */
+    double latency_budget_consumed = 0.0;
+    /** Objectives in the Firing state after this epoch's evaluation. */
+    int alerts_firing = 0;
+};
+
+/** The telemetry side-ledger a monitored fleet run produces. */
+struct TelemetryLedger
+{
+    std::vector<EpochTelemetry> epochs;
+    /** Alert lifecycle event log, in emission order. */
+    std::vector<obs::AlertEvent> alerts;
+    /** Online burst detector scored against the load model's truth. */
+    obs::DetectionEval burst_eval;
+
+    int alertCount(obs::AlertTransition t) const;
+
+    /**
+     * Same contract as FleetStats::fingerprint(), over the telemetry
+     * ledger: equal fingerprints mean byte-identical alert streams,
+     * burn trajectories, and detection scorecards.
+     */
+    std::uint64_t fingerprint() const;
+};
+
 /** The fleet ledger one policy run produces. */
 struct FleetStats
 {
     std::string policy;
     std::vector<EpochRecord> epochs;
+    /** Analysis side-ledger (empty when FleetConfig telemetry is off). */
+    TelemetryLedger telemetry;
 
     double totalMachineHours() const;
     double totalWattHours() const;
@@ -153,8 +235,16 @@ struct FleetStats
      * Order-sensitive hash over every numeric field of every epoch (bit
      * patterns, not rounded values): equal fingerprints mean
      * byte-identical ledgers, the determinism contract reruns assert.
+     * Deliberately EXCLUDES the telemetry side-ledger: the simulation
+     * fingerprint must be identical with monitors attached or not.
      */
     std::uint64_t fingerprint() const;
+
+    /** fingerprint() over the telemetry side-ledger. */
+    std::uint64_t telemetryFingerprint() const
+    {
+        return telemetry.fingerprint();
+    }
 };
 
 /** Epoch driver: one policy through one diurnal trace. */

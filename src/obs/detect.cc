@@ -1,0 +1,283 @@
+#include "obs/detect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "workload/diurnal.h"
+
+namespace dri::obs {
+
+namespace {
+
+/** Shared EWMA baseline update for both detectors. */
+struct Baseline
+{
+    double level;
+    double abs_dev;
+
+    static double
+    floorSpread(double abs_dev, double level, double min_fraction)
+    {
+        const double floor_v =
+            std::max(1e-12, min_fraction * std::abs(level));
+        return std::max(abs_dev, floor_v);
+    }
+};
+
+/** Sigma estimate from a mean-absolute-deviation tracker. */
+constexpr double kMadToSigma = 1.4826;
+
+double
+zScore(double value, double level, double abs_dev, double min_fraction)
+{
+    const double spread =
+        Baseline::floorSpread(abs_dev, level, min_fraction);
+    return (value - level) / (kMadToSigma * spread);
+}
+
+void
+learn(double &level, double &abs_dev, double value, double level_alpha,
+      double spread_alpha)
+{
+    const double dev = std::abs(value - level);
+    level += level_alpha * (value - level);
+    abs_dev += spread_alpha * (dev - abs_dev);
+}
+
+double
+median(std::vector<double> values)
+{
+    const std::size_t n = values.size();
+    const std::size_t mid = n / 2;
+    std::nth_element(values.begin(),
+                     values.begin() + static_cast<std::ptrdiff_t>(mid),
+                     values.end());
+    double m = values[mid];
+    if (n % 2 == 0) {
+        // Lower-middle element is the max of the left partition.
+        const double lo = *std::max_element(
+            values.begin(),
+            values.begin() + static_cast<std::ptrdiff_t>(mid));
+        m = 0.5 * (lo + m);
+    }
+    return m;
+}
+
+/**
+ * Seed (level, abs_dev) from the median / median-absolute-deviation of
+ * the buffered warmup samples. Up to half the warmup window can be
+ * anomalous without contaminating the initial baseline — which is what
+ * lets a detector attached at trace start survive a burst in epoch 0.
+ */
+void
+initFromWarmup(const std::vector<double> &warmup, double &level,
+               double &abs_dev)
+{
+    level = median(warmup);
+    std::vector<double> devs;
+    devs.reserve(warmup.size());
+    for (const double v : warmup)
+        devs.push_back(std::abs(v - level));
+    abs_dev = median(std::move(devs));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// EwmaMadDetector.
+// ---------------------------------------------------------------------------
+
+EwmaMadDetector::EwmaMadDetector(EwmaMadConfig config) : cfg_(config) {}
+
+double
+EwmaMadDetector::sigma() const
+{
+    return kMadToSigma *
+           Baseline::floorSpread(abs_dev_, level_,
+                                 cfg_.min_spread_fraction);
+}
+
+bool
+EwmaMadDetector::step(double value)
+{
+    const int warmup = std::max(1, cfg_.warmup_samples);
+    if (seen_ < warmup) {
+        warmup_.push_back(value);
+        ++seen_;
+        if (seen_ == warmup)
+            initFromWarmup(warmup_, level_, abs_dev_);
+        last_z_ = 0.0;
+        return false;
+    }
+    last_z_ = zScore(value, level_, abs_dev_,
+                     cfg_.min_spread_fraction);
+    const bool flagged = std::abs(last_z_) >= cfg_.z_threshold;
+    const double w =
+        flagged ? cfg_.contaminated_learn_fraction : 1.0;
+    learn(level_, abs_dev_, value, w * cfg_.level_alpha,
+          w * cfg_.spread_alpha);
+    ++seen_;
+    return flagged;
+}
+
+void
+EwmaMadDetector::reset()
+{
+    warmup_.clear();
+    level_ = 0.0;
+    abs_dev_ = 0.0;
+    last_z_ = 0.0;
+    seen_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// CusumDetector.
+// ---------------------------------------------------------------------------
+
+CusumDetector::CusumDetector(CusumConfig config) : cfg_(config) {}
+
+bool
+CusumDetector::step(double value)
+{
+    const int warmup = std::max(1, cfg_.warmup_samples);
+    if (seen_ < warmup) {
+        warmup_.push_back(value);
+        ++seen_;
+        if (seen_ == warmup)
+            initFromWarmup(warmup_, level_, abs_dev_);
+        return false;
+    }
+    const double z = zScore(value, level_, abs_dev_,
+                            cfg_.min_spread_fraction);
+    g_pos_ = std::max(0.0, g_pos_ + z - cfg_.k);
+    g_neg_ = std::max(0.0, g_neg_ - z - cfg_.k);
+    bool flagged = false;
+    if (g_pos_ > cfg_.h || g_neg_ > cfg_.h) {
+        flagged = true;
+        // Restart the accumulation; the baseline re-learns the
+        // post-change level at the contaminated rate below.
+        g_pos_ = 0.0;
+        g_neg_ = 0.0;
+    }
+    const bool contaminated =
+        flagged || g_pos_ > 0.0 || g_neg_ > 0.0;
+    const double w =
+        contaminated ? cfg_.contaminated_learn_fraction : 1.0;
+    learn(level_, abs_dev_, value, w * cfg_.level_alpha,
+          w * cfg_.spread_alpha);
+    ++seen_;
+    return flagged;
+}
+
+void
+CusumDetector::reset()
+{
+    warmup_.clear();
+    level_ = 0.0;
+    abs_dev_ = 0.0;
+    g_pos_ = 0.0;
+    g_neg_ = 0.0;
+    seen_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation harness.
+// ---------------------------------------------------------------------------
+
+double
+DetectionEval::meanLatency() const
+{
+    if (latencies.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const int l : latencies)
+        sum += l;
+    return sum / static_cast<double>(latencies.size());
+}
+
+int
+DetectionEval::maxLatency() const
+{
+    int m = 0;
+    for (const int l : latencies)
+        m = std::max(m, l);
+    return m;
+}
+
+double
+DetectionEval::detectionRate() const
+{
+    return episodes > 0
+               ? static_cast<double>(detected) /
+                     static_cast<double>(episodes)
+               : 1.0;
+}
+
+DetectionEval
+scoreFlags(const std::string &detector_name,
+           const std::vector<bool> &flags,
+           const workload::DiurnalLoadModel &load,
+           int match_window_epochs)
+{
+    const int epochs = static_cast<int>(flags.size());
+
+    // Ground-truth episodes: maximal runs of burst epochs.
+    std::vector<int> episode_start;
+    std::vector<bool> burst(static_cast<std::size_t>(epochs), false);
+    for (int e = 0; e < epochs; ++e) {
+        burst[static_cast<std::size_t>(e)] = load.burstCount(e) > 0;
+        if (burst[static_cast<std::size_t>(e)] &&
+            (e == 0 || !burst[static_cast<std::size_t>(e - 1)]))
+            episode_start.push_back(e);
+    }
+
+    DetectionEval eval;
+    eval.detector = detector_name;
+    eval.epochs = epochs;
+    eval.episodes = static_cast<int>(episode_start.size());
+
+    std::vector<bool> claimed(episode_start.size(), false);
+    for (int e = 0; e < epochs; ++e) {
+        if (!flags[static_cast<std::size_t>(e)])
+            continue;
+        ++eval.flags;
+        // Credit the earliest unclaimed episode starting within the
+        // match window ending at this flag.
+        bool credited = false;
+        for (std::size_t i = 0; i < episode_start.size(); ++i) {
+            const int start = episode_start[i];
+            if (claimed[i] || start > e ||
+                start < e - match_window_epochs)
+                continue;
+            claimed[i] = true;
+            eval.latencies.push_back(e - start);
+            ++eval.detected;
+            credited = true;
+            break;
+        }
+        // A flag during a still-burst epoch of an already-claimed
+        // episode is a re-detection, not a false alarm.
+        if (!credited && !burst[static_cast<std::size_t>(e)])
+            ++eval.false_positives;
+    }
+    eval.missed = eval.episodes - eval.detected;
+    return eval;
+}
+
+DetectionEval
+evaluateDetector(ChangeDetector &detector,
+                 const workload::DiurnalLoadModel &load, int epochs,
+                 int match_window_epochs)
+{
+    detector.reset();
+    std::vector<bool> flags(static_cast<std::size_t>(epochs), false);
+    for (int e = 0; e < epochs; ++e) {
+        const double ratio =
+            load.realizedQps(e) / std::max(1e-9, load.forecastQps(e));
+        flags[static_cast<std::size_t>(e)] = detector.step(ratio);
+    }
+    return scoreFlags(detector.name(), flags, load, match_window_epochs);
+}
+
+} // namespace dri::obs

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Streaming anomaly / change-point detection over metric streams, plus
+ * the harness that scores detectors against the diurnal load model's
+ * seeded ground truth.
+ *
+ * Two complementary detectors:
+ *
+ *  - EwmaMadDetector: robust z-score. Tracks an EWMA of the level and
+ *    an EWMA of absolute deviations (a streaming MAD stand-in, scaled
+ *    by 1.4826 to estimate sigma under normality); a point whose
+ *    deviation exceeds `z_threshold` sigmas is an anomaly. Robust on
+ *    two fronts: the baseline initializes from the MEDIAN (and median
+ *    absolute deviation) of the warmup samples, so an anomaly landing
+ *    inside the warmup window cannot seed a contaminated baseline; and
+ *    after warmup the trackers only absorb flagged points at the
+ *    (slower) contaminated rate — one giant spike neither drags the
+ *    level nor inflates the spread enough to mask the next spike.
+ *
+ *  - CusumDetector: two-sided CUSUM on the standardized residuals the
+ *    EWMA baseline produces. Where the z-score flags single outliers,
+ *    CUSUM accumulates small persistent drifts (sum of (z - k) clamped
+ *    at zero) and flags when the accumulation crosses h — the classic
+ *    mean-shift change-point detector. After a detection the
+ *    accumulators reset and the baseline re-learns.
+ *
+ * Both are pure streaming state machines: no RNG, byte-identical flag
+ * sequences for identical input streams.
+ *
+ * The evaluation harness replays a DiurnalLoadModel's realized/forecast
+ * load ratio (diurnal shape divided out, so the detector sees a flat
+ * line with seeded Poisson burst overlays) and scores detection latency
+ * and false positives against the model's own burstCount() ground
+ * truth — the "seeded fault injection" this layer's tests and the
+ * alerting study are built on.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dri::workload {
+class DiurnalLoadModel;
+}
+
+namespace dri::obs {
+
+/** Streaming detector interface: one flag decision per sample. */
+class ChangeDetector
+{
+  public:
+    virtual ~ChangeDetector() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Consume one sample; true when this sample raises a detection. */
+    virtual bool step(double value) = 0;
+
+    /** Forget all learned state. */
+    virtual void reset() = 0;
+};
+
+/** EWMA level + EWMA absolute-deviation robust z-score detector. */
+struct EwmaMadConfig
+{
+    /** EWMA smoothing for the level estimate. */
+    double level_alpha = 0.3;
+    /** EWMA smoothing for the absolute-deviation (spread) estimate. */
+    double spread_alpha = 0.1;
+    /**
+     * Robust z-score above which a sample is anomalous. 3.5 is the
+     * classic robust-outlier cutoff.
+     */
+    double z_threshold = 3.5;
+    /**
+     * Samples buffered before any flag can be raised; the baseline
+     * initializes from their median / median-absolute-deviation
+     * (clamped to >= 1).
+     */
+    int warmup_samples = 4;
+    /**
+     * Spread floor as a fraction of the level (and an absolute floor of
+     * 1e-12): a perfectly flat baseline must not make every epsilon an
+     * infinite-sigma anomaly.
+     */
+    double min_spread_fraction = 0.01;
+    /**
+     * Weight applied to level_alpha/spread_alpha when absorbing a
+     * FLAGGED sample: 0 freezes the baseline during anomalies (risking
+     * a stuck alarm if the level genuinely shifted), 1 learns at full
+     * rate (masking persistent incidents). The default re-learns slowly.
+     */
+    double contaminated_learn_fraction = 0.25;
+};
+
+class EwmaMadDetector : public ChangeDetector
+{
+  public:
+    explicit EwmaMadDetector(EwmaMadConfig config = {});
+
+    std::string name() const override { return "ewma-mad"; }
+    bool step(double value) override;
+    void reset() override;
+
+    /** Robust z-score of the most recent sample. */
+    double lastZ() const { return last_z_; }
+    double level() const { return level_; }
+    /** Sigma estimate (1.4826 * mean absolute deviation). */
+    double sigma() const;
+
+    const EwmaMadConfig &config() const { return cfg_; }
+
+  private:
+    EwmaMadConfig cfg_;
+    std::vector<double> warmup_;
+    double level_ = 0.0;
+    double abs_dev_ = 0.0;
+    double last_z_ = 0.0;
+    int seen_ = 0;
+};
+
+/** Two-sided CUSUM on EWMA-standardized residuals. */
+struct CusumConfig
+{
+    /** Slack per step in sigmas: drifts below k/step stay invisible. */
+    double k = 0.5;
+    /** Decision threshold on the accumulated sum (sigmas). */
+    double h = 4.0;
+    /** Baseline (shared semantics with EwmaMadConfig). */
+    double level_alpha = 0.3;
+    double spread_alpha = 0.1;
+    int warmup_samples = 4;
+    double min_spread_fraction = 0.01;
+    /** Baseline learning weight while an accumulator is non-zero. */
+    double contaminated_learn_fraction = 0.25;
+};
+
+class CusumDetector : public ChangeDetector
+{
+  public:
+    explicit CusumDetector(CusumConfig config = {});
+
+    std::string name() const override { return "cusum"; }
+    bool step(double value) override;
+    void reset() override;
+
+    double positiveSum() const { return g_pos_; }
+    double negativeSum() const { return g_neg_; }
+
+    const CusumConfig &config() const { return cfg_; }
+
+  private:
+    CusumConfig cfg_;
+    std::vector<double> warmup_;
+    double level_ = 0.0;
+    double abs_dev_ = 0.0;
+    double g_pos_ = 0.0;
+    double g_neg_ = 0.0;
+    int seen_ = 0;
+};
+
+/**
+ * Ground-truth scoring of a detector against seeded burst overlays.
+ *
+ * Ground truth: epoch e is a burst epoch iff load.burstCount(e) > 0. A
+ * maximal run of burst epochs is one EPISODE. A flag at epoch f is
+ * credited to the earliest unclaimed episode whose start lies in
+ * [f - match_window_epochs, f]; its detection latency is f - start.
+ * Flags matching no episode are false positives; episodes no flag
+ * claims are misses.
+ */
+struct DetectionEval
+{
+    std::string detector;
+    int epochs = 0;
+    int episodes = 0;  //!< ground-truth burst episodes in the trace
+    int detected = 0;  //!< episodes at least one flag claimed
+    int missed = 0;
+    int false_positives = 0; //!< flags crediting no episode
+    int flags = 0;           //!< total flags raised
+    /** Latencies (epochs from episode start) of detected episodes. */
+    std::vector<int> latencies;
+
+    double meanLatency() const;
+    int maxLatency() const;
+    double detectionRate() const;
+};
+
+/**
+ * Score an already-produced per-epoch flag sequence against the load
+ * model's burst ground truth (the matching rules above). This is what
+ * FleetSim uses for detectors that ran ONLINE during a fleet run.
+ */
+DetectionEval scoreFlags(const std::string &detector_name,
+                         const std::vector<bool> &flags,
+                         const workload::DiurnalLoadModel &load,
+                         int match_window_epochs = 2);
+
+/**
+ * Replay `epochs` epochs of the load model's realized/forecast ratio
+ * through the detector (after reset()) and score it. The signal is the
+ * burst overlay alone — detrended of diurnal shape — which is exactly
+ * what a production detector fed "load vs forecast" sees.
+ */
+DetectionEval evaluateDetector(ChangeDetector &detector,
+                               const workload::DiurnalLoadModel &load,
+                               int epochs, int match_window_epochs = 2);
+
+} // namespace dri::obs

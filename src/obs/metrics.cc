@@ -91,6 +91,37 @@ Histogram::quantile(double q) const
     return max_;
 }
 
+double
+Histogram::valueAtQuantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double target = q * static_cast<double>(count_);
+    const auto rank = static_cast<std::uint64_t>(
+        std::max(1.0, std::ceil(target)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (seen + buckets_[i] < rank) {
+            seen += buckets_[i];
+            continue;
+        }
+        // Rank lands in bucket i: interpolate by fractional rank
+        // position across the bucket's value range [lo, hi).
+        const auto lo = static_cast<double>(bucketLowerBound(i));
+        const auto hi = static_cast<double>(bucketLowerBound(i + 1));
+        const double into =
+            (target - static_cast<double>(seen)) /
+            static_cast<double>(buckets_[i]);
+        const double v = lo + (hi - lo) * std::min(1.0, std::max(0.0, into));
+        return std::min(static_cast<double>(max_),
+                        std::max(static_cast<double>(min_), v));
+    }
+    return static_cast<double>(max_);
+}
+
 void
 Histogram::merge(const Histogram &other)
 {

@@ -81,6 +81,16 @@ class Histogram
      */
     std::int64_t quantile(double q) const;
 
+    /**
+     * Bucket-interpolation inverse: the value at quantile q, linearly
+     * interpolated by rank position WITHIN the holding bucket (quantile()
+     * by contrast snaps to the bucket's lower bound). Because log-linear
+     * bucket widths are bounded by 2^-sub_bucket_bits of their lower
+     * bound, the result is within that relative error of the exact
+     * order statistic; clamped to the observed [min, max].
+     */
+    double valueAtQuantile(double q) const;
+
     unsigned subBucketBits() const { return sub_bucket_bits_; }
 
     /** Bucket index a value lands in (exposed for boundary tests). */

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Rolling time windows over metric streams: the bridge from the
+ * collection layer (src/obs metrics, per-request stats) to *online*
+ * judgments (src/obs slo_monitor, detect).
+ *
+ * Both window types share one structure: the horizon is split into a
+ * ring of equal-width time buckets, each holding a mergeable summary
+ * (an exact stats::QuantileEstimator for double streams, an HDR-style
+ * obs::Histogram for integer latencies). Observations land in the
+ * bucket their timestamp selects; advancing time reuses expired slots
+ * in place, so eviction is O(1) per bucket regardless of how many
+ * samples fall out. Queries merge the live buckets — which is exactly
+ * the QuantileEstimator::merge / Histogram::merge use case: merged
+ * per-bucket summaries answer the same quantiles as one summary fed
+ * the whole window (exactly for the estimator, within bucket
+ * resolution for the histogram).
+ *
+ * Windows run on the *simulated* clock and are pure data structures:
+ * no RNG, no scheduled events — attaching one to a live simulation can
+ * never perturb it (the contract the stress grid enforces for the
+ * serving-side rolling-P99 feed).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "stats/quantile.h"
+
+namespace dri::obs {
+
+/** Shared ring geometry: horizon_s split into `buckets` slots. */
+struct WindowConfig
+{
+    /** Window length in (simulated) seconds. */
+    double horizon_s = 60.0;
+    /** Time buckets the horizon is split into (eviction granularity). */
+    int buckets = 8;
+};
+
+/**
+ * Rolling window over a double-valued sample stream: windowed count,
+ * arrival rate, mean, and exact quantiles over the last horizon_s
+ * seconds. Timestamps must be non-decreasing (the sim clock).
+ */
+class RollingWindow
+{
+  public:
+    explicit RollingWindow(WindowConfig config = {});
+
+    /** Record one sample at sim-time t_s (seconds, non-decreasing). */
+    void observe(double t_s, double value);
+
+    /** Samples inside the window as of time t_s. */
+    std::size_t count(double t_s) const;
+
+    /** Windowed arrival rate: count over the full horizon, per second. */
+    double ratePerSec(double t_s) const;
+
+    /** Mean of the windowed samples (0 when empty). */
+    double mean(double t_s) const;
+
+    /**
+     * Exact windowed quantile via per-bucket estimator merge; returns
+     * `empty_value` when no sample is in the window.
+     */
+    double quantile(double t_s, double q, double empty_value = 0.0) const;
+
+    const WindowConfig &config() const { return cfg_; }
+
+  private:
+    struct Slot
+    {
+        std::int64_t period = -1; //!< bucket index since t=0; -1 = empty
+        stats::QuantileEstimator values;
+        double sum = 0.0;
+    };
+
+    std::int64_t periodOf(double t_s) const;
+    bool live(const Slot &s, std::int64_t now_period) const;
+
+    WindowConfig cfg_;
+    double bucket_width_s_;
+    std::vector<Slot> slots_;
+};
+
+/**
+ * Rolling window over an integer-valued stream (latency nanoseconds)
+ * with HDR-histogram buckets instead of exact samples: O(log range)
+ * memory per time bucket no matter the request rate, quantiles within
+ * 2^-sub_bucket_bits relative error via Histogram::valueAtQuantile.
+ * This is the serving-side rolling in-run P99 feed's representation.
+ */
+class RollingHistogram
+{
+  public:
+    explicit RollingHistogram(WindowConfig config = {},
+                              unsigned sub_bucket_bits = 5);
+
+    void observe(double t_s, std::int64_t value);
+
+    std::uint64_t count(double t_s) const;
+
+    /** Merged histogram of the live buckets as of t_s. */
+    Histogram merged(double t_s) const;
+
+    /**
+     * Windowed quantile (bucket-interpolated); `empty_value` when the
+     * window holds no sample.
+     */
+    double valueAtQuantile(double t_s, double q,
+                           double empty_value = 0.0) const;
+
+    const WindowConfig &config() const { return cfg_; }
+
+  private:
+    struct Slot
+    {
+        std::int64_t period = -1;
+        Histogram hist;
+
+        explicit Slot(unsigned bits) : hist(bits) {}
+    };
+
+    std::int64_t periodOf(double t_s) const;
+
+    WindowConfig cfg_;
+    double bucket_width_s_;
+    unsigned sub_bucket_bits_;
+    std::vector<Slot> slots_;
+};
+
+} // namespace dri::obs

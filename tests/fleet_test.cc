@@ -405,6 +405,120 @@ TEST(FleetSim, MetricsRegistryMirrorsLedgerWithoutPerturbingIt)
     EXPECT_EQ(lines, observed.epochs.size());
 }
 
+/**
+ * The telemetry side-ledger is a pure observer: the simulation
+ * fingerprint is byte-identical with telemetry enabled and disabled,
+ * the disabled run leaves an empty side-ledger, and the enabled run's
+ * telemetry (alert stream included) is itself deterministic.
+ */
+TEST(FleetSim, TelemetryAttachmentIsPure)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    auto dl = flatLoad(300.0);
+    dl.amplitude = 0.4;
+    dl.bursts_per_epoch = 0.5;
+    const workload::DiurnalLoadModel load(spec, dl);
+
+    fleet::ReactiveConfig rc;
+    rc.slo.p99_ms = 60.0;
+
+    auto monitored_fc = smallFleet(6);
+    ASSERT_TRUE(monitored_fc.telemetry.enabled);
+    fleet::FleetSim monitored_sim(spec, plan, fleetTestServing(), load,
+                                  monitored_fc);
+    fleet::ReactiveAutoscaler a({4, 4, 4, 4}, rc);
+    const auto monitored = monitored_sim.run(a);
+
+    auto blind_fc = smallFleet(6);
+    blind_fc.telemetry.enabled = false;
+    fleet::FleetSim blind_sim(spec, plan, fleetTestServing(), load,
+                              blind_fc);
+    fleet::ReactiveAutoscaler b({4, 4, 4, 4}, rc);
+    const auto blind = blind_sim.run(b);
+
+    EXPECT_EQ(monitored.fingerprint(), blind.fingerprint());
+    EXPECT_TRUE(blind.telemetry.epochs.empty());
+    EXPECT_TRUE(blind.telemetry.alerts.empty());
+
+    ASSERT_EQ(monitored.telemetry.epochs.size(),
+              monitored.epochs.size());
+    fleet::ReactiveAutoscaler c({4, 4, 4, 4}, rc);
+    const auto rerun = monitored_sim.run(c);
+    EXPECT_EQ(rerun.fingerprint(), monitored.fingerprint());
+    EXPECT_EQ(rerun.telemetryFingerprint(),
+              monitored.telemetryFingerprint());
+    // The telemetry fingerprint is sensitive to its own content.
+    auto mutated = monitored;
+    mutated.telemetry.epochs[1].latency_fast_burn += 1e-9;
+    EXPECT_NE(mutated.telemetryFingerprint(),
+              monitored.telemetryFingerprint());
+}
+
+/**
+ * The burn-rate policy inherits the watermark policies' contract: on a
+ * flat trace with no alerts it never scales up, settles, and holds.
+ */
+TEST(FleetSim, BurnRateHoldsSteadyOnFlatTrace)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    const workload::DiurnalLoadModel load(spec, flatLoad(300.0));
+    fleet::FleetSim sim(spec, plan, fleetTestServing(), load,
+                        smallFleet(10));
+
+    fleet::BurnRateConfig brc;
+    brc.base.slo.p99_ms = 60.0;
+    brc.base.cooldown_epochs = 2;
+    fleet::BurnRateAutoscaler burn({4, 4, 4, 4}, brc);
+    const auto s = sim.run(burn);
+
+    EXPECT_EQ(s.policy, "burn-rate");
+    EXPECT_EQ(s.sloViolationEpochs(), 0);
+    EXPECT_LE(s.reconfigurations(), 3);
+    for (const auto &r : s.epochs)
+        EXPECT_FALSE(r.scaled_up) << "epoch " << r.epoch;
+    const auto &settled = s.epochs[s.epochs.size() / 2].replicas;
+    for (std::size_t e = s.epochs.size() / 2; e < s.epochs.size(); ++e)
+        EXPECT_EQ(s.epochs[e].replicas, settled) << "epoch " << e;
+    // With the SLO comfortably met the internal monitor never fired.
+    EXPECT_EQ(burn.monitor().transitionCount(
+                  obs::AlertTransition::Firing),
+              0);
+}
+
+/**
+ * Deterministic replay extends to the burn-rate policy: its internal
+ * SLO monitor consumes the same observations on every rerun, so the
+ * ledger fingerprint and the monitor's event log both reproduce.
+ */
+TEST(FleetSim, BurnRateReplaysByteIdentically)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    auto dl = flatLoad(300.0);
+    dl.amplitude = 0.4;
+    dl.bursts_per_epoch = 0.8;
+    const workload::DiurnalLoadModel load(spec, dl);
+    fleet::FleetSim sim(spec, plan, fleetTestServing(), load,
+                        smallFleet(8));
+
+    fleet::BurnRateConfig brc;
+    brc.base.slo.p99_ms = 60.0;
+    fleet::BurnRateAutoscaler p({4, 4, 4, 4}, brc);
+    fleet::BurnRateAutoscaler q({4, 4, 4, 4}, brc);
+    const auto s1 = sim.run(p);
+    const auto s2 = sim.run(q);
+    EXPECT_EQ(s1.fingerprint(), s2.fingerprint());
+    ASSERT_EQ(p.monitor().events().size(), q.monitor().events().size());
+    for (std::size_t i = 0; i < p.monitor().events().size(); ++i) {
+        EXPECT_EQ(p.monitor().events()[i].t_s,
+                  q.monitor().events()[i].t_s);
+        EXPECT_EQ(p.monitor().events()[i].transition,
+                  q.monitor().events()[i].transition);
+    }
+}
+
 /** The smoke-sized canonical study stays deterministic end to end. */
 TEST(FleetStudy, SmokeStudyIsDeterministic)
 {

@@ -370,6 +370,57 @@ TEST(Histogram, QuantilesBoundedRelativeError)
     EXPECT_GE(h.quantile(1.0), 100000 - (100000 >> 5));
 }
 
+TEST(Histogram, ValueAtQuantileInterpolatesWithinTheBucket)
+{
+    obs::Histogram h(/*sub_bucket_bits=*/5);
+    for (std::int64_t v = 1; v <= 100000; ++v)
+        h.observe(v);
+    // The interpolated inverse is bounded by the same relative error as
+    // the bucketed quantile, but two-sided: within one bucket width
+    // (2^-5 of the value) of the exact order statistic.
+    for (const double q : {0.1, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+        const double est = h.valueAtQuantile(q);
+        const double exact = q * 100000.0;
+        EXPECT_NEAR(est, exact, exact / 32.0 + 1.0) << q;
+        // Never below the bucketed (lower-bound) quantile's bucket.
+        EXPECT_GE(est + 1e-9,
+                  static_cast<double>(h.quantile(q)) * (1.0 - 1.0 / 32.0))
+            << q;
+    }
+    // Monotone in q.
+    double prev = h.valueAtQuantile(0.0);
+    for (double q = 0.05; q <= 1.0; q += 0.05) {
+        const double cur = h.valueAtQuantile(q);
+        EXPECT_GE(cur, prev) << q;
+        prev = cur;
+    }
+    // Clamped to the observed extremes at the ends.
+    EXPECT_GE(h.valueAtQuantile(0.0), 1.0);
+    EXPECT_LE(h.valueAtQuantile(1.0), 100000.0);
+}
+
+TEST(Histogram, ValueAtQuantileEdgeCases)
+{
+    obs::Histogram empty(5);
+    EXPECT_DOUBLE_EQ(empty.valueAtQuantile(0.5), 0.0);
+
+    // Single value: every quantile is that value (clamping pins the
+    // interpolation to the [min, max] = [v, v] range).
+    obs::Histogram one(5);
+    one.observe(777);
+    for (const double q : {0.0, 0.5, 1.0})
+        EXPECT_DOUBLE_EQ(one.valueAtQuantile(q), 777.0) << q;
+
+    // Two spread values: interpolation never leaves [min, max] even
+    // with empty buckets between them, and out-of-range q clamps.
+    obs::Histogram two(5);
+    two.observe(10);
+    two.observe(1000);
+    EXPECT_GE(two.valueAtQuantile(-1.0), 10.0);
+    EXPECT_LE(two.valueAtQuantile(2.0), 1000.0);
+    EXPECT_DOUBLE_EQ(two.valueAtQuantile(0.0), 10.0);
+}
+
 TEST(Histogram, MergeEqualsWholeStream)
 {
     obs::Histogram whole(5), left(5), right(5);

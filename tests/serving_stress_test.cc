@@ -14,6 +14,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "model/generators.h"
 #include "obs/critical_path.h"
 #include "obs/span_tracer.h"
+#include "obs/timeseries.h"
 #include "sched/batcher.h"
 #include "sched/capacity_search.h"
 #include "workload/request_generator.h"
@@ -128,10 +131,12 @@ class ServingStressTest : public ::testing::Test
     }
 
     std::vector<core::RequestStats>
-    run(const GridPoint &p, obs::SpanTracer *tracer = nullptr) const
+    run(const GridPoint &p, obs::SpanTracer *tracer = nullptr,
+        obs::RollingHistogram *latency_feed = nullptr) const
     {
         auto cfg = configFor(p);
         cfg.tracer = tracer;
+        cfg.latency_feed = latency_feed;
         core::ServingSimulation sim(spec_, plan_, cfg);
         if (!p.batched)
             return sim.replayOpenLoop(requests_, 1500.0);
@@ -233,6 +238,55 @@ TEST_F(ServingStressTest, TracingLeavesStatsByteIdentical)
                     } else {
                         EXPECT_GT(rep.root_spans, 0u) << p.label();
                         EXPECT_LE(rep.root_spans, requests_.size())
+                            << p.label();
+                    }
+                }
+}
+
+/**
+ * The rolling-latency feed shares the tracer's pure-observer contract:
+ * attaching a RollingHistogram to any grid configuration leaves every
+ * RequestStats byte-identical, while the feed itself sees exactly the
+ * served (non-shed) requests and a windowed P99 consistent with them.
+ */
+TEST_F(ServingStressTest, LatencyFeedLeavesStatsByteIdentical)
+{
+    for (const bool hedged : {false, true})
+        for (const bool batched : {false, true})
+            for (const bool admission : {false, true})
+                for (const bool rcache : {false, true}) {
+                    const GridPoint p{hedged, batched, admission, rcache};
+                    const auto baseline = run(p);
+                    // Horizon far beyond the replay: every served
+                    // request stays inside the window for the final
+                    // cross-check below.
+                    obs::RollingHistogram feed(
+                        obs::WindowConfig{1e6, 8});
+                    const auto fed = run(p, nullptr, &feed);
+                    ASSERT_EQ(baseline.size(), fed.size()) << p.label();
+                    std::uint64_t served = 0;
+                    std::int64_t max_e2e = 0;
+                    sim::SimTime last_completion = 0;
+                    for (std::size_t i = 0; i < baseline.size(); ++i) {
+                        expectIdentical(baseline[i], fed[i],
+                                        p.label() + " fed req " +
+                                            std::to_string(i));
+                        if (!fed[i].shed()) {
+                            ++served;
+                            max_e2e = std::max(max_e2e, fed[i].e2e);
+                            last_completion = std::max(
+                                last_completion, fed[i].completion);
+                        }
+                    }
+                    const double t_s =
+                        static_cast<double>(last_completion) * 1e-9;
+                    EXPECT_EQ(feed.count(t_s), served) << p.label();
+                    if (served > 0) {
+                        const double p99 =
+                            feed.valueAtQuantile(t_s, 0.99);
+                        EXPECT_GT(p99, 0.0) << p.label();
+                        EXPECT_LE(p99,
+                                  static_cast<double>(max_e2e) + 1.0)
                             << p.label();
                     }
                 }
