@@ -49,20 +49,12 @@ main(int argc, char **argv)
     fleet::FleetSim sim(study.spec, study.plan, study.serving, load,
                         study.fleet);
 
-    auto planner = std::make_shared<fleet::CapacityPlanner>(
-        study.spec, study.plan, study.serving, study.planner,
-        load.epochRequests(0, study.planner.planning_requests));
-    fleet::StaticPeakAutoscaler static_peak(planner);
-    fleet::PredictiveAutoscaler predictive(planner);
-    fleet::ReactiveAutoscaler reactive(
-        planner->replicaVectorFor(load.peakForecastQps()), study.reactive);
+    const auto inputs = fleet::studyAutoscalerInputs(study, load);
 
     std::vector<fleet::FleetStats> ledgers;
-    {
-        std::vector<fleet::Autoscaler *> policies{&static_peak, &reactive,
-                                                  &predictive};
-        for (auto *p : policies)
-            ledgers.push_back(sim.run(*p));
+    for (const char *name : {"static-peak", "reactive", "predictive"}) {
+        const auto policy = fleet::makeAutoscaler(name, inputs);
+        ledgers.push_back(sim.run(*policy));
     }
 
     TablePrinter table({"policy", "machine-h", "watt-h", "steady viol",

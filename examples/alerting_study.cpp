@@ -73,15 +73,11 @@ main()
               << " ms, burst rate " << study.load.bursts_per_epoch
               << "/epoch.\n\n";
 
-    auto planner = std::make_shared<fleet::CapacityPlanner>(
-        study.spec, study.plan, study.serving, study.planner,
-        load.epochRequests(0, study.planner.planning_requests));
-    const auto peak_vector =
-        planner->replicaVectorFor(load.peakForecastQps());
+    const auto inputs = fleet::studyAutoscalerInputs(study, load);
 
     // ---- Monitored Reactive run -----------------------------------------
-    fleet::ReactiveAutoscaler reactive(peak_vector, study.reactive);
-    const auto monitored = sim.run(reactive);
+    const auto reactive = fleet::makeAutoscaler("reactive", inputs);
+    const auto monitored = sim.run(*reactive);
     const auto &tele = monitored.telemetry;
 
     TablePrinter tt({"epoch", "load ratio", "burst?", "flag", "lat fast",
@@ -148,8 +144,8 @@ main()
         const workload::DiurnalLoadModel flat_load(flat.spec, flat.load);
         fleet::FleetSim flat_sim(flat.spec, flat.plan, flat.serving,
                                  flat_load, flat.fleet);
-        fleet::ReactiveAutoscaler flat_react(peak_vector, flat.reactive);
-        const auto flat_run = flat_sim.run(flat_react);
+        const auto flat_react = fleet::makeAutoscaler("reactive", inputs);
+        const auto flat_run = flat_sim.run(*flat_react);
         check(flat_run.telemetry.burst_eval.flags == 0,
               "zero detector flags across the no-burst trace");
         check(flat_run.telemetry.burst_eval.false_positives == 0,
@@ -162,9 +158,8 @@ main()
         blind.fleet.telemetry.enabled = false;
         fleet::FleetSim blind_sim(blind.spec, blind.plan, blind.serving,
                                   load, blind.fleet);
-        fleet::ReactiveAutoscaler blind_react(peak_vector,
-                                              blind.reactive);
-        const auto blind_run = blind_sim.run(blind_react);
+        const auto blind_react = fleet::makeAutoscaler("reactive", inputs);
+        const auto blind_run = blind_sim.run(*blind_react);
         check(blind_run.fingerprint() == monitored.fingerprint(),
               "FleetStats fingerprint identical with telemetry on/off");
         check(blind_run.telemetry.epochs.empty() &&
@@ -174,8 +169,8 @@ main()
 
     // ---- Acceptance: telemetry determinism ------------------------------
     {
-        fleet::ReactiveAutoscaler again(peak_vector, study.reactive);
-        const auto rerun = sim.run(again);
+        const auto again = fleet::makeAutoscaler("reactive", inputs);
+        const auto rerun = sim.run(*again);
         check(rerun.fingerprint() == monitored.fingerprint(),
               "rerun reproduces the simulation ledger");
         check(rerun.telemetryFingerprint() ==
@@ -184,12 +179,10 @@ main()
     }
 
     // ---- Acceptance: the burn-rate policy closes the loop ---------------
-    fleet::BurnRateConfig brc;
-    brc.base = study.reactive;
-    fleet::BurnRateAutoscaler burn(peak_vector, brc);
-    fleet::ReactiveAutoscaler react2(peak_vector, study.reactive);
-    const auto s_burn = sim.run(burn);
-    const auto s_react = sim.run(react2);
+    const auto burn = fleet::makeAutoscaler("burn-rate", inputs);
+    const auto react2 = fleet::makeAutoscaler("reactive", inputs);
+    const auto s_burn = sim.run(*burn);
+    const auto s_react = sim.run(*react2);
 
     TablePrinter pt({"policy", "machine-h", "watt-h", "steady viol",
                      "shed", "reconfigs"});

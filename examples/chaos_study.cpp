@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Chaos & failure scenario suite: scripted fault injection against the
+ * serving fleet, graded with ledgered scorecards.
+ *
+ * The canonical diurnal fleet (fleet/study.h, smoke trace) runs under
+ * the Reactive policy with request hedging enabled, and a FaultSchedule
+ * perturbs it one scenario at a time:
+ *
+ *   replica-crash    a sparse replica goes dark mid-epoch: queued work
+ *                    lost, in-flight attempts time out, discovery heals
+ *                    the directory only after its configured lag
+ *   partition        a main<->shard link drops every attempt for an
+ *                    epoch; retries exhaust and requests shed upstream
+ *   snapshot-storm   mass cache invalidation: the pooled-result cache
+ *                    drops and every row cache re-warms from 30%
+ *   flash-crowd      offered rate x1.5 while half the epoch's requests
+ *                    collapse onto one hot vector (Zipf broken)
+ *
+ * Each scenario is graded into a ScenarioOutcome on the telemetry
+ * side-ledger: measured blast radius (worst fraction of an epoch's
+ * requests missing the SLO) against the declared bound, and recovery
+ * time on the burn-rate alerting clock.
+ *
+ * Self-checking (exit 1 on violation):
+ *  - masking: with hedging on, a single replica crash stays within its
+ *    declared 10% blast-radius bound and the burn clock reads healthy
+ *    within 2 epochs of onset; the same crash unhedged measures a
+ *    strictly positive blast radius at least as large;
+ *  - no oscillation: the autoscaler does not flap (up->down->up) inside
+ *    the crash window while replacing the lost capacity;
+ *  - graceful shedding: the partitioned epoch sheds upstream-failure
+ *    requests without hanging the run, service heals the epoch after,
+ *    and the burn clock honestly stays red (a full-epoch outage burns
+ *    ~100x the error budget — that page SHOULD keep firing);
+ *  - storm/flash overlays hit the resources they claim to hit (the
+ *    storm drops the epoch's pooled-result hit rate; flash inflates
+ *    the epoch's offered load);
+ *  - purity: an EMPTY FaultSchedule is byte-identical — simulation AND
+ *    telemetry fingerprints — to a fleet that never saw the chaos API;
+ *  - determinism: rerunning the crash schedule reproduces byte-
+ *    identical fingerprints.
+ */
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_sim.h"
+#include "fleet/study.h"
+#include "stats/table_printer.h"
+
+namespace {
+
+bool g_all_pass = true;
+
+void
+check(bool ok, const std::string &what)
+{
+    if (!ok) {
+        std::cout << "SELF-CHECK FAIL: " << what << "\n";
+        g_all_pass = false;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace dri;
+    using stats::TablePrinter;
+
+    // Hedged serving: the canonical fleet study plus the hedge-study
+    // backup-request parameterization — the mitigation under test.
+    auto study = fleet::makeFleetStudy(true);
+    study.serving.hedge.enabled = true;
+    study.serving.hedge.quantile = 0.95;
+    study.serving.hedge.min_samples = 64;
+    study.serving.hedge.max_hedge_fraction = 0.10;
+    const workload::DiurnalLoadModel load(study.spec, study.load);
+
+    std::cout << "Chaos suite: " << study.spec.name << " on "
+              << study.plan.label() << ", " << study.fleet.epochs
+              << " epochs, SLO P99 <= " << study.fleet.slo.p99_ms
+              << " ms, hedging on, discovery lag "
+              << study.serving.faults.discovery_lag_ns / 1'000'000
+              << " ms, RPC timeout "
+              << study.serving.faults.rpc_timeout_ns / 1'000'000
+              << " ms.\n\n";
+
+    const auto inputs = fleet::studyAutoscalerInputs(study, load);
+    const auto runWith = [&](const fleet::FleetStudy &st,
+                             const fleet::FaultSchedule &faults) {
+        auto cfg = st.fleet;
+        cfg.faults = faults;
+        fleet::FleetSim sim(st.spec, st.plan, st.serving, load, cfg);
+        const auto policy = fleet::makeAutoscaler("reactive", inputs);
+        return sim.run(*policy);
+    };
+
+    // ---- Scenario schedules (one fault per run: isolated scorecards) ----
+    fleet::FaultSchedule crash;
+    crash.crashReplica(/*shard=*/0, /*replica=*/1, /*start=*/4,
+                       /*end=*/5, /*declared_blast_radius=*/0.10);
+    fleet::FaultSchedule partition;
+    partition.partition(/*shard=*/0, /*start=*/6, /*end=*/7,
+                        /*declared_blast_radius=*/1.0);
+    // Epoch 5 is a steady (no-reconfiguration) epoch in the baseline:
+    // the pooled-result cache carries cross-epoch state there, so the
+    // storm's invalidation is visible (a reconfiguring epoch already
+    // invalidates on its own).
+    fleet::FaultSchedule storm;
+    storm.snapshotStorm(/*epoch=*/5, /*warm_share=*/0.3,
+                        /*declared_blast_radius=*/0.5);
+    fleet::FaultSchedule flash;
+    flash.flashCrowd(/*rate_multiplier=*/1.5, /*hot_fraction=*/0.5,
+                     /*start=*/8, /*end=*/9,
+                     /*declared_blast_radius=*/0.5);
+
+    const auto s_base = runWith(study, {});
+    const auto s_crash = runWith(study, crash);
+    const auto s_part = runWith(study, partition);
+    const auto s_storm = runWith(study, storm);
+    const auto s_flash = runWith(study, flash);
+
+    // The same crash against an UNHEDGED fleet: the masking contrast.
+    auto blind = study;
+    blind.serving.hedge.enabled = false;
+    const auto s_crash_unhedged = runWith(blind, crash);
+
+    // ---- Scorecard table -------------------------------------------------
+    TablePrinter sc({"scenario", "hedged", "window", "blast", "declared",
+                     "within", "min att", "recovery", "shed"});
+    const auto addCard = [&](const fleet::ScenarioOutcome &o,
+                             const fleet::FaultEvent &ev, bool hedged) {
+        sc.addRow({o.scenario, hedged ? "yes" : "no",
+                   std::to_string(o.start_epoch) + ".." +
+                       std::to_string(o.end_epoch),
+                   TablePrinter::pct(o.blast_radius),
+                   TablePrinter::pct(ev.declared_blast_radius),
+                   o.within_declared_bound ? "ok" : "EXCEEDED",
+                   TablePrinter::pct(o.min_attainment),
+                   o.recovery_epochs < 0
+                       ? std::string("never")
+                       : std::to_string(o.recovery_epochs) + " ep",
+                   std::to_string(o.shed_requests)});
+    };
+    addCard(s_crash.telemetry.scenarios.at(0), crash.events()[0], true);
+    addCard(s_crash_unhedged.telemetry.scenarios.at(0), crash.events()[0],
+            false);
+    addCard(s_part.telemetry.scenarios.at(0), partition.events()[0], true);
+    addCard(s_storm.telemetry.scenarios.at(0), storm.events()[0], true);
+    addCard(s_flash.telemetry.scenarios.at(0), flash.events()[0], true);
+    std::cout << sc.render() << "\n";
+
+    // Crash-window epoch trace: what the fleet did around the outage.
+    TablePrinter et({"epoch", "run", "offered", "replicas", "steady P99",
+                     "shed", "hedge", "firing"});
+    for (int e = 3; e <= 7 && e < study.fleet.epochs; ++e) {
+        for (const auto *s : {&s_base, &s_crash, &s_crash_unhedged}) {
+            const auto &r = s->epochs[static_cast<std::size_t>(e)];
+            const auto &t =
+                s->telemetry.epochs[static_cast<std::size_t>(e)];
+            et.addRow({std::to_string(e),
+                       s == &s_base          ? "baseline"
+                       : s == &s_crash       ? "crash+hedge"
+                                             : "crash",
+                       TablePrinter::num(r.offered_qps, 0),
+                       TablePrinter::intList(r.replicas),
+                       TablePrinter::num(r.steady_p99_ms, 1),
+                       std::to_string(r.shed_requests),
+                       TablePrinter::pct(r.hedge_rate),
+                       std::to_string(t.alerts_firing)});
+        }
+    }
+    std::cout << et.render() << "\n";
+
+    // ---- Acceptance: hedging masks the crash ----------------------------
+    const auto &c_hedged = s_crash.telemetry.scenarios.at(0);
+    const auto &c_raw = s_crash_unhedged.telemetry.scenarios.at(0);
+    check(c_hedged.within_declared_bound,
+          "hedged crash stays within its declared 10% blast radius");
+    check(c_hedged.recovery_epochs >= 0 && c_hedged.recovery_epochs <= 2,
+          "hedged crash reads healthy within 2 epochs of onset");
+    check(c_raw.blast_radius > 0.0,
+          "unhedged crash measures a positive blast radius");
+    check(c_hedged.blast_radius <= c_raw.blast_radius,
+          "hedging does not enlarge the crash blast radius");
+
+    // ---- Acceptance: the autoscaler replaces without oscillating --------
+    {
+        bool up_seen = false, down_after_up = false, flapped = false;
+        const int lo = crash.events()[0].start_epoch;
+        const int hi = std::min(study.fleet.epochs - 1, lo + 3);
+        for (int e = lo; e <= hi; ++e) {
+            const auto &r = s_crash.epochs[static_cast<std::size_t>(e)];
+            if (r.scaled_up && down_after_up)
+                flapped = true; // up -> down -> up inside the window
+            if (r.scaled_up)
+                up_seen = true;
+            if (r.scaled_down && up_seen)
+                down_after_up = true;
+        }
+        check(!flapped,
+              "no up->down->up oscillation inside the crash window");
+    }
+
+    // ---- Acceptance: partition sheds gracefully and heals ---------------
+    const auto &p_card = s_part.telemetry.scenarios.at(0);
+    check(p_card.shed_requests > 0,
+          "partitioned epoch sheds requests (admission fails upstream)");
+    check(s_part.epochs.size() ==
+              static_cast<std::size_t>(study.fleet.epochs),
+          "partitioned run completes every epoch (no hang)");
+    // A full-epoch outage burns ~100x the SLO's error budget: the slow
+    // burn window keeps the page firing through trace end, so the burn
+    // clock NEVER reads healthy — the honest scorecard for an unmasked
+    // partition, in contrast to the hedge-masked crash above.
+    check(p_card.recovery_epochs < 0,
+          "full-epoch partition exhausts the error budget (burn clock "
+          "stays red)");
+    check(p_card.blast_radius >= 0.99,
+          "partitioning the only copy of a shard takes out the epoch");
+    {
+        const auto &after = s_part.epochs[static_cast<std::size_t>(
+            std::min(study.fleet.epochs - 1,
+                     partition.events()[0].end_epoch + 1))];
+        check(after.shed_requests == 0,
+              "no residual shedding after the partition heals");
+    }
+
+    // ---- Acceptance: storm and flash hit the caches they claim ----------
+    {
+        // Mass invalidation drops the pooled-result entries the epoch
+        // would otherwise have inherited from its predecessor.
+        const auto e = static_cast<std::size_t>(5);
+        check(s_storm.epochs[e].result_cache_hit_rate <
+                  s_base.epochs[e].result_cache_hit_rate,
+              "snapshot storm drops the epoch's result-cache hit rate");
+        const auto f = static_cast<std::size_t>(8);
+        check(s_flash.epochs[f].offered_qps >
+                  1.4 * s_base.epochs[f].offered_qps,
+              "flash crowd inflates the epoch's offered load");
+    }
+
+    // ---- Acceptance: purity of the empty schedule ------------------------
+    {
+        fleet::FleetSim plain(study.spec, study.plan, study.serving, load,
+                              study.fleet); // never touched cfg.faults
+        const auto policy = fleet::makeAutoscaler("reactive", inputs);
+        const auto s_plain = plain.run(*policy);
+        check(s_plain.fingerprint() == s_base.fingerprint(),
+              "empty FaultSchedule is byte-identical to fault-free "
+              "simulation");
+        check(s_plain.telemetryFingerprint() ==
+                  s_base.telemetryFingerprint(),
+              "empty FaultSchedule is byte-identical in telemetry too");
+        check(s_base.telemetry.scenarios.empty(),
+              "empty schedule grades no scenario scorecards");
+    }
+
+    // ---- Acceptance: determinism under the same schedule ------------------
+    {
+        const auto rerun = runWith(study, crash);
+        check(rerun.fingerprint() == s_crash.fingerprint(),
+              "same schedule reproduces a byte-identical ledger");
+        check(rerun.telemetryFingerprint() ==
+                  s_crash.telemetryFingerprint(),
+              "same schedule reproduces byte-identical scorecards");
+    }
+
+    if (!g_all_pass) {
+        std::cout << "FAIL: one or more chaos acceptance checks failed.\n";
+        return EXIT_FAILURE;
+    }
+    std::cout << "All chaos acceptance checks passed: hedging masks a "
+                 "dead replica inside the\ndiscovery gap, the autoscaler "
+                 "replaces lost capacity without flapping, partitions\n"
+                 "shed upstream and heal on the burn clock, and the fault "
+                 "layer is invisible —\nbyte-identical ledgers — until a "
+                 "schedule asks for trouble.\n";
+    return EXIT_SUCCESS;
+}

@@ -75,19 +75,14 @@ main()
               << load.peakForecastQps() << " QPS, SLO P99 <= "
               << study.fleet.slo.p99_ms << " ms.\n\n";
 
-    auto planner = std::make_shared<fleet::CapacityPlanner>(
-        study.spec, study.plan, study.serving, study.planner,
-        load.epochRequests(0, study.planner.planning_requests));
+    const auto inputs = fleet::studyAutoscalerInputs(study, load);
+    const auto static_peak = fleet::makeAutoscaler("static-peak", inputs);
+    const auto reactive = fleet::makeAutoscaler("reactive", inputs);
+    const auto predictive = fleet::makeAutoscaler("predictive", inputs);
 
-    fleet::StaticPeakAutoscaler static_peak(planner);
-    fleet::PredictiveAutoscaler predictive(planner);
-    const auto peak_vector =
-        planner->replicaVectorFor(load.peakForecastQps());
-    fleet::ReactiveAutoscaler reactive(peak_vector, study.reactive);
-
-    const auto s_static = sim.run(static_peak);
-    const auto s_react = sim.run(reactive);
-    const auto s_pred = sim.run(predictive);
+    const auto s_static = sim.run(*static_peak);
+    const auto s_react = sim.run(*reactive);
+    const auto s_pred = sim.run(*predictive);
 
     TablePrinter table({"policy", "machine-h", "watt-h", "SLO viol",
                         "steady viol", "shed", "reconfigs"});
@@ -159,7 +154,7 @@ main()
                       "reconfiguration window");
 
     // Determinism: the ledger is byte-identical across reruns.
-    const auto s_pred2 = sim.run(predictive);
+    const auto s_pred2 = sim.run(*predictive);
     check(s_pred2.fingerprint() == s_pred.fingerprint(),
           "rerun reproduces a byte-identical predictive ledger");
 

@@ -23,6 +23,13 @@ enum class ShedReason : std::uint8_t
     QueueFull,
     /** Deadline already blown while waiting for a worker core. */
     DeadlineExceeded,
+    /**
+     * A sparse RPC exhausted its failover retries against dead,
+     * partitioned, or unresolvable replicas (the injected-fault layer);
+     * the request is answered by the lower-quality fallback exactly like
+     * an admission shed.
+     */
+    UpstreamFailure,
 };
 
 /** Short lower-case reason name for tables and JSON rows. */
@@ -36,6 +43,8 @@ shedReasonName(ShedReason reason)
         return "queue-full";
     case ShedReason::DeadlineExceeded:
         return "deadline";
+    case ShedReason::UpstreamFailure:
+        return "upstream-failure";
     }
     return "unknown";
 }

@@ -105,6 +105,17 @@ struct ServingSimulation::Impl
         bool finished = false;  //!< ran its busy period to completion
         bool cancelled = false; //!< aborted mid-execution by the winner
         int server = -1;
+        /**
+         * Server this (re)launch must avoid — the replica a failover
+         * retry just timed out against (-1 = no exclusion).
+         */
+        int exclude = -1;
+        /**
+         * replica_gen snapshot taken when the attempt entered the
+         * server's queue; a mismatch at grant or completion means the
+         * replica died (or rebooted) underneath it and the work is lost.
+         */
+        std::uint32_t server_gen = 0;
         sim::SimTime exec_start = 0;
         sim::Duration busy = 0;
         /** Busy components for proportional refund on cancellation. */
@@ -138,6 +149,8 @@ struct ServingSimulation::Impl
         int primary_server = -1;     //!< replica the primary landed on
         bool won = false;            //!< an attempt finished remote service
         bool shed = false; //!< won was set by shed poisoning, not a race win
+        /** Failover re-dispatches consumed (PerturbationConfig budget). */
+        int retries = 0;
         int refs = 0;
         /** Result-cache key this op's winning response is memoized under. */
         rpc::ResultCache::Key cache_key;
@@ -226,6 +239,10 @@ struct ServingSimulation::Impl
             }
         }
         peak_queue.assign(sparse_cores.size(), 0);
+        replica_dead.assign(sparse_cores.size(), 0);
+        replica_gen.assign(sparse_cores.size(), 0);
+        replica_degrade.assign(sparse_cores.size(), 1.0);
+        shard_partitioned.assign(n_shards, 0);
         directory.setPolicy(cfg.lb_policy, cfg.seed ^ 0x10adbau);
         // Load-aware replica selection reads live queue depth from the
         // worker pools (in-flight + queued), i.e. "outstanding requests".
@@ -299,6 +316,27 @@ struct ServingSimulation::Impl
      */
     std::unordered_map<std::uint64_t, Active *> live_requests;
     std::uint64_t shed_cancelled_rpcs = 0;
+
+    // -- Injected-fault state (runtime control surface) ----------------------
+    //
+    // All vectors are sized at construction and stay in their inert state
+    // (alive, generation 0, degrade 1.0, no partition) unless the control
+    // surface is exercised, so fault-free replays take only branch-not-
+    // taken checks on these paths.
+
+    /** Dead replica servers (parallel to sparse_cores). */
+    std::vector<char> replica_dead;
+    /**
+     * Replica incarnation, bumped on every kill AND restore: work
+     * enqueued under an older generation is lost even if the replica is
+     * alive again by the time a core would be granted.
+     */
+    std::vector<std::uint32_t> replica_gen;
+    /** Persistent per-replica slowdown (degradeReplica; 1.0 = healthy). */
+    std::vector<double> replica_degrade;
+    /** Shards currently partitioned from the main shard. */
+    std::vector<char> shard_partitioned;
+    FaultStats fault_stats;
 
     rpc::LatencyTracker &
     trackerFor(int shard)
@@ -627,7 +665,8 @@ struct ServingSimulation::Impl
     }
 
     /**
-     * Deadline passed while the request was executing: cancel every
+     * Shed an executing request — deadline blown (cancel_in_flight) or
+     * upstream failure (fault layer): cancel every
      * outstanding sparse RPC — queued attempts release their slots at
      * grant, on-wire attempts die on arrival, executing attempts abort
      * now with their charges settled — THEN emit the shed stats (so they
@@ -638,7 +677,7 @@ struct ServingSimulation::Impl
      * drains.
      */
     void
-    shedMidFlight(Active *a)
+    shedMidFlight(Active *a, ShedReason reason)
     {
         a->shed_mid_flight = true;
         unregisterLive(a);
@@ -669,7 +708,7 @@ struct ServingSimulation::Impl
         // cancelled debris spans that may outlive it.
         if (tr)
             tr->end(a->sp_root, engine.now(), obs::kFlagShed);
-        a->st.shed_reason = ShedReason::DeadlineExceeded;
+        a->st.shed_reason = reason;
         a->st.completion = engine.now();
         a->st.e2e = a->st.completion - a->st.arrival;
         results->push_back(a->st);
@@ -699,7 +738,127 @@ struct ServingSimulation::Impl
             return; // completed or already shed
         if (a->finishing)
             return; // final response serde underway; let it complete
-        shedMidFlight(a);
+        shedMidFlight(a, ShedReason::DeadlineExceeded);
+    }
+
+    // -- Injected-fault machinery (runtime control surface) ------------------
+
+    /**
+     * Propagate a health transition to the service directory after the
+     * configured discovery lag. Stale updates are dropped: if the
+     * replica's liveness changed again within the lag (kill -> restore),
+     * the earlier timer must not flap the directory backwards — the
+     * later timer carries the current truth.
+     */
+    void
+    scheduleHealthUpdate(int server, bool healthy)
+    {
+        const auto apply = [this, server, healthy] {
+            const bool dead =
+                replica_dead[static_cast<std::size_t>(server)] != 0;
+            if (dead == !healthy)
+                directory.setServerHealth(server, healthy);
+        };
+        const sim::Duration lag = cfg.faults.discovery_lag_ns;
+        if (lag <= 0)
+            apply();
+        else
+            engine.schedule(lag, sim::kEvTimer, apply);
+    }
+
+    void
+    killReplica(int server)
+    {
+        assert(server >= 0 &&
+               static_cast<std::size_t>(server) < sparse_cores.size());
+        const auto s = static_cast<std::size_t>(server);
+        if (replica_dead[s])
+            return;
+        replica_dead[s] = 1;
+        ++replica_gen[s]; // dooms queued and executing work
+        ++fault_stats.kills;
+        scheduleHealthUpdate(server, false);
+    }
+
+    void
+    restoreReplica(int server)
+    {
+        assert(server >= 0 &&
+               static_cast<std::size_t>(server) < sparse_cores.size());
+        const auto s = static_cast<std::size_t>(server);
+        if (!replica_dead[s])
+            return;
+        replica_dead[s] = 0;
+        ++replica_gen[s]; // outage-era work stays lost after revival
+        ++fault_stats.restores;
+        scheduleHealthUpdate(server, true);
+    }
+
+    /**
+     * An attempt's target turned out unreachable (dead replica,
+     * partition, lost in a crash, or unresolvable shard) and its RPC
+     * timeout — or immediate resolution error — has surfaced to the
+     * client. Consumes the attempt's op reference: either the failover
+     * retry relaunches under the same reference, or the request fails
+     * upstream and the reference drops.
+     */
+    void
+    attemptFailed(RpcOp *op, int idx)
+    {
+        if (op->won) {
+            // Race decided while the timeout ran (sibling answered, or
+            // the request was shed): this is just debris to drop.
+            if (tr)
+                tr->end(op->exec[idx].sp_attempt, engine.now(),
+                        loseFlags(op) | obs::kFlagFault);
+            if (idx == 1)
+                ++hedge_cancelled;
+            derefOp(op);
+            return;
+        }
+        AttemptExec &ex = op->exec[idx];
+        if (tr)
+            tr->end(ex.sp_attempt, engine.now(),
+                    obs::kFlagCancelled | obs::kFlagFault);
+        const int failed_server = ex.server;
+        ex = AttemptExec{}; // fresh slot for a potential relaunch
+        if (idx == 0 && op->retries < cfg.faults.max_attempt_retries) {
+            ++op->retries;
+            ++fault_stats.retries;
+            Active *a = op->bt->req;
+            // Failover re-dispatch: the serialized payload is reused (no
+            // second serde charge, like a hedge), but dispatch CPU is
+            // paid again and resolution avoids the failed server.
+            a->st.cpu_service_ns += static_cast<double>(
+                scaled(service.clientDispatchNs(), mainScale()));
+            ex.exclude = failed_server;
+            launchAttempt(op, /*is_hedge=*/false);
+            return; // the relaunched attempt inherits this reference
+        }
+        if (idx == 1) {
+            // A failed hedge never escalates: the primary (and its
+            // retries) still own the op; the backup just dissolves.
+            ++hedge_cancelled;
+            derefOp(op);
+            return;
+        }
+        failUpstream(op->bt->req);
+        derefOp(op);
+    }
+
+    /**
+     * Terminal upstream failure: a sparse RPC exhausted its failover
+     * retries. The whole request is shed through the mid-flight drain
+     * machinery (outstanding attempts cancel, queued grants drain,
+     * charges settle) with ShedReason::UpstreamFailure.
+     */
+    void
+    failUpstream(Active *a)
+    {
+        if (a->shed_mid_flight || a->finishing)
+            return; // already draining, or past the failure point
+        ++fault_stats.upstream_failures;
+        shedMidFlight(a, ShedReason::UpstreamFailure);
     }
 
     void
@@ -1240,6 +1399,13 @@ struct ServingSimulation::Impl
                static_cast<std::uint64_t>(op->bt->batch_id + 1);
         salt = salt * 0x100000001b3ULL ^ (op->gi + 1);
         salt = salt * 0x100000001b3ULL ^ (is_hedge ? 2u : 1u);
+        // Failover relaunches get a fresh identity stream (they are new
+        // attempts, not replays of the failed one). retries == 0 on every
+        // fault-free path, so the identity streams — and therefore paired
+        // runs — are unchanged when no fault fires.
+        if (op->retries > 0)
+            salt = salt * 0x100000001b3ULL ^
+                   static_cast<std::uint64_t>(op->retries + 2);
         stats::Rng arng = rng.fork(salt);
 
         AttemptExec &ex = op->exec[is_hedge ? 1 : 0];
@@ -1248,6 +1414,16 @@ struct ServingSimulation::Impl
                 a->st.id, obs::SpanKind::RpcAttempt, op->sp_op,
                 engine.now(), g.shard, op->ni->net_id, op->bt->batch_id,
                 is_hedge ? obs::kFlagHedge : obs::kFlagNone);
+        }
+
+        // Main<->shard partition: the payload never reaches the shard;
+        // the client's RPC timeout is the only failure signal.
+        if (shard_partitioned[static_cast<std::size_t>(g.shard)]) {
+            ++fault_stats.partition_drops;
+            const int idx = is_hedge ? 1 : 0;
+            engine.schedule(cfg.faults.rpc_timeout_ns, sim::kEvTimer,
+                            [this, op, idx] { attemptFailed(op, idx); });
+            return;
         }
 
         const sim::Duration out_delay =
@@ -1282,22 +1458,41 @@ struct ServingSimulation::Impl
             return;
         }
         const Group &g = op->ni->groups[op->gi];
+        const int idx = is_hedge ? 1 : 0;
+        // A failover retry excludes the server that just failed; hedge
+        // backups exclude the primary as always.
+        const int exclude =
+            op->exec[idx].exclude >= 0
+                ? op->exec[idx].exclude
+                : (is_hedge ? op->primary_server : -1);
         const std::optional<int> resolved =
-            is_hedge ? directory.resolveBackup(g.shard, op->primary_server)
-                     : directory.resolve(g.shard);
-        // Every plan shard registers replicas at construction, so a
-        // resolution failure is a broken invariant; fail loudly rather
-        // than dropping the RPC (which would silently hang the request).
-        // (A hedge resolve cannot fail either: hedging requires >= 2
-        // replicas, so excluding the primary leaves a candidate.)
+            is_hedge ? directory.resolveBackup(g.shard, exclude)
+                     : directory.resolve(g.shard, exclude);
+        // Every plan shard registers replicas at construction, so with a
+        // healthy fleet resolution cannot fail. With injected faults it
+        // legitimately can (every live candidate excluded or dead):
+        // surface a fast client-side resolution error instead of
+        // dropping the RPC (which would silently hang the request).
         if (!resolved) {
-            assert(false && "unresolvable shard in serving deployment");
-            std::abort();
+            ++fault_stats.resolution_failures;
+            attemptFailed(op, idx);
+            return;
         }
         const int server = *resolved;
         if (!is_hedge)
             op->primary_server = server;
         const auto srv_idx = static_cast<std::size_t>(server);
+        // Dead target (the pre-discovery window, or a backup forced onto
+        // a corpse): nothing accepts the connection; the client times
+        // out. Hedging and failover retries are what mask this gap.
+        if (replica_dead[srv_idx]) {
+            ++fault_stats.dead_target_attempts;
+            op->exec[idx].server = server; // the retry must avoid it
+            engine.schedule(cfg.faults.rpc_timeout_ns, sim::kEvTimer,
+                            [this, op, idx] { attemptFailed(op, idx); });
+            return;
+        }
+        op->exec[idx].server_gen = replica_gen[srv_idx];
         const std::size_t depth = sparse_cores[srv_idx]->inUse() +
                                   sparse_cores[srv_idx]->queued() + 1;
         peak_queue[srv_idx] = std::max(peak_queue[srv_idx], depth);
@@ -1321,17 +1516,35 @@ struct ServingSimulation::Impl
                 derefOp(op);
                 return;
             }
+            {
+                // The replica died (or rebooted) while this attempt sat
+                // in its queue: the queued work is lost; the client
+                // discovers via its timeout, which has already elapsed
+                // by core-grant time.
+                const auto sg = static_cast<std::size_t>(server);
+                AttemptExec &exg = op->exec[is_hedge ? 1 : 0];
+                if (replica_dead[sg] || exg.server_gen != replica_gen[sg]) {
+                    sparse_cores[sg]->release();
+                    ++fault_stats.lost_in_service;
+                    attemptFailed(op, is_hedge ? 1 : 0);
+                    return;
+                }
+            }
             Active *a2 = op->bt->req;
             const Group &g2 = op->ni->groups[op->gi];
             // Transient interference: this attempt (not the logical RPC)
             // drew a slow event, so a hedged re-roll on another replica
-            // escapes it.
+            // escapes it. A persistent degradeReplica() slowdown stacks
+            // on top and does NOT re-roll — every attempt on the bad
+            // host pays it.
             const double interference =
-                cfg.straggler_prob > 0.0 &&
-                        arng.bernoulli(cfg.straggler_prob)
-                    ? cfg.straggler_multiplier
+                cfg.faults.straggler_prob > 0.0 &&
+                        arng.bernoulli(cfg.faults.straggler_prob)
+                    ? cfg.faults.straggler_multiplier
                     : 1.0;
-            const double remote_scale = sparseScale() * interference;
+            const double remote_scale =
+                sparseScale() * interference *
+                replica_degrade[static_cast<std::size_t>(server)];
             rec.remote_queue_ns = engine.now() - q0;
             rec.remote_service_ns =
                 scaled(service.handlerNs(), remote_scale);
@@ -1407,6 +1620,38 @@ struct ServingSimulation::Impl
                     // The winner aborted this attempt mid-service and
                     // already released the core and settled accounting.
                     derefOp(op);
+                    return;
+                }
+                const auto sfd = static_cast<std::size_t>(server);
+                if (replica_dead[sfd] ||
+                    self.server_gen != replica_gen[sfd]) {
+                    // The replica died mid-service: the compute was
+                    // genuinely burned (charges stand) but the response
+                    // is lost with the replica.
+                    self.cancelled = true;
+                    sparse_cores[sfd]->release();
+                    ++fault_stats.lost_in_service;
+                    if (tr)
+                        tr->end(self.sp_exec, engine.now(),
+                                obs::kFlagCancelled | obs::kFlagFault);
+                    if (op->won) {
+                        // A sibling already answered; this was duplicate
+                        // work and stays accounted as such.
+                        if (tr)
+                            tr->end(self.sp_attempt, engine.now(),
+                                    loseFlags(op) | obs::kFlagFault);
+                        wasted_busy_ns += static_cast<double>(busy);
+                        if (is_hedge)
+                            ++hedge_losses;
+                        derefOp(op);
+                        return;
+                    }
+                    // Reverse the hedge pre-charge: a fault loss is not
+                    // a hedge outcome, so hedge_wasted_cpu_ns stays a
+                    // pure hedge-race metric.
+                    op->bt->req->st.hedge_wasted_cpu_ns -=
+                        static_cast<double>(busy);
+                    attemptFailed(op, is_hedge ? 1 : 0);
                     return;
                 }
                 self.finished = true;
@@ -1902,6 +2147,63 @@ void
 ServingSimulation::invalidateResultCache()
 {
     impl_->result_cache.invalidate();
+}
+
+void
+ServingSimulation::killReplica(int server_id)
+{
+    impl_->killReplica(server_id);
+}
+
+void
+ServingSimulation::restoreReplica(int server_id)
+{
+    impl_->restoreReplica(server_id);
+}
+
+void
+ServingSimulation::degradeReplica(int server_id, double multiplier)
+{
+    assert(server_id >= 0 &&
+           static_cast<std::size_t>(server_id) <
+               impl_->replica_degrade.size());
+    assert(multiplier > 0.0);
+    impl_->replica_degrade[static_cast<std::size_t>(server_id)] =
+        multiplier;
+}
+
+void
+ServingSimulation::partitionShard(int shard_id, bool partitioned)
+{
+    assert(shard_id >= 0 &&
+           static_cast<std::size_t>(shard_id) <
+               impl_->shard_partitioned.size());
+    impl_->shard_partitioned[static_cast<std::size_t>(shard_id)] =
+        partitioned ? 1 : 0;
+}
+
+bool
+ServingSimulation::replicaAlive(int server_id) const
+{
+    assert(server_id >= 0 &&
+           static_cast<std::size_t>(server_id) <
+               impl_->replica_dead.size());
+    return impl_->replica_dead[static_cast<std::size_t>(server_id)] == 0;
+}
+
+std::size_t
+ServingSimulation::aliveReplicaCount() const
+{
+    std::size_t n = 0;
+    for (char d : impl_->replica_dead)
+        n += d == 0 ? 1 : 0;
+    return n;
+}
+
+const FaultStats &
+ServingSimulation::faultStats() const
+{
+    return impl_->fault_stats;
 }
 
 std::uint64_t

@@ -24,6 +24,7 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -85,6 +86,82 @@ struct AdmissionConfig
      * on it. Requires deadline_ns > 0; off by default.
      */
     bool cancel_in_flight = false;
+};
+
+/**
+ * Replica misbehavior, transient and injected (off by default). The
+ * straggler fields model *stochastic* interference drawn per attempt
+ * from the common-random-numbers identity stream; the remaining fields
+ * parameterize the *injected* fault paths driven through the runtime
+ * control surface (ServingSimulation::killReplica and friends) and the
+ * fleet-level fleet::FaultSchedule built on top of it.
+ *
+ * Purity contract: with a default-constructed PerturbationConfig and no
+ * control-surface calls, every fault path is inert — no extra RNG
+ * draws, no extra events — so replays are byte-identical to a build
+ * without the fault layer (enforced by the stress grid and the fleet
+ * fingerprint baselines).
+ */
+struct PerturbationConfig
+{
+    /**
+     * Transient sparse-server interference: with this probability, an
+     * RPC attempt's remote execution runs straggler_multiplier x slower
+     * — the co-located-service/NUMA interference that makes one replica
+     * momentarily a straggler while its siblings stay fast. This is the
+     * tail phenomenon hedging exists to dodge: a re-rolled backup on
+     * another replica almost never hits the same slow event. Unlike
+     * a degradeReplica() slowdown, this re-rolls on every attempt.
+     */
+    double straggler_prob = 0.0;
+    /** Remote-execution slowdown of an interfered attempt. */
+    double straggler_multiplier = 8.0;
+    /**
+     * Client-side timeout on a sparse RPC attempt whose target is
+     * unreachable (dead replica, partitioned shard, work lost in a
+     * crash). Reachable targets never consult this — the simulation
+     * models their latency explicitly — so it only shapes how long a
+     * fault takes to surface as a failover retry or upstream failure.
+     */
+    sim::Duration rpc_timeout_ns = 20'000'000;
+    /**
+     * Failover retries per logical sparse RPC before the whole request
+     * fails upstream (ShedReason::UpstreamFailure). Each retry re-pays
+     * client dispatch CPU and re-resolves excluding the server that
+     * just failed.
+     */
+    int max_attempt_retries = 2;
+    /**
+     * Lag between killReplica()/restoreReplica() and the service
+     * directory reflecting the new health — the detection gap during
+     * which discovery still routes primaries at a dead replica and
+     * hedging is the only mask.
+     */
+    sim::Duration discovery_lag_ns = 50'000'000;
+};
+
+/**
+ * Counters of the injected-fault machinery, one struct per deployment.
+ * All zero when the control surface is never exercised.
+ */
+struct FaultStats
+{
+    /** killReplica() calls that transitioned a replica to dead. */
+    std::uint64_t kills = 0;
+    /** restoreReplica() calls that revived a dead replica. */
+    std::uint64_t restores = 0;
+    /** Attempts dispatched at a dead replica (pre-discovery window). */
+    std::uint64_t dead_target_attempts = 0;
+    /** Attempts dropped on the wire by a main<->shard partition. */
+    std::uint64_t partition_drops = 0;
+    /** Attempts whose replica died mid-service (queued or executing). */
+    std::uint64_t lost_in_service = 0;
+    /** Failover re-dispatches after an attempt failure. */
+    std::uint64_t retries = 0;
+    /** Attempts that found no resolvable live replica for their shard. */
+    std::uint64_t resolution_failures = 0;
+    /** Requests shed with ShedReason::UpstreamFailure (retries exhausted). */
+    std::uint64_t upstream_failures = 0;
 };
 
 /** Deployment + cost-model configuration. */
@@ -167,19 +244,13 @@ struct ServingConfig
      */
     rpc::HedgeConfig hedge;
     /**
-     * Transient sparse-server interference (off by default): with this
-     * probability, an RPC attempt's remote execution runs
-     * straggler_multiplier x slower — the co-located-service/NUMA
-     * interference that makes one replica momentarily a straggler while
-     * its siblings stay fast. This is the tail phenomenon hedging exists
-     * to dodge: a re-rolled backup on another replica almost never hits
-     * the same slow event. Interference (like wire jitter) is drawn from
-     * a per-attempt identity stream — common random numbers — so paired
-     * policy comparisons face the identical straggler process.
+     * Replica perturbations: stochastic stragglers (drawn from the
+     * per-attempt common-random-numbers identity stream, so paired
+     * policy comparisons face the identical interference process) plus
+     * the timeout/retry/discovery-lag knobs of the injected-fault
+     * layer. Defaults are fully inert.
      */
-    double straggler_prob = 0.0;
-    /** Remote-execution slowdown of an interfered attempt. */
-    double straggler_multiplier = 8.0;
+    PerturbationConfig faults;
 
     /**
      * Optional measured-locality model (src/cache). When set, the
@@ -346,12 +417,83 @@ class ServingSimulation
     /** Pooled-result cache counters (all zero when the cache is off). */
     const rpc::ResultCacheStats &resultCacheStats() const;
 
+    // -- Runtime control surface --------------------------------------------
+    //
+    // Mutation hooks that perturb a live deployment, between or during
+    // replays. fleet::FaultSchedule drives these per epoch; chaos tests
+    // call them directly. Shared contract:
+    //
+    //  * Callable at any simulated time — before the first replay or
+    //    mid-run from an engine() callback; effects are stamped at
+    //    engine().now().
+    //  * `server_id` indexes replica servers in serverShards() order
+    //    (0 .. serverCount()-1); out-of-range ids are precondition
+    //    violations (asserted, undefined in release builds).
+    //  * Redundant calls are no-ops: killing a dead replica, restoring a
+    //    live one, re-applying an identical degradation or partition
+    //    state changes nothing and counts nothing.
+    //  * Accounting: compute genuinely burned before a fault lands stays
+    //    charged to the requests that issued it; only hedge-race
+    //    pre-charges are reversed when an attempt dies mid-service, so
+    //    hedge_wasted_cpu_ns remains a pure hedge-outcome metric. Every
+    //    fault consequence is counted in faultStats(), and requests that
+    //    exhaust their failover retries finish shed with
+    //    ShedReason::UpstreamFailure.
+    //  * Purity: a deployment whose control surface is never exercised
+    //    (and whose PerturbationConfig keeps its fault defaults) replays
+    //    byte-identically to a build without the fault layer.
+
     /**
      * Drop every pooled-result entry — the embedding-refresh hook: call
      * at a snapshot boundary and subsequent lookups repopulate from the
-     * new embeddings.
+     * new embeddings. Also the snapshot-storm fault primitive.
      */
     void invalidateResultCache();
+
+    /**
+     * Crash a replica server: it goes dark instantly. Queued work on its
+     * worker pool is lost (surfaces as client timeouts), executing work
+     * never responds, and new attempts dispatched at it time out — until
+     * PerturbationConfig::discovery_lag_ns elapses and the service
+     * directory stops resolving to it. Hedging and failover retries are
+     * what mask the gap in between.
+     */
+    void killReplica(int server_id);
+
+    /**
+     * Revive a crashed replica with an empty queue. The directory
+     * re-includes it after the same discovery lag; work lost during the
+     * outage is not replayed.
+     */
+    void restoreReplica(int server_id);
+
+    /**
+     * Persistent slow-node degradation: every remote execution on this
+     * replica runs `multiplier` x slower until re-set to 1.0. Unlike the
+     * stochastic straggler_prob transients this does NOT re-roll per
+     * attempt — it models a bad host (thermal throttling, noisy
+     * neighbor, failing DIMM), the case load-balancing policies and
+     * hedging must route around consistently.
+     */
+    void degradeReplica(int server_id, double multiplier);
+
+    /**
+     * Sever (or heal) the network path between the main shard and one
+     * sparse shard: attempts launched at the shard while partitioned
+     * never reach any replica and surface as client timeouts. Replica
+     * health and directory state are untouched — the servers are fine,
+     * the route is not.
+     */
+    void partitionShard(int shard_id, bool partitioned);
+
+    /** Whether a replica server is currently alive (not killed). */
+    bool replicaAlive(int server_id) const;
+
+    /** Replica servers currently alive. */
+    std::size_t aliveReplicaCount() const;
+
+    /** Injected-fault counters (all zero when faults never fired). */
+    const FaultStats &faultStats() const;
 
     /**
      * Sparse RPC attempts cancelled because their request was shed

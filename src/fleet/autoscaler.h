@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -317,5 +318,54 @@ class PredictiveAutoscaler : public Autoscaler
   private:
     std::shared_ptr<CapacityPlanner> planner_;
 };
+
+// ---------------------------------------------------------------------------
+// Policy factory registry.
+// ---------------------------------------------------------------------------
+
+/**
+ * Everything a registered policy factory may draw on. One inputs bundle
+ * constructs ANY registered policy, so study drivers build it once and
+ * select policies by name (a CLI flag, a config string, a sweep list)
+ * instead of hand-wiring each concrete constructor.
+ */
+struct AutoscalerInputs
+{
+    /** Shared capacity planner ("static-peak", "predictive"). */
+    std::shared_ptr<CapacityPlanner> planner;
+    /** Epoch-0 seed vector for feedback policies (typically the peak
+     *  plan), so every policy starts from the same provisioning. */
+    std::vector<int> initial_vector;
+    /** Watermark actuation parameters ("reactive", and the shared
+     *  base the "burn-rate" factory grafts onto burn_rate.base). */
+    ReactiveConfig reactive;
+    /** Burn-rate trigger parameters ("burn-rate"); its `base` member
+     *  is OVERWRITTEN with `reactive` at construction so the two
+     *  feedback policies always share one actuation parameterization —
+     *  the comparison the studies make is trigger-vs-trigger. */
+    BurnRateConfig burn_rate;
+};
+
+/** Factory signature: inputs bundle in, constructed policy out. */
+using AutoscalerFactory =
+    std::function<std::unique_ptr<Autoscaler>(const AutoscalerInputs &)>;
+
+/**
+ * Register (or replace) a named factory. The built-ins "static-peak",
+ * "reactive", "predictive", and "burn-rate" are pre-registered; tests
+ * register scripted policies under their own names. Returns true when
+ * an existing registration was replaced.
+ */
+bool registerAutoscaler(const std::string &name, AutoscalerFactory factory);
+
+/**
+ * Construct a registered policy by name. Throws std::invalid_argument
+ * naming the known policies when `name` is not registered.
+ */
+std::unique_ptr<Autoscaler> makeAutoscaler(const std::string &name,
+                                           const AutoscalerInputs &inputs);
+
+/** All registered policy names, sorted. */
+std::vector<std::string> registeredAutoscalers();
 
 } // namespace dri::fleet

@@ -1,0 +1,157 @@
+#include "fleet/fault_schedule.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dri::fleet {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::ReplicaCrash:
+        return "replica-crash";
+    case FaultKind::SlowReplica:
+        return "slow-replica";
+    case FaultKind::Partition:
+        return "partition";
+    case FaultKind::SnapshotStorm:
+        return "snapshot-storm";
+    case FaultKind::FlashCrowd:
+        return "flash-crowd";
+    }
+    return "unknown";
+}
+
+std::string
+FaultEvent::name() const
+{
+    return label.empty() ? faultKindName(kind) : label;
+}
+
+FaultSchedule &
+FaultSchedule::add(FaultEvent ev)
+{
+    assert(ev.start_epoch >= 0 && ev.end_epoch > ev.start_epoch);
+    events_.push_back(std::move(ev));
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::crashReplica(int shard, int replica, int start_epoch,
+                            int end_epoch, double declared_blast_radius)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::ReplicaCrash;
+    ev.shard = shard;
+    ev.replica = replica;
+    ev.start_epoch = start_epoch;
+    ev.end_epoch = end_epoch;
+    ev.declared_blast_radius = declared_blast_radius;
+    return add(std::move(ev));
+}
+
+FaultSchedule &
+FaultSchedule::slowReplica(int shard, int replica, double multiplier,
+                           int start_epoch, int end_epoch,
+                           double declared_blast_radius)
+{
+    assert(multiplier > 0.0);
+    FaultEvent ev;
+    ev.kind = FaultKind::SlowReplica;
+    ev.shard = shard;
+    ev.replica = replica;
+    ev.magnitude = multiplier;
+    ev.start_epoch = start_epoch;
+    ev.end_epoch = end_epoch;
+    ev.declared_blast_radius = declared_blast_radius;
+    return add(std::move(ev));
+}
+
+FaultSchedule &
+FaultSchedule::partition(int shard, int start_epoch, int end_epoch,
+                         double declared_blast_radius)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::Partition;
+    ev.shard = shard;
+    ev.start_epoch = start_epoch;
+    ev.end_epoch = end_epoch;
+    ev.declared_blast_radius = declared_blast_radius;
+    return add(std::move(ev));
+}
+
+FaultSchedule &
+FaultSchedule::snapshotStorm(int epoch, double warm_share,
+                             double declared_blast_radius)
+{
+    assert(warm_share > 0.0 && warm_share <= 1.0);
+    FaultEvent ev;
+    ev.kind = FaultKind::SnapshotStorm;
+    ev.magnitude = warm_share;
+    ev.start_epoch = epoch;
+    ev.end_epoch = epoch + 1;
+    ev.declared_blast_radius = declared_blast_radius;
+    return add(std::move(ev));
+}
+
+FaultSchedule &
+FaultSchedule::flashCrowd(double rate_multiplier, double hot_fraction,
+                          int start_epoch, int end_epoch,
+                          double declared_blast_radius)
+{
+    assert(rate_multiplier >= 1.0);
+    assert(hot_fraction >= 0.0 && hot_fraction <= 1.0);
+    FaultEvent ev;
+    ev.kind = FaultKind::FlashCrowd;
+    ev.magnitude = rate_multiplier;
+    ev.hot_fraction = hot_fraction;
+    ev.start_epoch = start_epoch;
+    ev.end_epoch = end_epoch;
+    ev.declared_blast_radius = declared_blast_radius;
+    return add(std::move(ev));
+}
+
+std::vector<const FaultEvent *>
+FaultSchedule::activeAt(int epoch) const
+{
+    std::vector<const FaultEvent *> out;
+    for (const auto &ev : events_)
+        if (ev.activeAt(epoch))
+            out.push_back(&ev);
+    return out;
+}
+
+std::uint64_t
+FaultSchedule::fingerprint() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto bytes = [&h](const void *p, std::size_t n) {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 0x100000001b3ULL;
+        }
+    };
+    const auto addI = [&](std::int64_t v) { bytes(&v, sizeof v); };
+    const auto addD = [&](double v) {
+        std::uint64_t b = 0;
+        std::memcpy(&b, &v, sizeof b);
+        bytes(&b, sizeof b);
+    };
+    addI(static_cast<std::int64_t>(events_.size()));
+    for (const auto &ev : events_) {
+        addI(static_cast<int>(ev.kind));
+        addI(ev.start_epoch);
+        addI(ev.end_epoch);
+        addI(ev.shard);
+        addI(ev.replica);
+        addD(ev.magnitude);
+        addD(ev.hot_fraction);
+        addD(ev.declared_blast_radius);
+        bytes(ev.label.data(), ev.label.size());
+    }
+    return h;
+}
+
+} // namespace dri::fleet

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <tuple>
+#include <utility>
 
 #include "cache/lookup_model.h"
 #include "core/analysis.h"
@@ -101,6 +103,23 @@ TelemetryLedger::fingerprint() const
     fnv.add(burst_eval.flags);
     for (const int l : burst_eval.latencies)
         fnv.add(l);
+    // Chaos scorecards fold in ONLY when present, so fault-free runs
+    // keep the exact telemetry fingerprints they had before the fault
+    // layer existed (the committed baselines pin these).
+    if (!scenarios.empty()) {
+        fnv.add(static_cast<std::int64_t>(scenarios.size()));
+        for (const auto &s : scenarios) {
+            fnv.bytes(s.scenario.data(), s.scenario.size());
+            fnv.add(static_cast<int>(s.kind));
+            fnv.add(s.start_epoch);
+            fnv.add(s.end_epoch);
+            fnv.add(s.blast_radius);
+            fnv.add(s.min_attainment);
+            fnv.add(s.within_declared_bound);
+            fnv.add(s.recovery_epochs);
+            fnv.add(s.shed_requests);
+        }
+    }
     return fnv.h;
 }
 
@@ -217,6 +236,34 @@ struct FleetSim::SegmentResult
     std::size_t peak_replica_queue = 0;
 };
 
+/**
+ * One epoch's resolved fault application, derived from the schedule's
+ * events active at that epoch. Server targets stay (shard, replica)
+ * pairs here because the flat server id depends on the segment's
+ * replica vector (lag segments still run the OLD vector).
+ */
+struct FleetSim::FaultPlan
+{
+    /** Crashes carried over from earlier epochs: dead at segment start. */
+    std::vector<std::pair<int, int>> dead;
+    /**
+     * Crashes whose window STARTS this epoch: the replica serves until
+     * crash_at_fraction into the steady segment, then goes dark
+     * mid-traffic (exercises queued-work-lost + in-flight-timeout).
+     */
+    std::vector<std::pair<int, int>> fresh_kills;
+    /** (shard, replica, service-time multiplier) persistent slow nodes. */
+    std::vector<std::tuple<int, int, double>> slow;
+    /** Shards whose main<->shard links are partitioned this epoch. */
+    std::vector<int> partitioned_shards;
+    /** Row-cache share retained during a snapshot storm (1 = none). */
+    double storm_warm_share = 1.0;
+    /** Fire fresh_kills in this segment (the epoch's steady segment). */
+    bool apply_fresh_kills = false;
+    /** FleetConfig::crash_at_fraction, carried along. */
+    double kill_at_fraction = 0.25;
+};
+
 FleetSim::FleetSim(const model::ModelSpec &spec,
                    const core::ShardingPlan &plan,
                    core::ServingConfig base_serving,
@@ -231,6 +278,13 @@ FleetSim::FleetSim(const model::ModelSpec &spec,
            cfg_.penalty.provisioning_lag_fraction < 1.0);
     assert(cfg_.penalty.cold_cache_fraction >= 0.0 &&
            cfg_.penalty.cold_cache_fraction < 1.0);
+    assert(cfg_.crash_at_fraction >= 0.0 && cfg_.crash_at_fraction < 1.0);
+    for ([[maybe_unused]] const auto &ev : cfg_.faults.events())
+        if (ev.kind == FaultKind::ReplicaCrash ||
+            ev.kind == FaultKind::SlowReplica ||
+            ev.kind == FaultKind::Partition)
+            assert(ev.shard >= 0 && ev.shard < plan_.numShards() &&
+                   "fault event targets a shard outside the plan");
 }
 
 FleetSim::SegmentResult
@@ -240,7 +294,8 @@ FleetSim::runSegment(const std::vector<int> &replicas,
                      const std::vector<workload::Request> &prewarm,
                      bool invalidate_result_cache,
                      const std::vector<int> &prev_replicas,
-                     bool degrade_caches, std::uint64_t seed_salt)
+                     bool degrade_caches, std::uint64_t seed_salt,
+                     const FaultPlan *faults)
 {
     core::ServingConfig cfg = base_;
     cfg.sparse_replicas_per_shard = replicas;
@@ -270,13 +325,68 @@ FleetSim::runSegment(const std::vector<int> &replicas,
         }
     }
 
+    // Snapshot storm: every shard's row cache re-warms from a mass
+    // embedding refresh, so ALL shards serve at the storm's warm share
+    // this segment (stacks multiplicatively on any cold-replica ramp).
+    if (faults != nullptr && faults->storm_warm_share < 1.0) {
+        if (cfg.shard_cache_models.empty())
+            cfg.shard_cache_models = base_.shard_cache_models;
+        for (auto &m : cfg.shard_cache_models)
+            if (m)
+                m = std::make_shared<const cache::CachedLookupModel>(
+                    m->scaled(faults->storm_warm_share));
+    }
+
     core::ServingSimulation sim(spec_, plan_, cfg);
+
+    // Fault targets address the SEGMENT's replica vector (lag segments
+    // still run the OLD vector): flat server id in serverShards() order.
+    // Replica indexes past the shard's current size clamp to its last
+    // replica, so a schedule written against the peak vector stays
+    // meaningful after a scale-down.
+    const auto serverIdFor = [&replicas](int shard, int rep) {
+        int id = 0;
+        for (int s = 0; s < shard; ++s)
+            id += std::max(1, replicas[static_cast<std::size_t>(s)]);
+        const int within =
+            std::max(1, replicas[static_cast<std::size_t>(shard)]);
+        return id + std::min(rep, within - 1);
+    };
+
+    // Apply the epoch's standing faults through the runtime control
+    // surface before any traffic.
+    if (faults != nullptr) {
+        for (const auto &[shard, rep] : faults->dead)
+            sim.killReplica(serverIdFor(shard, rep));
+        for (const auto &[shard, rep, mult] : faults->slow)
+            sim.degradeReplica(serverIdFor(shard, rep), mult);
+        for (const int s : faults->partitioned_shards)
+            sim.partitionShard(s, true);
+    }
+
     if (!prewarm.empty())
         sim.replayOpenLoop(prewarm, qps); // warm caches; stats discarded
     if (invalidate_result_cache)
         sim.invalidateResultCache();
     const std::uint64_t warm_hits = sim.resultCacheStats().hits;
     const std::uint64_t warm_lookups = sim.resultCacheStats().lookups;
+
+    // Mid-segment crash onsets: scheduled AFTER the prewarm replay so
+    // the kill lands crash_at_fraction into the MEASURED traffic (the
+    // discovery-lag timer starts at the kill, so hedging must mask the
+    // gap until the directory reacts).
+    if (faults != nullptr && faults->apply_fresh_kills &&
+        !faults->fresh_kills.empty() && !slice.empty() && qps > 0.0) {
+        const double span_s = static_cast<double>(slice.size()) / qps;
+        const auto offset = static_cast<sim::Duration>(
+            faults->kill_at_fraction * span_s * 1e9);
+        for (const auto &fk : faults->fresh_kills) {
+            const int srv = serverIdFor(fk.first, fk.second);
+            sim.engine().scheduleAt(sim.engine().now() + offset,
+                                    sim::kEvTimer,
+                                    [&sim, srv] { sim.killReplica(srv); });
+        }
+    }
 
     SegmentResult out;
     out.stats = sim.replayOpenLoop(slice, qps);
@@ -330,6 +440,10 @@ FleetSim::run(Autoscaler &policy)
     int lat_obj = -1, shed_obj = -1, avail_obj = -1;
     obs::EwmaMadDetector burst_detector(tele.burst_detector);
     std::vector<bool> burst_flags;
+    // Per-epoch SLO attainment (1 - (shed + over-latency)/requests),
+    // kept only when a fault schedule is attached: the scorecards'
+    // blast-radius input.
+    std::vector<double> epoch_attainment;
     std::size_t alert_transitions_counted = 0;
     if (tele.enabled) {
         const auto objective = [&](const char *name, double budget) {
@@ -362,10 +476,75 @@ FleetSim::run(Autoscaler &policy)
         for (auto &r : vec)
             r = std::max(1, r);
 
-        const double qps = load_.realizedQps(e);
-        const auto requests =
-            load_.epochRequests(e, cfg_.requests_per_epoch);
+        double qps = load_.realizedQps(e);
+        auto requests = load_.epochRequests(e, cfg_.requests_per_epoch);
         const std::size_t n = requests.size();
+
+        // Resolve the schedule's events active this epoch into a fault
+        // plan (serving-side) plus load overlays (flash crowd, storm
+        // invalidation). Fault-free epochs take the nullptr path, which
+        // is bit-for-bit the pre-fault-layer code path.
+        FaultPlan fp;
+        fp.kill_at_fraction = cfg_.crash_at_fraction;
+        bool fault_any = false;
+        bool storm_pending = false;
+        double flash_rate = 1.0;
+        double flash_hot = 0.0;
+        if (!cfg_.faults.empty()) {
+            for (const FaultEvent *ev : cfg_.faults.activeAt(e)) {
+                switch (ev->kind) {
+                case FaultKind::ReplicaCrash:
+                    (ev->start_epoch == e ? fp.fresh_kills : fp.dead)
+                        .emplace_back(ev->shard, ev->replica);
+                    fault_any = true;
+                    break;
+                case FaultKind::SlowReplica:
+                    fp.slow.emplace_back(ev->shard, ev->replica,
+                                         ev->magnitude);
+                    fault_any = true;
+                    break;
+                case FaultKind::Partition:
+                    fp.partitioned_shards.push_back(ev->shard);
+                    fault_any = true;
+                    break;
+                case FaultKind::SnapshotStorm:
+                    fp.storm_warm_share =
+                        std::min(fp.storm_warm_share, ev->magnitude);
+                    storm_pending = true;
+                    fault_any = true;
+                    break;
+                case FaultKind::FlashCrowd:
+                    flash_rate *= ev->magnitude;
+                    flash_hot = std::max(flash_hot, ev->hot_fraction);
+                    break;
+                }
+            }
+        }
+        const FaultPlan *plan = fault_any ? &fp : nullptr;
+        // Storm: snapshot refreshes keep landing all epoch, so EVERY
+        // segment starts from an invalidated pooled-result cache (the
+        // prewarmed working set is dropped each time), on top of the
+        // row caches re-warming from storm_warm_share.
+        const bool storm = storm_pending;
+
+        // Flash crowd overlay: offered rate multiplies, and a
+        // deterministic stride of the epoch's sample collapses onto the
+        // first request's feature vector — the hot key every cache and
+        // hedge assumption suddenly sees everywhere.
+        if (flash_rate > 1.0 || flash_hot > 0.0) {
+            qps *= flash_rate;
+            if (flash_hot > 0.0 && !requests.empty()) {
+                const auto stride = std::max<std::size_t>(
+                    1, static_cast<std::size_t>(
+                           std::llround(1.0 / flash_hot)));
+                const workload::Request hot = requests.front();
+                for (std::size_t i = 0; i < requests.size(); i += stride) {
+                    requests[i].items = hot.items;
+                    requests[i].table_lookups = hot.table_lookups;
+                    requests[i].content_hash = hot.content_hash;
+                }
+            }
+        }
 
         EpochRecord rec;
         rec.epoch = e;
@@ -457,8 +636,8 @@ FleetSim::run(Autoscaler &policy)
                 booting += std::max(0, vec[s] - prev[s]);
             const auto seg =
                 runSegment(prev, slice(0, lag_n), qps, prev_tail,
-                           /*invalidate=*/false, prev,
-                           /*degrade=*/false, salt + 0);
+                           /*invalidate=*/storm, prev,
+                           /*degrade=*/false, salt + 0, plan);
             accountSegment(seg, prev, lag_n, /*steady=*/false, booting);
             last_seg = seg;
         }
@@ -471,7 +650,7 @@ FleetSim::run(Autoscaler &policy)
             const auto seg = runSegment(
                 vec, slice(lag_n, std::min(n, lag_n + cold_n)), qps,
                 /*prewarm=*/{}, /*invalidate=*/true, prev,
-                /*degrade=*/true, salt + 1);
+                /*degrade=*/true, salt + 1, plan);
             accountSegment(seg, vec,
                            std::min(n, lag_n + cold_n) - lag_n,
                            /*steady=*/false, 0.0);
@@ -490,10 +669,11 @@ FleetSim::run(Autoscaler &policy)
             } else {
                 prewarm = prev_tail;
             }
+            fp.apply_fresh_kills = true; // crash onsets land here
             const auto seg =
                 runSegment(vec, slice(lo, n), qps, prewarm,
-                           /*invalidate=*/false, prev,
-                           /*degrade=*/false, salt + 2);
+                           /*invalidate=*/storm, prev,
+                           /*degrade=*/false, salt + 2, plan);
             accountSegment(seg, vec, n - lo, /*steady=*/true, 0.0);
             last_seg = seg;
         }
@@ -572,6 +752,13 @@ FleetSim::run(Autoscaler &policy)
         for (const auto &s : all_stats)
             if (!s.shed() && static_cast<double>(s.e2e) > slo_ns)
                 ++over_latency;
+        if (!cfg_.faults.empty())
+            epoch_attainment.push_back(
+                all_stats.empty()
+                    ? 1.0
+                    : 1.0 - static_cast<double>(over_latency +
+                                                rec.shed_requests) /
+                                static_cast<double>(all_stats.size()));
 
         // Next-epoch observation + carry-over. Policies see the STEADY
         // P99: the declared reconfiguration window is exempt from SLO
@@ -714,6 +901,57 @@ FleetSim::run(Autoscaler &policy)
         ledger.telemetry.burst_eval =
             obs::scoreFlags(burst_detector.name(), burst_flags, load_,
                             tele.detect_match_window_epochs);
+
+    // Chaos scorecards: grade each scheduled event against the measured
+    // attainment trajectory and the burn-rate clock. Recovery is read
+    // off PR 7's alerting state — an epoch is "healthy" when no
+    // objective fires and every fast burn sits under its threshold.
+    if (tele.enabled && !cfg_.faults.empty()) {
+        const auto healthyAt = [&](int f) {
+            const auto &t =
+                ledger.telemetry.epochs[static_cast<std::size_t>(f)];
+            return t.alerts_firing == 0 &&
+                   t.latency_fast_burn < tele.fast_burn_threshold &&
+                   t.shed_fast_burn < tele.fast_burn_threshold &&
+                   t.availability_fast_burn < tele.fast_burn_threshold;
+        };
+        for (const auto &ev : cfg_.faults.events()) {
+            ScenarioOutcome o;
+            o.scenario = ev.name();
+            o.kind = ev.kind;
+            o.start_epoch = ev.start_epoch;
+            o.end_epoch = std::min(ev.end_epoch, cfg_.epochs);
+            for (int f = ev.start_epoch; f < o.end_epoch; ++f) {
+                const auto fi = static_cast<std::size_t>(f);
+                o.min_attainment =
+                    std::min(o.min_attainment, epoch_attainment[fi]);
+                o.blast_radius = std::max(o.blast_radius,
+                                          1.0 - epoch_attainment[fi]);
+                o.shed_requests += ledger.epochs[fi].shed_requests;
+            }
+            o.within_declared_bound =
+                o.blast_radius <= ev.declared_blast_radius;
+            // Recovery: epochs from onset until the burn clock reads
+            // healthy FOR GOOD within the post-fault horizon (one slow
+            // window past the heal, so lingering fast-window burn
+            // counts against the scenario, later unrelated faults do
+            // not).
+            const int horizon = std::min(
+                cfg_.epochs, o.end_epoch + tele.slow_window_epochs);
+            int last_unhealthy = ev.start_epoch - 1;
+            for (int f = ev.start_epoch; f < horizon; ++f)
+                if (!healthyAt(f))
+                    last_unhealthy = f;
+            if (last_unhealthy < ev.start_epoch)
+                o.recovery_epochs = 0; // fully masked
+            else if (last_unhealthy == cfg_.epochs - 1)
+                o.recovery_epochs = -1; // not recovered by trace end
+            else
+                o.recovery_epochs =
+                    last_unhealthy + 1 - ev.start_epoch;
+            ledger.telemetry.scenarios.push_back(std::move(o));
+        }
+    }
     return ledger;
 }
 

@@ -46,6 +46,7 @@
 #include "core/sharding_plan.h"
 #include "dc/replication.h"
 #include "fleet/autoscaler.h"
+#include "fleet/fault_schedule.h"
 #include "model/model_spec.h"
 #include "obs/detect.h"
 #include "obs/metrics.h"
@@ -137,6 +138,23 @@ struct FleetConfig
     obs::MetricsRegistry *metrics = nullptr;
     /** Burn-rate/detector analysis folded into FleetStats::telemetry. */
     TelemetryConfig telemetry;
+    /**
+     * Injected-fault script (empty by default). Events apply per epoch
+     * through the serving runtime control surface; an empty schedule is
+     * byte-identical to a fault-free run (purity), and the same
+     * schedule reproduces byte-identical ledgers (determinism). With
+     * telemetry enabled, each event is graded into a ScenarioOutcome
+     * scorecard on the telemetry side-ledger.
+     */
+    FaultSchedule faults;
+    /**
+     * Sim-time position of a crash *onset* within its first epoch's
+     * steady segment (fraction of the segment's span): the replica
+     * serves normally until this point, then goes dark mid-traffic —
+     * which is what exercises the queued-work-lost and in-flight-
+     * timeout paths rather than starting the epoch already dead.
+     */
+    double crash_at_fraction = 0.25;
 };
 
 /** One epoch's ledger row. */
@@ -205,6 +223,14 @@ struct TelemetryLedger
     std::vector<obs::AlertEvent> alerts;
     /** Online burst detector scored against the load model's truth. */
     obs::DetectionEval burst_eval;
+    /**
+     * Per-fault-event chaos scorecards (blast radius, recovery time on
+     * the burn-rate clock), one per FaultSchedule event, in schedule
+     * order. Empty for fault-free runs — and folded into fingerprint()
+     * only when non-empty, so telemetry fingerprints of fault-free runs
+     * are unchanged from before the fault layer existed.
+     */
+    std::vector<ScenarioOutcome> scenarios;
 
     int alertCount(obs::AlertTransition t) const;
 
@@ -262,6 +288,7 @@ class FleetSim
 
   private:
     struct SegmentResult;
+    struct FaultPlan;
 
     SegmentResult
     runSegment(const std::vector<int> &replicas,
@@ -269,7 +296,7 @@ class FleetSim
                const std::vector<workload::Request> &prewarm,
                bool invalidate_result_cache,
                const std::vector<int> &prev_replicas, bool degrade_caches,
-               std::uint64_t seed_salt);
+               std::uint64_t seed_salt, const FaultPlan *faults);
 
     model::ModelSpec spec_;
     core::ShardingPlan plan_;

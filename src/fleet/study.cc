@@ -78,4 +78,18 @@ makeFleetStudy(bool smoke)
     return study;
 }
 
+AutoscalerInputs
+studyAutoscalerInputs(const FleetStudy &study,
+                      const workload::DiurnalLoadModel &load)
+{
+    AutoscalerInputs in;
+    in.planner = std::make_shared<CapacityPlanner>(
+        study.spec, study.plan, study.serving, study.planner,
+        load.epochRequests(0, study.planner.planning_requests));
+    in.initial_vector = in.planner->replicaVectorFor(load.peakForecastQps());
+    in.reactive = study.reactive;
+    in.burn_rate.base = study.reactive;
+    return in;
+}
+
 } // namespace dri::fleet

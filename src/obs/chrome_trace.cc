@@ -33,6 +33,7 @@ writeFlags(std::ostream &os, std::uint8_t flags)
     emit(kFlagLoser, "loser");
     emit(kFlagShed, "shed");
     emit(kFlagCacheHit, "cache_hit");
+    emit(kFlagFault, "fault");
     os << "\"";
 }
 

@@ -78,6 +78,7 @@ enum SpanFlags : std::uint8_t
     kFlagLoser = 4,     //!< executed to completion but lost the race
     kFlagShed = 8,      //!< request was shed (root span)
     kFlagCacheHit = 16, //!< result-cache probe hit
+    kFlagFault = 32,    //!< attempt hit a dead/partitioned/unresolvable target
 };
 
 /** One recorded span. */

@@ -89,11 +89,13 @@ ServiceDirectory::pickPowerOfTwo(const std::vector<int> &servers)
 }
 
 /**
- * The shard's replicas minus an optionally excluded server, in
- * registration order (which the tie-breaks depend on). The common
- * no-exclusion path returns the stored vector directly; only exclusion
- * (the hedge path) materializes a filtered copy into `scratch`. Null
- * when the shard is unknown or exclusion removes every candidate.
+ * The shard's replicas minus an optionally excluded server and any
+ * unhealthy servers, in registration order (which the tie-breaks depend
+ * on). The common no-exclusion all-healthy path returns the stored
+ * vector directly; only exclusion (the hedge/failover paths) or an
+ * unhealthy server somewhere in the fleet materializes a filtered copy
+ * into `scratch`. Null when the shard is unknown or filtering removes
+ * every candidate.
  */
 const std::vector<int> *
 ServiceDirectory::candidates(int shard_id, int exclude_server,
@@ -102,14 +104,43 @@ ServiceDirectory::candidates(int shard_id, int exclude_server,
     auto it = replicas_.find(shard_id);
     if (it == replicas_.end() || it->second.empty())
         return nullptr;
-    if (exclude_server < 0)
+    if (exclude_server < 0 && unhealthy_.empty())
         return &it->second;
     scratch.clear();
     scratch.reserve(it->second.size());
     for (int s : it->second)
-        if (s != exclude_server)
+        if (s != exclude_server && unhealthy_.count(s) == 0)
             scratch.push_back(s);
     return scratch.empty() ? nullptr : &scratch;
+}
+
+void
+ServiceDirectory::setServerHealth(int server_id, bool healthy)
+{
+    if (healthy)
+        unhealthy_.erase(server_id);
+    else
+        unhealthy_.insert(server_id);
+}
+
+bool
+ServiceDirectory::serverHealthy(int server_id) const
+{
+    return unhealthy_.count(server_id) == 0;
+}
+
+std::size_t
+ServiceDirectory::healthyReplicaCount(int shard_id) const
+{
+    auto it = replicas_.find(shard_id);
+    if (it == replicas_.end())
+        return 0;
+    if (unhealthy_.empty())
+        return it->second.size();
+    std::size_t n = 0;
+    for (int s : it->second)
+        n += unhealthy_.count(s) == 0 ? 1 : 0;
+    return n;
 }
 
 std::optional<int>

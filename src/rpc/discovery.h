@@ -21,6 +21,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "stats/rng.h"
@@ -94,6 +95,23 @@ class ServiceDirectory
     /** Install (or clear, with nullptr) the live-load probe. */
     void setLoadProbe(LoadProbe probe);
 
+    /**
+     * Mark a server in or out of rotation — the health propagation hook
+     * the fault layer calls after its discovery lag. Unhealthy servers
+     * are excluded from every resolve()/resolveBackup() under every
+     * policy; resolving a shard whose replicas are all unhealthy returns
+     * std::nullopt (a graceful resolution error, never an assert).
+     * Health state is orthogonal to registration: a restored server
+     * rejoins rotation in its original registration slot.
+     */
+    void setServerHealth(int server_id, bool healthy);
+
+    /** Whether a server is currently in rotation (default: healthy). */
+    bool serverHealthy(int server_id) const;
+
+    /** Healthy replicas currently resolvable for the shard. */
+    std::size_t healthyReplicaCount(int shard_id) const;
+
   private:
     const std::vector<int> *candidates(int shard_id, int exclude_server,
                                        std::vector<int> &scratch) const;
@@ -103,6 +121,12 @@ class ServiceDirectory
 
     std::map<int, std::vector<int>> replicas_;
     std::map<int, std::size_t> next_;
+    /**
+     * Out-of-rotation servers. Kept as a (normally empty) set so the
+     * all-healthy fast path in candidates() stays zero-copy and the
+     * health feature is byte-invisible to fault-free replays.
+     */
+    std::set<int> unhealthy_;
     LoadBalancePolicy policy_ = LoadBalancePolicy::RoundRobin;
     LoadProbe probe_;
     stats::Rng rng_{0x10ad};

@@ -13,6 +13,20 @@
  * the measured latency distribution (a sliding window), so the policy
  * self-tunes as load shifts; a budget caps the fraction of RPCs that may be
  * hedged so duplicate work stays bounded at low load.
+ *
+ * Fault masking. The same mechanism is the serving tier's first line of
+ * defense against replica CRASHES, not just stragglers: an attempt sent
+ * to a dead replica never completes, so it blows through the hedge
+ * deadline like any straggler and the backup — resolved against a
+ * different replica — carries the request. This window matters because
+ * discovery health updates lag the fault (ServingSimulation's
+ * PerturbationConfig::discovery_lag_ns): between the crash and the
+ * directory reacting, the balancer keeps routing primaries at the dead
+ * server, and hedging is the only thing standing between those requests
+ * and an rpc_timeout_ns stall followed by a failover retry. The chaos
+ * suite (fleet/fault_schedule.h, examples/chaos_study) measures exactly
+ * this: with hedging on, a replica crash is masked to a fraction of the
+ * blast radius the unhedged fleet eats.
  */
 #pragma once
 

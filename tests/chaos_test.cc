@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Chaos-layer tests: the ServingSimulation runtime control surface
+ * (killReplica / restoreReplica / degradeReplica / partitionShard),
+ * fault accounting, determinism under injected faults, and the
+ * fleet-level FaultSchedule script type.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/serving.h"
+#include "core/strategies.h"
+#include "fleet/fault_schedule.h"
+#include "model/generators.h"
+#include "workload/request_generator.h"
+
+namespace {
+
+using namespace dri;
+
+std::vector<workload::Request>
+requestsFor(const model::ModelSpec &spec, std::size_t n,
+            std::uint64_t seed = 5)
+{
+    workload::RequestGenerator gen(spec,
+                                   workload::GeneratorConfig{seed, 0.0});
+    return gen.generate(n);
+}
+
+core::ServingConfig
+chaosConfig()
+{
+    core::ServingConfig cfg;
+    cfg.seed = 0xc4a05;
+    cfg.sparse_replicas = 2;
+    return cfg;
+}
+
+double
+meanE2eMs(const std::vector<core::RequestStats> &stats)
+{
+    double sum = 0.0;
+    std::size_t served = 0;
+    for (const auto &s : stats) {
+        if (s.shed())
+            continue;
+        sum += static_cast<double>(s.e2e) / 1e6;
+        ++served;
+    }
+    return served > 0 ? sum / static_cast<double>(served) : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// killReplica / restoreReplica.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, KillReplicaRetriesMaskTheLossAndDiscoveryHealsIt)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    const auto reqs = requestsFor(spec, 40);
+
+    core::ServingSimulation sim(spec, plan, chaosConfig());
+    const auto all = sim.serverCount();
+    sim.killReplica(0);
+    EXPECT_FALSE(sim.replicaAlive(0));
+    EXPECT_EQ(sim.aliveReplicaCount(), all - 1);
+
+    const auto stats = sim.replayOpenLoop(reqs, 500.0);
+    ASSERT_EQ(stats.size(), reqs.size());
+    // Every request still terminates: the dead replica costs timeouts
+    // and failover retries, never hung requests.
+    const auto &fs = sim.faultStats();
+    EXPECT_EQ(fs.kills, 1u);
+    EXPECT_GT(fs.dead_target_attempts, 0u);
+    EXPECT_GT(fs.retries, 0u);
+    // With a sibling replica per shard the retry path serves everything.
+    for (const auto &s : stats)
+        EXPECT_FALSE(s.shed());
+    // 40 req at 500 QPS spans 80 ms > the 50 ms discovery lag: once the
+    // directory reacts, primaries stop targeting the dead server — so
+    // dead-target attempts stay well below the request count.
+    EXPECT_LT(fs.dead_target_attempts, static_cast<std::uint64_t>(
+                                           reqs.size() * plan.numShards()));
+}
+
+TEST(Chaos, KillAndRestoreAreIdempotentAndSymmetric)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    core::ServingSimulation sim(spec, plan, chaosConfig());
+
+    sim.killReplica(3);
+    sim.killReplica(3); // redundant: no-op
+    EXPECT_EQ(sim.faultStats().kills, 1u);
+    EXPECT_FALSE(sim.replicaAlive(3));
+
+    sim.restoreReplica(3);
+    sim.restoreReplica(3); // redundant: no-op
+    EXPECT_EQ(sim.faultStats().restores, 1u);
+    EXPECT_TRUE(sim.replicaAlive(3));
+    EXPECT_EQ(sim.aliveReplicaCount(), sim.serverCount());
+
+    // A restored fleet serves cleanly again.
+    const auto stats = sim.replayOpenLoop(requestsFor(spec, 20), 400.0);
+    for (const auto &s : stats)
+        EXPECT_FALSE(s.shed());
+}
+
+// ---------------------------------------------------------------------------
+// degradeReplica.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, DegradedReplicaInflatesLatencyDeterministically)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    const auto reqs = requestsFor(spec, 30);
+
+    core::ServingSimulation base(spec, plan, chaosConfig());
+    const auto fast = base.replayOpenLoop(reqs, 400.0);
+
+    core::ServingSimulation slow(spec, plan, chaosConfig());
+    slow.degradeReplica(0, 8.0);
+    const auto degraded = slow.replayOpenLoop(reqs, 400.0);
+
+    // Persistent slow node: same draws (CRN), slower service on one
+    // replica only — latency strictly worse, nothing shed or killed.
+    EXPECT_GT(meanE2eMs(degraded), meanE2eMs(fast));
+    EXPECT_EQ(slow.faultStats().kills, 0u);
+    for (const auto &s : degraded)
+        EXPECT_FALSE(s.shed());
+
+    // Determinism: the degraded run reproduces byte-identically.
+    core::ServingSimulation again(spec, plan, chaosConfig());
+    again.degradeReplica(0, 8.0);
+    const auto rerun = again.replayOpenLoop(reqs, 400.0);
+    ASSERT_EQ(rerun.size(), degraded.size());
+    for (std::size_t i = 0; i < rerun.size(); ++i)
+        EXPECT_EQ(rerun[i].e2e, degraded[i].e2e);
+}
+
+// ---------------------------------------------------------------------------
+// partitionShard.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, PartitionedShardShedsUpstreamAfterRetriesExhaust)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    const auto reqs = requestsFor(spec, 12);
+
+    core::ServingSimulation sim(spec, plan, chaosConfig());
+    sim.partitionShard(0, true);
+    const auto stats = sim.replayOpenLoop(reqs, 300.0);
+
+    // Every fan-out needs shard 0; the partition drops primary AND
+    // retry attempts, so requests fail upstream — gracefully shed with
+    // the dedicated reason, never hung.
+    const auto &fs = sim.faultStats();
+    EXPECT_GT(fs.partition_drops, 0u);
+    EXPECT_GT(fs.upstream_failures, 0u);
+    std::size_t upstream_shed = 0;
+    for (const auto &s : stats)
+        if (s.shed_reason == core::ShedReason::UpstreamFailure)
+            ++upstream_shed;
+    EXPECT_GT(upstream_shed, 0u);
+
+    // Healing the partition restores clean service on the same sim.
+    sim.partitionShard(0, false);
+    const auto healed = sim.replayOpenLoop(requestsFor(spec, 10, 9), 300.0);
+    for (const auto &s : healed)
+        EXPECT_FALSE(s.shed());
+    EXPECT_EQ(sim.faultStats().partition_drops, fs.partition_drops);
+}
+
+// ---------------------------------------------------------------------------
+// FaultSchedule.
+// ---------------------------------------------------------------------------
+
+TEST(FaultSchedule, WindowsAndActiveAt)
+{
+    fleet::FaultSchedule sched;
+    sched.crashReplica(1, 0, /*start=*/2, /*end=*/4)
+        .slowReplica(0, 1, 8.0, /*start=*/3, /*end=*/5)
+        .snapshotStorm(6, 0.25);
+    EXPECT_FALSE(sched.empty());
+    EXPECT_EQ(sched.events().size(), 3u);
+
+    EXPECT_TRUE(sched.activeAt(1).empty());
+    ASSERT_EQ(sched.activeAt(2).size(), 1u);
+    EXPECT_EQ(sched.activeAt(2)[0]->kind, fleet::FaultKind::ReplicaCrash);
+    EXPECT_EQ(sched.activeAt(3).size(), 2u);
+    // end_epoch is exclusive: the crash heals at epoch 4.
+    ASSERT_EQ(sched.activeAt(4).size(), 1u);
+    EXPECT_EQ(sched.activeAt(4)[0]->kind, fleet::FaultKind::SlowReplica);
+    ASSERT_EQ(sched.activeAt(6).size(), 1u);
+    EXPECT_EQ(sched.activeAt(6)[0]->kind, fleet::FaultKind::SnapshotStorm);
+}
+
+TEST(FaultSchedule, FingerprintIdentifiesTheScript)
+{
+    fleet::FaultSchedule a;
+    a.crashReplica(0, 1, 2, 3).flashCrowd(2.0, 0.5, 4, 6);
+    fleet::FaultSchedule b;
+    b.crashReplica(0, 1, 2, 3).flashCrowd(2.0, 0.5, 4, 6);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+    fleet::FaultSchedule c;
+    c.crashReplica(0, 1, 2, 3).flashCrowd(2.0, 0.5, 4, 7);
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+    EXPECT_NE(a.fingerprint(), fleet::FaultSchedule{}.fingerprint());
+}
+
+TEST(FaultSchedule, KindNamesAndLabels)
+{
+    EXPECT_STREQ(fleet::faultKindName(fleet::FaultKind::ReplicaCrash),
+                 "replica-crash");
+    EXPECT_STREQ(fleet::faultKindName(fleet::FaultKind::FlashCrowd),
+                 "flash-crowd");
+    fleet::FaultEvent ev;
+    ev.kind = fleet::FaultKind::Partition;
+    EXPECT_EQ(ev.name(), "partition");
+    ev.label = "az-link-cut";
+    EXPECT_EQ(ev.name(), "az-link-cut");
+}
+
+} // namespace

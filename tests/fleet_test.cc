@@ -8,8 +8,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "core/strategies.h"
@@ -527,13 +529,10 @@ TEST(FleetStudy, SmokeStudyIsDeterministic)
     fleet::FleetSim sim(study.spec, study.plan, study.serving, load,
                         study.fleet);
 
-    fleet::PlannerConfig pc = study.planner;
-    auto planner = std::make_shared<fleet::CapacityPlanner>(
-        study.spec, study.plan, study.serving, pc,
-        load.epochRequests(0, pc.planning_requests));
-    fleet::PredictiveAutoscaler pred(planner);
-    const auto s1 = sim.run(pred);
-    const auto s2 = sim.run(pred);
+    const auto inputs = fleet::studyAutoscalerInputs(study, load);
+    const auto pred = fleet::makeAutoscaler("predictive", inputs);
+    const auto s1 = sim.run(*pred);
+    const auto s2 = sim.run(*pred);
     EXPECT_EQ(s1.fingerprint(), s2.fingerprint());
     EXPECT_EQ(s1.epochs.size(),
               static_cast<std::size_t>(study.fleet.epochs));
@@ -541,6 +540,119 @@ TEST(FleetStudy, SmokeStudyIsDeterministic)
     // its SLO everywhere (whole-epoch checks may trip inside a window —
     // that is exactly what the window declares).
     EXPECT_EQ(s1.steadySloViolationEpochs(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Injected faults at the fleet level.
+// ---------------------------------------------------------------------------
+
+TEST(FleetFaults, EmptyScheduleIsPureAndCrashRunsAreDeterministic)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    const workload::DiurnalLoadModel load(spec, flatLoad(320.0));
+    const auto fc = smallFleet(6);
+
+    ScriptedAutoscaler p1({{2, 2, 2, 2}}), p2({{2, 2, 2, 2}});
+    ScriptedAutoscaler p3({{2, 2, 2, 2}}), p4({{2, 2, 2, 2}});
+
+    // Purity: a present-but-empty FaultSchedule is byte-identical to a
+    // fleet that never heard of faults — simulation AND telemetry.
+    fleet::FleetSim plain(spec, plan, fleetTestServing(), load, fc);
+    auto fc_empty = fc;
+    fc_empty.faults = fleet::FaultSchedule{};
+    fleet::FleetSim empty(spec, plan, fleetTestServing(), load, fc_empty);
+    const auto s_plain = plain.run(p1);
+    const auto s_empty = empty.run(p2);
+    EXPECT_EQ(s_plain.fingerprint(), s_empty.fingerprint());
+    EXPECT_EQ(s_plain.telemetryFingerprint(),
+              s_empty.telemetryFingerprint());
+    EXPECT_TRUE(s_empty.telemetry.scenarios.empty());
+
+    // Determinism: the same crash schedule reproduces byte-identical
+    // ledgers, and grades exactly one scenario scorecard.
+    auto fc_crash = fc;
+    fc_crash.faults.crashReplica(0, 1, /*start=*/2, /*end=*/3, 0.5);
+    fleet::FleetSim c1(spec, plan, fleetTestServing(), load, fc_crash);
+    fleet::FleetSim c2(spec, plan, fleetTestServing(), load, fc_crash);
+    const auto s_c1 = c1.run(p3);
+    const auto s_c2 = c2.run(p4);
+    EXPECT_EQ(s_c1.fingerprint(), s_c2.fingerprint());
+    EXPECT_EQ(s_c1.telemetryFingerprint(), s_c2.telemetryFingerprint());
+    ASSERT_EQ(s_c1.telemetry.scenarios.size(), 1u);
+    const auto &sc = s_c1.telemetry.scenarios[0];
+    EXPECT_EQ(sc.kind, fleet::FaultKind::ReplicaCrash);
+    EXPECT_EQ(sc.start_epoch, 2);
+    EXPECT_GE(sc.blast_radius, 0.0);
+    EXPECT_LE(sc.min_attainment, 1.0);
+
+    // And the faulted ledger differs from the clean one (the crash is
+    // not a no-op).
+    EXPECT_NE(s_c1.fingerprint(), s_plain.fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Autoscaler factory registry.
+// ---------------------------------------------------------------------------
+
+TEST(AutoscalerFactory, BuiltinsConstructByName)
+{
+    const auto names = fleet::registeredAutoscalers();
+    for (const char *expected :
+         {"burn-rate", "predictive", "reactive", "static-peak"})
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected << " not registered";
+
+    const auto study = fleet::makeFleetStudy(true);
+    const workload::DiurnalLoadModel load(study.spec, study.load);
+    const auto inputs = fleet::studyAutoscalerInputs(study, load);
+    EXPECT_FALSE(inputs.initial_vector.empty());
+    for (const std::string &name : names) {
+        const auto policy = fleet::makeAutoscaler(name, inputs);
+        ASSERT_NE(policy, nullptr);
+        EXPECT_EQ(policy->name(), name);
+    }
+}
+
+TEST(AutoscalerFactory, UnknownNameThrowsWithKnownList)
+{
+    fleet::AutoscalerInputs inputs;
+    try {
+        fleet::makeAutoscaler("no-such-policy", inputs);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("no-such-policy"), std::string::npos);
+        EXPECT_NE(what.find("reactive"), std::string::npos);
+    }
+}
+
+TEST(AutoscalerFactory, RegistrationExtendsAndReplaces)
+{
+    fleet::AutoscalerInputs inputs;
+    const auto factory = [](const fleet::AutoscalerInputs &) {
+        return std::make_unique<ScriptedAutoscaler>(
+            std::vector<std::vector<int>>{{2, 2, 2, 2}});
+    };
+    EXPECT_FALSE(fleet::registerAutoscaler("scripted-test", factory));
+    const auto policy = fleet::makeAutoscaler("scripted-test", inputs);
+    EXPECT_EQ(policy->name(), "scripted");
+    // Re-registering the same name reports a replacement.
+    EXPECT_TRUE(fleet::registerAutoscaler("scripted-test", factory));
+}
+
+TEST(AutoscalerFactory, BurnRateSharesReactiveActuation)
+{
+    fleet::AutoscalerInputs inputs;
+    inputs.initial_vector = {4, 4, 4, 4};
+    inputs.reactive.cooldown_epochs = 7;
+    inputs.burn_rate.base.cooldown_epochs = 1; // overwritten by design
+    const auto policy = fleet::makeAutoscaler("burn-rate", inputs);
+    const auto *burn =
+        dynamic_cast<const fleet::BurnRateAutoscaler *>(policy.get());
+    ASSERT_NE(burn, nullptr);
+    EXPECT_EQ(burn->config().base.cooldown_epochs, 7);
 }
 
 } // namespace

@@ -246,6 +246,74 @@ TEST(Discovery, ResolveBackupIsLoadAwareUnderAnyPolicy)
     EXPECT_EQ(dir.resolveBackup(0, 60), 61);
 }
 
+TEST(Discovery, UnhealthyReplicasAreExcludedUnderEveryPolicy)
+{
+    // Health-aware resolution: a replica marked dead must never be
+    // handed out, under any balancing policy.
+    const std::map<int, std::size_t> load{{70, 0}, {71, 3}, {72, 5}};
+    for (const auto policy : {rpc::LoadBalancePolicy::RoundRobin,
+                              rpc::LoadBalancePolicy::LeastOutstanding,
+                              rpc::LoadBalancePolicy::PowerOfTwoChoices}) {
+        rpc::ServiceDirectory dir;
+        dir.registerReplica(0, 70);
+        dir.registerReplica(0, 71);
+        dir.registerReplica(0, 72);
+        dir.setPolicy(policy, 0x5eed);
+        dir.setLoadProbe([&](int server) { return load.at(server); });
+        // 70 is the idlest AND first in round-robin order: excluding it
+        // exercises the filter, not just an unlucky draw.
+        dir.setServerHealth(70, false);
+        EXPECT_FALSE(dir.serverHealthy(70));
+        EXPECT_EQ(dir.healthyReplicaCount(0), 2u);
+        for (int i = 0; i < 32; ++i) {
+            const auto r = dir.resolve(0);
+            ASSERT_TRUE(r.has_value())
+                << rpc::policyName(policy) << " returned no candidate";
+            EXPECT_NE(*r, 70) << rpc::policyName(policy)
+                              << " resolved a dead replica";
+        }
+        // The hedge-backup path filters too.
+        for (int i = 0; i < 8; ++i)
+            EXPECT_NE(dir.resolveBackup(0, 71), 70);
+    }
+}
+
+TEST(Discovery, AllReplicasDeadResolvesToNothing)
+{
+    rpc::ServiceDirectory dir;
+    dir.registerReplica(0, 80);
+    dir.registerReplica(0, 81);
+    dir.setServerHealth(80, false);
+    dir.setServerHealth(81, false);
+    EXPECT_EQ(dir.healthyReplicaCount(0), 0u);
+    // Graceful error, not a crash: the caller owns the failure path.
+    EXPECT_EQ(dir.resolve(0), std::nullopt);
+    EXPECT_EQ(dir.resolveBackup(0, 80), std::nullopt);
+    // Registered replicas are still listed (health != membership).
+    EXPECT_EQ(dir.replicaCount(0), 2u);
+}
+
+TEST(Discovery, RestoredReplicaRejoinsRotation)
+{
+    rpc::ServiceDirectory dir;
+    dir.registerReplica(0, 90);
+    dir.registerReplica(0, 91);
+    dir.setServerHealth(90, false);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(dir.resolve(0), 91);
+    dir.setServerHealth(90, true);
+    EXPECT_TRUE(dir.serverHealthy(90));
+    EXPECT_EQ(dir.healthyReplicaCount(0), 2u);
+    bool saw90 = false;
+    for (int i = 0; i < 4; ++i)
+        saw90 = saw90 || dir.resolve(0) == 90;
+    EXPECT_TRUE(saw90) << "restored replica never re-entered rotation";
+    // Redundant health updates are no-ops, not state corruption.
+    dir.setServerHealth(90, true);
+    dir.setServerHealth(90, true);
+    EXPECT_EQ(dir.healthyReplicaCount(0), 2u);
+}
+
 TEST(Discovery, PolicyNames)
 {
     EXPECT_STREQ(rpc::policyName(rpc::LoadBalancePolicy::RoundRobin),
