@@ -6,6 +6,7 @@
  * lookup in DRAM at the cost of network hops. Sweeps the model scale
  * factor and reports P50/P99 and the SLA miss rate of both designs.
  */
+#include <cmath>
 #include <iostream>
 
 #include "bench_common.h"

@@ -11,8 +11,14 @@
  * baseline rows CI archives so simulator-performance regressions are
  * diffable across commits.
  *
+ * The throughput number is the best of five untraced runs — shared
+ * runners hiccup, and the minimum wall time is the honest estimate of
+ * what the simulator can do. The reruns double as a determinism
+ * self-check (byte-identical RequestStats fingerprints).
+ *
  * Self-checking (exit 1 on violation):
  *  - the engine executed events and every one carries exactly one tag;
+ *  - repeated runs produce byte-identical RequestStats fingerprints;
  *  - a disabled tracer performs zero heap appends (the zero-overhead
  *    contract);
  *  - tracing on vs off leaves the RequestStats stream fingerprint
@@ -130,10 +136,21 @@ main(int argc, char **argv)
     const auto plan = core::makeCapacityBalanced(spec, 4);
     const auto requests = bench::standardRequests(spec, n_requests);
 
-    // Untraced run: the throughput baseline. The disabled tracer rides
-    // along to prove the zero-overhead contract on the real workload.
+    // Untraced runs: the throughput baseline. Best-of-N wall time so a
+    // scheduler hiccup on a shared runner does not masquerade as a
+    // simulator regression; the reruns double as a determinism check
+    // (byte-identical fingerprints). The disabled tracer rides along to
+    // prove the zero-overhead contract on the real workload.
     obs::SpanTracer disabled(/*enabled=*/false);
-    const auto base = runOnce(spec, plan, requests, &disabled);
+    constexpr int kReps = 5;
+    auto base = runOnce(spec, plan, requests, &disabled);
+    bool reruns_identical = true;
+    for (int rep = 1; rep < kReps; ++rep) {
+        auto r = runOnce(spec, plan, requests, &disabled);
+        reruns_identical &= r.stats_fingerprint == base.stats_fingerprint;
+        if (r.wall_s < base.wall_s)
+            base = r;
+    }
     // Traced run: same seed, same schedule, spans recorded.
     obs::SpanTracer tracer;
     const auto traced = runOnce(spec, plan, requests, &tracer);
@@ -203,6 +220,11 @@ main(int argc, char **argv)
     }
     if (tracer.spans().empty()) {
         std::cout << "SELF-CHECK FAIL: enabled tracer recorded no spans\n";
+        ok = false;
+    }
+    if (!reruns_identical) {
+        std::cout << "SELF-CHECK FAIL: repeated untraced runs produced "
+                     "different RequestStats fingerprints\n";
         ok = false;
     }
     if (base.stats_fingerprint != traced.stats_fingerprint) {

@@ -7,13 +7,15 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <unordered_map>
+#include <new>
 
 #include "cache/lookup_model.h"
 #include "netsim/message.h"
 #include "obs/span_tracer.h"
 #include "obs/timeseries.h"
 #include "rpc/discovery.h"
+#include "sim/pool.h"
+#include "stats/flat_hash.h"
 #include "stats/summary.h"
 
 namespace dri::core {
@@ -83,6 +85,8 @@ struct ServingSimulation::Impl
         sim::SimTime dispatch_time = 0;
         sim::SimTime last_response = 0;
         std::int64_t response_bytes = 0;
+        /** Top-dense duration, stashed at dispatch for the merge phase. */
+        sim::Duration top_dense = 0;
         obs::SpanId sp_batch = obs::kNoSpan; //!< BatchExec span
         obs::SpanId sp_embed = obs::kNoSpan; //!< EmbeddedWait span
         /**
@@ -180,7 +184,7 @@ struct ServingSimulation::Impl
 
         // Intra-request batch-slot pool (framework worker threads).
         int slots_free = 0;
-        std::deque<std::function<void()>> slot_waiters;
+        std::deque<sim::EventFn> slot_waiters;
 
         // Mid-flight shed support (AdmissionConfig::cancel_in_flight).
         /** Shed while executing: stats already emitted, machinery drains. */
@@ -192,6 +196,21 @@ struct ServingSimulation::Impl
 
         obs::SpanId sp_root = obs::kNoSpan; //!< Request span
         obs::SpanId sp_net = obs::kNoSpan;  //!< current NetPhase span
+    };
+
+    /**
+     * Mutable context of one RPC attempt — the record being filled in
+     * and the attempt's CRN stream — pooled and threaded by pointer
+     * through the attempt's event chain. An mt19937_64 is ~2.5 KB, so
+     * capturing the stream by value in each chained closure used to cost
+     * a heap allocation plus a bulk copy per hop; with the pooled
+     * context every hop's capture is a few pointers and fits the
+     * engine's inline event buffer.
+     */
+    struct AttemptCtx
+    {
+        trace::RpcRecord rec;
+        stats::Rng rng{0};
     };
 
     Impl(const model::ModelSpec &spec, const ShardingPlan &plan,
@@ -314,8 +333,68 @@ struct ServingSimulation::Impl
      * within a replay). The timer looks its request up here, so a timer
      * firing after completion dereferences nothing stale.
      */
-    std::unordered_map<std::uint64_t, Active *> live_requests;
+    stats::FlatHashMap<std::uint64_t, Active *> live_requests;
     std::uint64_t shed_cancelled_rpcs = 0;
+
+    // -- Hot-path object pools ----------------------------------------------
+    //
+    // Per-request in-flight state recycles through typed arenas instead
+    // of the general heap. Raw pointers handed to in-flight events stay
+    // valid (stable blocks); the existing ref-count / pending-count
+    // protocols are the unique release points, so pooling changes only
+    // where the memory comes from.
+
+    sim::ObjectPool<Active> active_pool;
+    sim::ObjectPool<BatchState> batch_pool;
+    sim::ObjectPool<RpcOp> op_pool;
+    sim::ObjectPool<AttemptCtx> attempt_pool;
+
+    /**
+     * Recycle an Active: destroy + reconstruct for guaranteed-pristine
+     * state, salvaging container capacity so a steady-state request
+     * allocates nothing.
+     */
+    void
+    releaseActive(Active *a)
+    {
+        auto gl = std::move(a->group_lookups);
+        auto sop = std::move(a->st.shard_op_ns);
+        auto snop = std::move(a->st.shard_net_op_ns);
+        auto lb = std::move(a->live_batches);
+        auto sw = std::move(a->slot_waiters);
+        a->~Active();
+        new (a) Active();
+        gl.clear();
+        sop.clear();
+        snop.clear();
+        lb.clear();
+        sw.clear();
+        a->group_lookups = std::move(gl);
+        a->st.shard_op_ns = std::move(sop);
+        a->st.shard_net_op_ns = std::move(snop);
+        a->live_batches = std::move(lb);
+        a->slot_waiters = std::move(sw);
+        active_pool.release(a);
+    }
+
+    void
+    releaseBatch(BatchState *bt)
+    {
+        auto ops = std::move(bt->ops);
+        bt->~BatchState();
+        new (bt) BatchState();
+        ops.clear();
+        bt->ops = std::move(ops);
+        batch_pool.release(bt);
+    }
+
+    void
+    releaseOp(RpcOp *op)
+    {
+        op->~RpcOp();
+        new (op) RpcOp();
+        op_pool.release(op);
+    }
 
     // -- Injected-fault state (runtime control surface) ----------------------
     //
@@ -506,7 +585,7 @@ struct ServingSimulation::Impl
 
     /** Grant an intra-request batch slot (FIFO). */
     void
-    acquireSlot(Active *a, std::function<void()> fn)
+    acquireSlot(Active *a, sim::EventFn fn)
     {
         if (a->slots_free > 0) {
             --a->slots_free;
@@ -571,9 +650,9 @@ struct ServingSimulation::Impl
     void
     unregisterLive(Active *a)
     {
-        auto it = live_requests.find(a->st.id);
-        if (it != live_requests.end() && it->second == a)
-            live_requests.erase(it);
+        Active **p = live_requests.find(a->st.id);
+        if (p != nullptr && *p == a)
+            live_requests.erase(a->st.id);
     }
 
     /** Drop a request without executing it; stats record the reason. */
@@ -589,12 +668,12 @@ struct ServingSimulation::Impl
         results->push_back(a->st);
         const RequestStats st = a->st;
         auto on_complete = std::move(a->on_complete);
-        delete a;
+        releaseActive(a);
         if (on_complete)
             on_complete(st);
     }
 
-    /** Retire one batch's bookkeeping (ops refs, pending-top, registry). */
+    /** Retire one batch's bookkeeping (ops refs, registry). */
     void
     destroyBatch(BatchState *bt)
     {
@@ -606,10 +685,9 @@ struct ServingSimulation::Impl
         }
         for (RpcOp *op : bt->ops)
             derefOp(op);
-        pending_top_.erase(bt);
         auto &lb = bt->req->live_batches;
         lb.erase(std::remove(lb.begin(), lb.end(), bt), lb.end());
-        delete bt;
+        releaseBatch(bt);
     }
 
     /**
@@ -733,8 +811,8 @@ struct ServingSimulation::Impl
     void
     shedTimerFired(std::uint64_t id, Active *a)
     {
-        auto it = live_requests.find(id);
-        if (it == live_requests.end() || it->second != a)
+        Active **p = live_requests.find(id);
+        if (p == nullptr || *p != a)
             return; // completed or already shed
         if (a->finishing)
             return; // final response serde underway; let it complete
@@ -866,7 +944,7 @@ struct ServingSimulation::Impl
            std::function<void(const RequestStats &)> on_complete,
            sim::SimTime arrival = -1)
     {
-        auto *a = new Active();
+        Active *a = active_pool.acquire();
         a->req = &req;
         a->st.id = req.id;
         a->st.items = req.items;
@@ -905,7 +983,7 @@ struct ServingSimulation::Impl
         // request and cancels its outstanding sparse RPCs if it is still
         // executing when its deadline passes.
         if (shedTimersEnabled()) {
-            live_requests[a->st.id] = a;
+            live_requests.insert(a->st.id, a);
             const sim::Duration delay = std::max<sim::Duration>(
                 0,
                 a->st.arrival + cfg.admission.deadline_ns - engine.now());
@@ -920,7 +998,7 @@ struct ServingSimulation::Impl
             // nothing started, so the Active just evaporates.
             if (a->shed_mid_flight) {
                 main_cores->release();
-                delete a;
+                releaseActive(a);
                 return;
             }
             a->st.queue_wait += engine.now() - q0;
@@ -955,7 +1033,8 @@ struct ServingSimulation::Impl
             engine.schedule(handler + deserde, sim::kEvMainCompute, [this, a] {
                 main_cores->release();
                 if (a->shed_mid_flight) {
-                    delete a; // shed during request deserde; nothing queued
+                    // Shed during request deserde; nothing queued.
+                    releaseActive(a);
                     return;
                 }
                 startNet(a);
@@ -1180,7 +1259,8 @@ struct ServingSimulation::Impl
             }
             engine.schedule(
                 overhead + bottom + send_cpu, sim::kEvMainCompute,
-                [this, a, nip, b, bitems, top, active, sp_batch] {
+                [this, a, nip, b, bitems, top, sp_batch,
+                 active = std::move(active)] {
                     if (a->shed_mid_flight) {
                         // Shed during the dense phase: the fan-out is
                         // never dispatched.
@@ -1192,7 +1272,7 @@ struct ServingSimulation::Impl
                         batchDone(a);
                         return;
                     }
-                    auto *bt = new BatchState();
+                    BatchState *bt = batch_pool.acquire();
                     bt->req = a;
                     bt->net_idx = a->net_idx;
                     bt->batch_id = b;
@@ -1212,21 +1292,18 @@ struct ServingSimulation::Impl
                     // blocks on the wait op, so the intra-request slot is
                     // held until the batch completes (Fig. 3 semantics).
                     main_cores->release();
-                    // Stash the top-dense time on the batch via capture.
+                    // Stash the top-dense time for the merge phase.
                     bt->response_bytes = 0;
-                    pending_top_[bt] = top;
+                    bt->top_dense = top;
                 });
         });
     }
-
-    /** Per-batch stash of top-dense durations. */
-    std::map<BatchState *, sim::Duration> pending_top_;
 
     void
     derefOp(RpcOp *op)
     {
         if (--op->refs == 0)
-            delete op;
+            releaseOp(op);
     }
 
     /**
@@ -1287,7 +1364,7 @@ struct ServingSimulation::Impl
         ++primary_rpcs;
         ++shard_primary_rpcs[static_cast<std::size_t>(g.shard)];
 
-        auto *op = new RpcOp();
+        RpcOp *op = op_pool.acquire();
         op->bt = bt;
         op->request_id = a->st.id;
         op->ni = &ni;
@@ -1379,12 +1456,6 @@ struct ServingSimulation::Impl
     {
         Active *a = op->bt->req;
         const Group &g = op->ni->groups[op->gi];
-        trace::RpcRecord rec;
-        rec.request_id = a->st.id;
-        rec.shard_id = g.shard;
-        rec.net_id = op->ni->net_id;
-        rec.batch_id = op->bt->batch_id;
-        rec.dispatched = engine.now();
 
         // Common random numbers: every stochastic component of an attempt
         // (wire jitter out/back, interference) draws from a stream that is
@@ -1406,7 +1477,6 @@ struct ServingSimulation::Impl
         if (op->retries > 0)
             salt = salt * 0x100000001b3ULL ^
                    static_cast<std::uint64_t>(op->retries + 2);
-        stats::Rng arng = rng.fork(salt);
 
         AttemptExec &ex = op->exec[is_hedge ? 1 : 0];
         if (tr) {
@@ -1417,7 +1487,10 @@ struct ServingSimulation::Impl
         }
 
         // Main<->shard partition: the payload never reaches the shard;
-        // the client's RPC timeout is the only failure signal.
+        // the client's RPC timeout is the only failure signal. Forking
+        // the CRN stream waits until past this early return — fork() is
+        // a pure function of (seed, salt), so deferral leaves every
+        // stream's values intact.
         if (shard_partitioned[static_cast<std::size_t>(g.shard)]) {
             ++fault_stats.partition_drops;
             const int idx = is_hedge ? 1 : 0;
@@ -1426,8 +1499,17 @@ struct ServingSimulation::Impl
             return;
         }
 
+        AttemptCtx *ctx = attempt_pool.acquire();
+        ctx->rec = trace::RpcRecord{};
+        ctx->rec.request_id = a->st.id;
+        ctx->rec.shard_id = g.shard;
+        ctx->rec.net_id = op->ni->net_id;
+        ctx->rec.batch_id = op->bt->batch_id;
+        ctx->rec.dispatched = engine.now();
+        ctx->rng = rng.fork(salt);
+
         const sim::Duration out_delay =
-            link.oneWayDelay(op->req_bytes, arng);
+            link.oneWayDelay(op->req_bytes, ctx->rng);
         span(trace::Layer::Network, g.shard, op->ni->net_id,
              op->bt->batch_id, engine.now(), engine.now() + out_delay,
              a->st.id);
@@ -1435,15 +1517,13 @@ struct ServingSimulation::Impl
             tr->record(a->st.id, obs::SpanKind::WireOut, ex.sp_attempt,
                        engine.now(), engine.now() + out_delay, g.shard,
                        op->ni->net_id, op->bt->batch_id);
-        engine.schedule(out_delay, sim::kEvWire, [this, op, rec, is_hedge,
-                                                  arng] {
-            attemptArrive(op, rec, is_hedge, arng);
+        engine.schedule(out_delay, sim::kEvWire, [this, op, ctx, is_hedge] {
+            attemptArrive(op, ctx, is_hedge);
         });
     }
 
     void
-    attemptArrive(RpcOp *op, trace::RpcRecord rec, bool is_hedge,
-                  stats::Rng arng)
+    attemptArrive(RpcOp *op, AttemptCtx *ctx, bool is_hedge)
     {
         // Race already decided while this attempt was on the wire.
         if (op->won) {
@@ -1454,6 +1534,7 @@ struct ServingSimulation::Impl
                         loseFlags(op));
             if (is_hedge)
                 ++hedge_cancelled;
+            attempt_pool.release(ctx);
             derefOp(op);
             return;
         }
@@ -1475,6 +1556,7 @@ struct ServingSimulation::Impl
         // dropping the RPC (which would silently hang the request).
         if (!resolved) {
             ++fault_stats.resolution_failures;
+            attempt_pool.release(ctx);
             attemptFailed(op, idx);
             return;
         }
@@ -1488,6 +1570,7 @@ struct ServingSimulation::Impl
         if (replica_dead[srv_idx]) {
             ++fault_stats.dead_target_attempts;
             op->exec[idx].server = server; // the retry must avoid it
+            attempt_pool.release(ctx);
             engine.schedule(cfg.faults.rpc_timeout_ns, sim::kEvTimer,
                             [this, op, idx] { attemptFailed(op, idx); });
             return;
@@ -1497,8 +1580,8 @@ struct ServingSimulation::Impl
                                   sparse_cores[srv_idx]->queued() + 1;
         peak_queue[srv_idx] = std::max(peak_queue[srv_idx], depth);
         const sim::SimTime q0 = engine.now();
-        sparse_cores[srv_idx]->acquire([this, op, rec, is_hedge, q0,
-                                        server, arng]() mutable {
+        sparse_cores[srv_idx]->acquire([this, op, ctx, is_hedge, q0,
+                                        server] {
             // Cancelled while queued: the winner returned before this
             // attempt reached a core, so it costs nothing but its slot.
             if (op->won) {
@@ -1506,13 +1589,15 @@ struct ServingSimulation::Impl
                     AttemptExec &ex0 = op->exec[is_hedge ? 1 : 0];
                     tr->record(op->request_id,
                                obs::SpanKind::RemoteQueue, ex0.sp_attempt,
-                               q0, engine.now(), rec.shard_id, rec.net_id,
-                               rec.batch_id, loseFlags(op));
+                               q0, engine.now(), ctx->rec.shard_id,
+                               ctx->rec.net_id, ctx->rec.batch_id,
+                               loseFlags(op));
                     tr->end(ex0.sp_attempt, engine.now(), loseFlags(op));
                 }
                 sparse_cores[static_cast<std::size_t>(server)]->release();
                 if (is_hedge)
                     ++hedge_cancelled;
+                attempt_pool.release(ctx);
                 derefOp(op);
                 return;
             }
@@ -1526,6 +1611,7 @@ struct ServingSimulation::Impl
                 if (replica_dead[sg] || exg.server_gen != replica_gen[sg]) {
                     sparse_cores[sg]->release();
                     ++fault_stats.lost_in_service;
+                    attempt_pool.release(ctx);
                     attemptFailed(op, is_hedge ? 1 : 0);
                     return;
                 }
@@ -1539,12 +1625,13 @@ struct ServingSimulation::Impl
             // host pays it.
             const double interference =
                 cfg.faults.straggler_prob > 0.0 &&
-                        arng.bernoulli(cfg.faults.straggler_prob)
+                        ctx->rng.bernoulli(cfg.faults.straggler_prob)
                     ? cfg.faults.straggler_multiplier
                     : 1.0;
             const double remote_scale =
                 sparseScale() * interference *
                 replica_degrade[static_cast<std::size_t>(server)];
+            trace::RpcRecord &rec = ctx->rec;
             rec.remote_queue_ns = engine.now() - q0;
             rec.remote_service_ns =
                 scaled(service.handlerNs(), remote_scale);
@@ -1612,13 +1699,14 @@ struct ServingSimulation::Impl
                                        op->ni->net_id, op->bt->batch_id);
             }
             engine.schedule(busy, sim::kEvSparseCompute,
-                            [this, op, rec, resp_bytes, busy,
-                             is_hedge, server, arng]() mutable {
+                            [this, op, ctx, resp_bytes, busy,
+                             is_hedge, server] {
                 AttemptExec &self = op->exec[is_hedge ? 1 : 0];
                 self.executing = false;
                 if (self.cancelled) {
                     // The winner aborted this attempt mid-service and
                     // already released the core and settled accounting.
+                    attempt_pool.release(ctx);
                     derefOp(op);
                     return;
                 }
@@ -1634,6 +1722,7 @@ struct ServingSimulation::Impl
                     if (tr)
                         tr->end(self.sp_exec, engine.now(),
                                 obs::kFlagCancelled | obs::kFlagFault);
+                    attempt_pool.release(ctx);
                     if (op->won) {
                         // A sibling already answered; this was duplicate
                         // work and stays accounted as such.
@@ -1670,6 +1759,7 @@ struct ServingSimulation::Impl
                     wasted_busy_ns += static_cast<double>(busy);
                     if (is_hedge)
                         ++hedge_losses;
+                    attempt_pool.release(ctx);
                     derefOp(op);
                     return;
                 }
@@ -1696,23 +1786,24 @@ struct ServingSimulation::Impl
                 const obs::SpanId sp_op = op->sp_op;
                 derefOp(op); // response path only needs the batch
                 const sim::Duration back =
-                    link.oneWayDelay(resp_bytes, arng);
-                span(trace::Layer::Network, rec.shard_id, rec.net_id,
-                     rec.batch_id, engine.now(), engine.now() + back,
-                     bt->req->st.id);
+                    link.oneWayDelay(resp_bytes, ctx->rng);
+                span(trace::Layer::Network, ctx->rec.shard_id,
+                     ctx->rec.net_id, ctx->rec.batch_id, engine.now(),
+                     engine.now() + back, bt->req->st.id);
                 if (tr)
                     tr->record(bt->req->st.id, obs::SpanKind::WireBack,
                                sp_attempt, engine.now(),
-                               engine.now() + back, rec.shard_id,
-                               rec.net_id, rec.batch_id);
+                               engine.now() + back, ctx->rec.shard_id,
+                               ctx->rec.net_id, ctx->rec.batch_id);
                 engine.schedule(back, sim::kEvWire,
-                                [this, bt, resp_bytes, rec, dispatched,
+                                [this, bt, resp_bytes, ctx, dispatched,
                                  ckey, cepoch, sp_attempt, sp_op] {
                     // The tracker sees the client-observed latency of the
                     // *logical* RPC (primary dispatch to winning
                     // response), which is what the next hedge deadline
                     // must be quantile-of.
-                    trackerFor(rec.shard_id).add(engine.now() - dispatched);
+                    trackerFor(ctx->rec.shard_id)
+                        .add(engine.now() - dispatched);
                     if (tr) {
                         // A response landing after a mid-flight shed is
                         // discarded: its spans close as cancelled debris.
@@ -1727,7 +1818,8 @@ struct ServingSimulation::Impl
                     // was pooled from was invalidated while on the wire.
                     result_cache.insert(ckey, resp_bytes, engine.now(),
                                         cepoch);
-                    responseArrive(bt, resp_bytes, rec);
+                    responseArrive(bt, resp_bytes, ctx->rec);
+                    attempt_pool.release(ctx);
                 });
             });
         });
@@ -1818,10 +1910,7 @@ struct ServingSimulation::Impl
             }
             const sim::Duration resp_deserde =
                 scaled(service.serdeNs(bt->response_bytes), mainScale());
-            auto it = pending_top_.find(bt);
-            assert(it != pending_top_.end());
-            const sim::Duration top = it->second;
-            pending_top_.erase(it);
+            const sim::Duration top = bt->top_dense;
             a->st.cpu_serde_ns += static_cast<double>(resp_deserde);
             span(trace::Layer::DenseOp, trace::kMainShard,
                  nets[bt->net_idx].net_id, bt->batch_id, engine.now(),
@@ -1870,7 +1959,7 @@ struct ServingSimulation::Impl
             // emitted at shed time, so the carcass just goes away.
             if (tr)
                 tr->end(a->sp_net, engine.now(), obs::kFlagCancelled);
-            delete a;
+            releaseActive(a);
             return;
         }
         if (tr)
@@ -1947,7 +2036,7 @@ struct ServingSimulation::Impl
         results->push_back(a->st);
         const RequestStats st = a->st;
         auto on_complete = std::move(a->on_complete);
-        delete a;
+        releaseActive(a);
         if (on_complete)
             on_complete(st);
     }

@@ -13,16 +13,6 @@ LinkModel::LinkModel(LinkConfig config)
 }
 
 sim::Duration
-LinkModel::oneWayDelay(std::int64_t bytes, stats::Rng &rng) const
-{
-    const double base = static_cast<double>(config_.base_one_way_ns) *
-                        jitter_.sample(rng);
-    const double wire =
-        static_cast<double>(bytes) / config_.bandwidth_bytes_per_ns;
-    return static_cast<sim::Duration>(std::llround(base + wire));
-}
-
-sim::Duration
 LinkModel::expectedOneWayDelay(std::int64_t bytes) const
 {
     const double wire =

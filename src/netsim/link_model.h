@@ -13,6 +13,7 @@
  */
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 #include "sim/time.h"
@@ -41,8 +42,17 @@ class LinkModel
   public:
     explicit LinkModel(LinkConfig config);
 
-    /** One-way delay for a message of the given size. */
-    sim::Duration oneWayDelay(std::int64_t bytes, stats::Rng &rng) const;
+    /** One-way delay for a message of the given size. Inline: paid
+     *  twice (out and back) by every RPC attempt. */
+    sim::Duration
+    oneWayDelay(std::int64_t bytes, stats::Rng &rng) const
+    {
+        const double base = static_cast<double>(config_.base_one_way_ns) *
+                            jitter_.sample(rng);
+        const double wire =
+            static_cast<double>(bytes) / config_.bandwidth_bytes_per_ns;
+        return static_cast<sim::Duration>(std::llround(base + wire));
+    }
 
     /** Deterministic (jitter-free) delay, for analytical baselines. */
     sim::Duration expectedOneWayDelay(std::int64_t bytes) const;

@@ -7,6 +7,7 @@
  */
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace dri::netsim {
@@ -18,21 +19,39 @@ constexpr std::int64_t kRpcEnvelopeBytes = 512;
  * Bytes of a sparse-lookup *request*: per-lookup 8-byte indices plus
  * per-segment 4-byte lengths for each (table, batch-item) pair.
  */
-std::int64_t sparseRequestBytes(std::int64_t lookups, std::int64_t tables,
-                                std::int64_t batch_items);
+inline std::int64_t
+sparseRequestBytes(std::int64_t lookups, std::int64_t tables,
+                   std::int64_t batch_items)
+{
+    return kRpcEnvelopeBytes + lookups * 8 + tables * batch_items * 4;
+}
 
 /**
  * Bytes of a sparse-lookup *response*: one pooled FP32 vector per
  * (table, batch item).
  */
-std::int64_t sparseResponseBytes(std::int64_t sum_table_dims,
-                                 std::int64_t batch_items);
+inline std::int64_t
+sparseResponseBytes(std::int64_t sum_table_dims, std::int64_t batch_items)
+{
+    return kRpcEnvelopeBytes + sum_table_dims * batch_items * 4;
+}
 
 /** Bytes of a top-level ranking request for the given item count. */
-std::int64_t rankingRequestBytes(double bytes_per_item, std::int64_t items,
-                                 std::int64_t total_lookups);
+inline std::int64_t
+rankingRequestBytes(double bytes_per_item, std::int64_t items,
+                    std::int64_t total_lookups)
+{
+    return kRpcEnvelopeBytes +
+           static_cast<std::int64_t>(
+               std::llround(bytes_per_item * static_cast<double>(items))) +
+           total_lookups * 8;
+}
 
 /** Bytes of a ranking response (one score per item). */
-std::int64_t rankingResponseBytes(std::int64_t items);
+inline std::int64_t
+rankingResponseBytes(std::int64_t items)
+{
+    return kRpcEnvelopeBytes + items * 4;
+}
 
 } // namespace dri::netsim

@@ -58,11 +58,19 @@ RollingWindow::observe(double t_s, double value)
 {
     const std::int64_t p = periodOf(t_s);
     Slot &s = slots_[static_cast<std::size_t>(p % cfg_.buckets)];
-    if (s.period != p) {
-        // Slot belonged to a period one full horizon ago: recycle.
+    if (p > s.period) {
+        // Slot belonged to a period at least one full horizon ago: recycle.
         s.values.clear();
         s.sum = 0.0;
         s.period = p;
+    } else if (p < s.period) {
+        // Out-of-order sample from more than a full horizon before the
+        // data this slot holds (same ring position, older cycle). The old
+        // `s.period != p` recycle test wiped the *live* bucket here and
+        // replaced it with data no query would ever count. Drop the
+        // sample instead and make the loss observable.
+        ++dropped_stale_;
+        return;
     }
     s.values.add(value);
     s.sum += value;
@@ -133,9 +141,14 @@ RollingHistogram::observe(double t_s, std::int64_t value)
 {
     const std::int64_t p = periodOf(t_s);
     Slot &s = slots_[static_cast<std::size_t>(p % cfg_.buckets)];
-    if (s.period != p) {
+    if (p > s.period) {
         s.hist = Histogram(sub_bucket_bits_);
         s.period = p;
+    } else if (p < s.period) {
+        // Same out-of-order hazard as RollingWindow::observe: an older-
+        // cycle sample must not wipe the live bucket sharing its slot.
+        ++dropped_stale_;
+        return;
     }
     s.hist.observe(value);
 }

@@ -43,14 +43,21 @@ struct WindowConfig
 /**
  * Rolling window over a double-valued sample stream: windowed count,
  * arrival rate, mean, and exact quantiles over the last horizon_s
- * seconds. Timestamps must be non-decreasing (the sim clock).
+ * seconds.
+ *
+ * Out-of-order timestamps are tolerated: a late sample whose bucket is
+ * still live lands in that bucket, and a sample more than a full
+ * horizon older than the data its ring slot holds is dropped (counted
+ * in droppedStale()) rather than wiping the live bucket that happens to
+ * share the slot. Completion-time feeds (latency samples stamped with
+ * the *start* of the request) hit both cases routinely.
  */
 class RollingWindow
 {
   public:
     explicit RollingWindow(WindowConfig config = {});
 
-    /** Record one sample at sim-time t_s (seconds, non-decreasing). */
+    /** Record one sample at sim-time t_s (seconds). */
     void observe(double t_s, double value);
 
     /** Samples inside the window as of time t_s. */
@@ -68,6 +75,9 @@ class RollingWindow
      */
     double quantile(double t_s, double q, double empty_value = 0.0) const;
 
+    /** Samples dropped because they arrived over a horizon late. */
+    std::uint64_t droppedStale() const { return dropped_stale_; }
+
     const WindowConfig &config() const { return cfg_; }
 
   private:
@@ -84,6 +94,7 @@ class RollingWindow
     WindowConfig cfg_;
     double bucket_width_s_;
     std::vector<Slot> slots_;
+    std::uint64_t dropped_stale_ = 0;
 };
 
 /**
@@ -113,6 +124,9 @@ class RollingHistogram
     double valueAtQuantile(double t_s, double q,
                            double empty_value = 0.0) const;
 
+    /** Samples dropped because they arrived over a horizon late. */
+    std::uint64_t droppedStale() const { return dropped_stale_; }
+
     const WindowConfig &config() const { return cfg_; }
 
   private:
@@ -130,6 +144,7 @@ class RollingHistogram
     double bucket_width_s_;
     unsigned sub_bucket_bits_;
     std::vector<Slot> slots_;
+    std::uint64_t dropped_stale_ = 0;
 };
 
 } // namespace dri::obs

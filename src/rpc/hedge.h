@@ -120,8 +120,11 @@ struct HedgeStats
 
 /**
  * Sliding-window latency tracker answering quantile queries for the hedge
- * deadline. Keeps the last `window` samples in a ring; quantile queries
- * sort a scratch copy (windows are small, queries are per-dispatch).
+ * deadline. Keeps the last `window` samples in a ring plus a sorted
+ * mirror maintained incrementally on add(), so the per-dispatch quantile
+ * query is a single indexed read instead of a scratch-copy-and-select
+ * over the window. Values are exact nearest-rank order statistics —
+ * identical to what a full sort of the window would return.
  */
 class LatencyTracker
 {
@@ -155,9 +158,8 @@ class LatencyTracker
     std::size_t window_;
     std::size_t next_ = 0; //!< ring write cursor once the window is full
     std::uint64_t observed_ = 0;
-    std::vector<sim::Duration> samples_;
-    /** Scratch buffer reused across quantile queries. */
-    mutable std::vector<sim::Duration> scratch_;
+    std::vector<sim::Duration> samples_; //!< arrival-order ring
+    std::vector<sim::Duration> sorted_;  //!< same multiset, kept sorted
 };
 
 } // namespace dri::rpc

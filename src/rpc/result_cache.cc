@@ -4,33 +4,6 @@
 
 namespace dri::rpc {
 
-std::uint64_t
-resultSignature(std::int64_t batch_items, std::int64_t lookups)
-{
-    // splitmix64 over the packed shape; collisions across distinct
-    // shapes are astronomically unlikely at simulation scales.
-    return stats::mix64(static_cast<std::uint64_t>(batch_items) *
-                            0x9e3779b97f4a7c15ULL ^
-                        static_cast<std::uint64_t>(lookups));
-}
-
-std::uint64_t
-resultSignature(std::int64_t batch_items, std::int64_t lookups,
-                std::uint64_t content_hash, int batch_id)
-{
-    const std::uint64_t shape = resultSignature(batch_items, lookups);
-    if (content_hash == 0)
-        return shape; // no content identity: legacy shape-only keying
-    // Fold the request's content identity and the batch's position in
-    // its wave split into the signature: batch b of two content-equal
-    // requests covers the same item slice (same key), while two distinct
-    // feature vectors of equal shape never alias.
-    return stats::mix64(
-        shape ^ stats::mix64(content_hash +
-                             static_cast<std::uint64_t>(
-                                 static_cast<std::uint32_t>(batch_id))));
-}
-
 ResultCache::ResultCache(ResultCacheConfig config) : config_(config) {}
 
 bool
@@ -39,23 +12,24 @@ ResultCache::lookup(const Key &key, sim::SimTime now)
     if (!config_.enabled)
         return false;
     ++stats_.lookups;
-    auto it = entries_.find(key);
-    if (it == entries_.end()) {
+    const std::uint32_t *slot = entries_.find(key);
+    if (slot == nullptr) {
         ++stats_.misses;
         return false;
     }
+    const std::uint32_t idx = *slot;
     if (config_.ttl_ns > 0 &&
-        now - it->second->inserted > config_.ttl_ns) {
+        now - nodes_[idx].inserted > config_.ttl_ns) {
         // Stale: the embedding snapshot it was pooled from has been
         // refreshed since.
-        erase(it->second);
+        eraseNode(idx);
         ++stats_.expirations;
         ++stats_.misses;
         return false;
     }
-    lru_.splice(lru_.begin(), lru_, it->second);
+    touch(idx);
     ++stats_.hits;
-    stats_.bytes_saved += it->second->bytes;
+    stats_.bytes_saved += nodes_[idx].bytes;
     return true;
 }
 
@@ -70,22 +44,35 @@ ResultCache::insert(const Key &key, std::int64_t response_bytes,
     if (config_.capacity_bytes > 0 &&
         response_bytes > config_.capacity_bytes)
         return; // larger than the whole budget
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    const std::uint32_t *slot = entries_.find(key);
+    if (slot != nullptr) {
         // Refresh in place (a concurrent miss raced this insertion).
-        used_bytes_ += response_bytes - it->second->bytes;
-        it->second->bytes = response_bytes;
-        it->second->inserted = now;
-        lru_.splice(lru_.begin(), lru_, it->second);
+        Node &n = nodes_[*slot];
+        used_bytes_ += response_bytes - n.bytes;
+        n.bytes = response_bytes;
+        n.inserted = now;
+        touch(*slot);
     } else {
-        lru_.push_front(Entry{key, response_bytes, now});
-        entries_[key] = lru_.begin();
+        std::uint32_t idx;
+        if (!free_.empty()) {
+            idx = free_.back();
+            free_.pop_back();
+        } else {
+            idx = static_cast<std::uint32_t>(nodes_.size());
+            nodes_.emplace_back();
+        }
+        Node &n = nodes_[idx];
+        n.key = key;
+        n.bytes = response_bytes;
+        n.inserted = now;
+        pushFront(idx);
+        entries_.insert(key, idx);
         used_bytes_ += response_bytes;
         ++stats_.insertions;
     }
     while (config_.capacity_bytes > 0 &&
-           used_bytes_ > config_.capacity_bytes && !lru_.empty()) {
-        erase(std::prev(lru_.end()));
+           used_bytes_ > config_.capacity_bytes && tail_ != kNil) {
+        eraseNode(tail_);
         ++stats_.evictions;
     }
 }
@@ -97,17 +84,58 @@ ResultCache::invalidate()
         return;
     ++stats_.invalidations;
     ++epoch_;
-    lru_.clear();
+    nodes_.clear();
+    free_.clear();
+    head_ = tail_ = kNil;
     entries_.clear();
     used_bytes_ = 0;
 }
 
 void
-ResultCache::erase(std::list<Entry>::iterator it)
+ResultCache::unlink(std::uint32_t idx)
 {
-    used_bytes_ -= it->bytes;
-    entries_.erase(it->key);
-    lru_.erase(it);
+    Node &n = nodes_[idx];
+    if (n.prev != kNil)
+        nodes_[n.prev].next = n.next;
+    else
+        head_ = n.next;
+    if (n.next != kNil)
+        nodes_[n.next].prev = n.prev;
+    else
+        tail_ = n.prev;
+    n.prev = kNil;
+    n.next = kNil;
+}
+
+void
+ResultCache::pushFront(std::uint32_t idx)
+{
+    Node &n = nodes_[idx];
+    n.prev = kNil;
+    n.next = head_;
+    if (head_ != kNil)
+        nodes_[head_].prev = idx;
+    head_ = idx;
+    if (tail_ == kNil)
+        tail_ = idx;
+}
+
+void
+ResultCache::touch(std::uint32_t idx)
+{
+    if (head_ == idx)
+        return;
+    unlink(idx);
+    pushFront(idx);
+}
+
+void
+ResultCache::eraseNode(std::uint32_t idx)
+{
+    used_bytes_ -= nodes_[idx].bytes;
+    entries_.erase(nodes_[idx].key);
+    unlink(idx);
+    free_.push_back(idx);
 }
 
 } // namespace dri::rpc

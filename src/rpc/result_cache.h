@@ -23,10 +23,10 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/time.h"
+#include "stats/flat_hash.h"
 #include "stats/hash.h"
 
 namespace dri::rpc {
@@ -73,8 +73,15 @@ struct ResultCacheStats
  * signatures at the same (net, group) produce the same pooled response
  * under a fixed embedding snapshot, which is what the TTL bounds.
  */
-std::uint64_t resultSignature(std::int64_t batch_items,
-                              std::int64_t lookups);
+inline std::uint64_t
+resultSignature(std::int64_t batch_items, std::int64_t lookups)
+{
+    // splitmix64 over the packed shape; collisions across distinct
+    // shapes are astronomically unlikely at simulation scales.
+    return stats::mix64(static_cast<std::uint64_t>(batch_items) *
+                            0x9e3779b97f4a7c15ULL ^
+                        static_cast<std::uint64_t>(lookups));
+}
 
 /**
  * Content-addressed signature: the shape signature folded with the
@@ -86,9 +93,22 @@ std::uint64_t resultSignature(std::int64_t batch_items,
  * shape-only signature, preserving the pre-content-addressing sharing
  * semantics.
  */
-std::uint64_t resultSignature(std::int64_t batch_items,
-                              std::int64_t lookups,
-                              std::uint64_t content_hash, int batch_id);
+inline std::uint64_t
+resultSignature(std::int64_t batch_items, std::int64_t lookups,
+                std::uint64_t content_hash, int batch_id)
+{
+    const std::uint64_t shape = resultSignature(batch_items, lookups);
+    if (content_hash == 0)
+        return shape; // no content identity: legacy shape-only keying
+    // Fold the request's content identity and the batch's position in
+    // its wave split into the signature: batch b of two content-equal
+    // requests covers the same item slice (same key), while two distinct
+    // feature vectors of equal shape never alias.
+    return stats::mix64(
+        shape ^ stats::mix64(content_hash +
+                             static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(batch_id))));
+}
 
 /** LRU + TTL cache of pooled sparse responses, keyed per (net, group). */
 class ResultCache
@@ -107,6 +127,32 @@ class ResultCache
         {
             return net == o.net && group == o.group &&
                    signature == o.signature;
+        }
+    };
+
+    /**
+     * Hash over all three key fields via mix64 chaining. An earlier
+     * shift-packing scheme (`signature ^ (net << 40) ^ (group << 20)`)
+     * collided structurally before any mixing happened: group occupied
+     * bits 20..51 and net bits 40..63, so e.g. (net=1, group=0) and
+     * (net=0, group=2^20) XOR-packed to the same word for every
+     * signature, and group ids with bit 20+k set aliased net bit k.
+     * Chaining each field through a full finalizer round leaves no
+     * algebraic relation between key fields and hash collisions.
+     */
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            std::uint64_t h = stats::mix64(k.signature);
+            h = stats::mix64(
+                h ^ (static_cast<std::uint64_t>(
+                         static_cast<std::uint32_t>(k.net)) |
+                     (static_cast<std::uint64_t>(
+                          static_cast<std::uint32_t>(k.group))
+                      << 32)));
+            return static_cast<std::size_t>(h);
         }
     };
 
@@ -143,37 +189,36 @@ class ResultCache
     std::int64_t usedBytes() const { return used_bytes_; }
 
   private:
-    struct KeyHash
-    {
-        std::size_t
-        operator()(const Key &k) const
-        {
-            const std::uint64_t x =
-                k.signature ^
-                (static_cast<std::uint64_t>(
-                     static_cast<std::uint32_t>(k.net))
-                 << 40) ^
-                (static_cast<std::uint64_t>(
-                     static_cast<std::uint32_t>(k.group))
-                 << 20);
-            return static_cast<std::size_t>(stats::mix64(x));
-        }
-    };
+    static constexpr std::uint32_t kNil = 0xffffffffu;
 
-    struct Entry
+    /**
+     * One cached entry, doubly linked into the recency list by arena
+     * index. Indices stay valid across arena growth (unlike pointers or
+     * std::list iterators would across a vector reallocation), and
+     * recycling through free_ means steady-state insert/evict churn
+     * allocates nothing.
+     */
+    struct Node
     {
         Key key;
         std::int64_t bytes = 0;
         sim::SimTime inserted = 0;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
     };
 
-    void erase(std::list<Entry>::iterator it);
+    void unlink(std::uint32_t idx);
+    void pushFront(std::uint32_t idx);
+    void touch(std::uint32_t idx);
+    void eraseNode(std::uint32_t idx);
 
     ResultCacheConfig config_;
     ResultCacheStats stats_;
-    /** front = most recently used. */
-    std::list<Entry> lru_;
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries_;
+    std::vector<Node> nodes_;          //!< entry arena, recycled via free_
+    std::vector<std::uint32_t> free_;  //!< indices of vacated arena slots
+    std::uint32_t head_ = kNil;        //!< most recently used
+    std::uint32_t tail_ = kNil;        //!< least recently used
+    stats::FlatHashMap<Key, std::uint32_t, KeyHash> entries_;
     std::int64_t used_bytes_ = 0;
     std::uint64_t epoch_ = 0;
 };

@@ -11,6 +11,7 @@
  */
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 #include "sim/time.h"
@@ -39,13 +40,23 @@ class ServiceCostModel
     explicit ServiceCostModel(ServiceConfig config) : config_(config) {}
 
     /** CPU to (de)serialize a payload of the given size. */
-    sim::Duration serdeNs(std::int64_t bytes) const;
+    sim::Duration
+    serdeNs(std::int64_t bytes) const
+    {
+        return static_cast<sim::Duration>(std::llround(
+            config_.serde_ns_per_byte * static_cast<double>(bytes)));
+    }
 
     /** Fixed per-request handler CPU. */
     sim::Duration handlerNs() const { return config_.handler_fixed_ns; }
 
     /** Framework overhead for executing a net with the given async ops. */
-    sim::Duration netOverheadNs(std::int64_t async_ops) const;
+    sim::Duration
+    netOverheadNs(std::int64_t async_ops) const
+    {
+        return config_.net_overhead_ns +
+               async_ops * config_.async_op_overhead_ns;
+    }
 
     /** Client-side CPU for dispatching one RPC. */
     sim::Duration clientDispatchNs() const

@@ -3,8 +3,22 @@
  * Minimal deterministic discrete-event engine.
  *
  * The serving substrate (servers, links, RPC services) is modelled as events
- * on a single priority queue. Ties are broken by insertion order, so a given
- * seed always produces the identical schedule regardless of host platform.
+ * on a single queue. Ties are broken by insertion order, so a given seed
+ * always produces the identical schedule regardless of host platform.
+ *
+ * Performance shape: callbacks live in a pooled slot arena (fixed-size
+ * records on stable blocks, intrusive free list) with small-buffer storage
+ * (InlineFn), and the ready order is kept in a 4-ary min-heap of POD
+ * {when, seq, slot} entries indexing into the arena (half the sift depth
+ * of a binary heap, and the four children of a node share two cache
+ * lines). Steady-state scheduling therefore performs zero heap
+ * allocations: pushing an event is a slot pop + in-place callable
+ * construction + a heap sift over 24-byte entries, and dispatch never
+ * moves a callable (slots are invoked in place). Captures larger than the
+ * inline buffer fall back to the heap and are counted in
+ * EngineProfile::heap_callbacks so the zero-alloc contract stays
+ * observable. The (when, seq) comparator is a strict total order, so the
+ * dispatch sequence is independent of heap arity or layout.
  *
  * The engine carries lightweight profiling hooks for the simulator's own
  * performance (not the simulated system's): every event carries a subsystem
@@ -17,17 +31,23 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_fn.h"
 #include "sim/time.h"
 
 namespace dri::sim {
 
-/** Callback invoked when an event fires. */
-using EventFn = std::function<void()>;
+/**
+ * Callback invoked when an event fires. The inline capacity covers every
+ * closure the serving hot path schedules (pooled pointers, ids, a few
+ * scalars); anything larger heap-allocates once and is counted.
+ */
+using EventFn = InlineFn<120>;
 
 /**
  * Subsystem tag attached to every scheduled event, for profiling
@@ -58,6 +78,8 @@ struct EngineProfile
     std::int64_t wall_ns = 0;       //!< host time inside callbacks (profiling on)
     std::array<std::uint64_t, kEvTagCount> tag_events{};
     std::array<std::int64_t, kEvTagCount> tag_wall_ns{};
+    std::uint64_t heap_callbacks = 0; //!< captures too big for the inline buffer
+    std::uint64_t arena_blocks = 0;   //!< slot blocks ever allocated
 };
 
 /**
@@ -79,20 +101,62 @@ class Engine
     SimTime now() const { return now_; }
 
     /** Schedule fn to fire after the given (non-negative) delay. */
-    void schedule(Duration delay, EventFn fn)
+    template <class F>
+    void
+    schedule(Duration delay, F &&fn)
     {
-        schedule(delay, kEvUntagged, std::move(fn));
+        schedule(delay, kEvUntagged, std::forward<F>(fn));
     }
 
     /** Schedule fn at an absolute time >= now(). */
-    void scheduleAt(SimTime when, EventFn fn)
+    template <class F>
+    void
+    scheduleAt(SimTime when, F &&fn)
     {
-        scheduleAt(when, kEvUntagged, std::move(fn));
+        scheduleAt(when, kEvUntagged, std::forward<F>(fn));
     }
 
     /** Tagged variants: attribute the event to a subsystem. */
-    void schedule(Duration delay, EventTag tag, EventFn fn);
-    void scheduleAt(SimTime when, EventTag tag, EventFn fn);
+    template <class F>
+    void
+    schedule(Duration delay, EventTag tag, F &&fn)
+    {
+        assert(delay >= 0);
+        scheduleAt(now_ + delay, tag, std::forward<F>(fn));
+    }
+
+    /**
+     * Construct the callable directly inside a pooled slot — the hot path.
+     */
+    template <class F>
+    void
+    scheduleAt(SimTime when, EventTag tag, F &&fn)
+    {
+        const std::uint32_t slot = allocSlot();
+        if (!slotAt(slot).fn.emplace(std::forward<F>(fn)))
+            ++heap_callbacks_;
+        pushEntry(when, tag, slot);
+    }
+
+    /**
+     * Exact-match overloads for an already-built EventFn (e.g. a resource
+     * waiter popped from its queue): relocate the payload into the slot
+     * instead of nesting one InlineFn inside another.
+     */
+    void
+    schedule(Duration delay, EventTag tag, EventFn &&fn)
+    {
+        assert(delay >= 0);
+        scheduleAt(now_ + delay, tag, std::move(fn));
+    }
+
+    void
+    scheduleAt(SimTime when, EventTag tag, EventFn &&fn)
+    {
+        const std::uint32_t slot = allocSlot();
+        slotAt(slot).fn = std::move(fn);
+        pushEntry(when, tag, slot);
+    }
 
     /** Run until the event queue is empty. Returns events executed. */
     std::size_t run();
@@ -104,50 +168,118 @@ class Engine
     std::size_t runUntil(SimTime horizon);
 
     /** Events currently pending. */
-    std::size_t pending() const { return queue_.size(); }
+    std::size_t pending() const { return heap_.size(); }
 
     /** Total events executed since construction. */
     std::uint64_t executed() const { return executed_; }
 
     /**
      * Enable per-callback wall-clock timing. Off by default because a
-     * steady_clock read per event is measurable overhead; counters
+     * clock read per event is measurable overhead; counters
      * (scheduled/executed/per-tag/peak-pending) are maintained either
-     * way.
+     * way. On x86 the per-event timestamps are TSC reads converted with
+     * a rate calibrated here (one ~100us spin, outside any timed
+     * region); elsewhere they fall back to steady_clock.
      */
-    void enableProfiling(bool on) { profiling_ = on; }
+    void enableProfiling(bool on);
     bool profilingEnabled() const { return profiling_; }
 
-    const EngineProfile &profile() const { return profile_; }
+    /**
+     * Snapshot of the self-profile. Built on demand: the dispatch loop
+     * accumulates raw ticks and the scheduled/executed counters live in
+     * their own fields, so reading the profile (cold) pays the tick ->
+     * ns conversion instead of every event (hot).
+     */
+    EngineProfile profile() const;
 
   private:
-    struct Event
+    /**
+     * Ready-order entry. POD on purpose: heap sifts move 24 bytes and
+     * never touch the callable, so comparator and payload can't interact
+     * (the old priority_queue moved whole closures and had to const_cast
+     * around top()).
+     */
+    struct Entry
     {
         SimTime when;
         std::uint64_t seq; //!< Insertion order; breaks timestamp ties.
+        std::uint32_t slot;
         std::uint8_t tag;
-        EventFn fn;
     };
 
-    struct Later
+    /** Pooled event record; blocks are stable so invocation is in place. */
+    struct Slot
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        EventFn fn;
+        std::uint32_t next_free = kNoSlot;
     };
 
-    void dispatch(Event &ev);
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+    static constexpr std::size_t kSlotsPerBlock = 256;
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    static bool
+    earlier(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    Slot &
+    slotAt(std::uint32_t idx)
+    {
+        return blocks_[idx / kSlotsPerBlock][idx % kSlotsPerBlock];
+    }
+
+    std::uint32_t
+    allocSlot()
+    {
+        if (free_head_ == kNoSlot)
+            growArena();
+        const std::uint32_t idx = free_head_;
+        free_head_ = slotAt(idx).next_free;
+        return idx;
+    }
+
+    void
+    freeSlot(std::uint32_t idx)
+    {
+        slotAt(idx).next_free = free_head_;
+        free_head_ = idx;
+    }
+
+    void
+    pushEntry(SimTime when, EventTag tag, std::uint32_t slot)
+    {
+        assert(when >= now_);
+        assert(tag < kEvTagCount);
+        heap_.push_back(Entry{when, next_seq_++, slot,
+                              static_cast<std::uint8_t>(tag)});
+        siftUp(heap_.size() - 1);
+        if (heap_.size() > peak_pending_)
+            peak_pending_ = heap_.size();
+    }
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    Entry popEntry();
+    void growArena();
+    void dispatch(const Entry &ev);
+    static std::uint64_t profileTicks();
+
+    std::vector<Entry> heap_;
+    std::vector<std::unique_ptr<Slot[]>> blocks_;
+    std::uint32_t free_head_ = kNoSlot;
     SimTime now_ = 0;
-    std::uint64_t next_seq_ = 0;
+    std::uint64_t next_seq_ = 0; //!< also the count of events ever scheduled
     std::uint64_t executed_ = 0;
+    std::size_t peak_pending_ = 0;
     bool profiling_ = false;
-    EngineProfile profile_;
+    double tick_ns_ = 0.0; //!< profiling tick -> ns rate (0 = uncalibrated)
+    std::array<std::uint64_t, kEvTagCount> tag_events_{};
+    std::array<std::uint64_t, kEvTagCount> tag_wall_ticks_{};
+    std::uint64_t heap_callbacks_ = 0;
+    std::uint64_t arena_blocks_ = 0;
 };
 
 } // namespace dri::sim

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Small-buffer callable storage for the event hot path.
+ *
+ * std::function heap-allocates any capture list bigger than two words,
+ * which on the simulator's hot path means one malloc/free pair per
+ * scheduled event and per queued resource grant. InlineFn<Cap> stores
+ * the callable inline (up to Cap bytes) and only falls back to the heap
+ * for oversized captures — every fallback is counted, so the zero-
+ * steady-state-allocation contract in sim_perf_test can assert the cap
+ * actually covers the serving engine's closures.
+ *
+ * Move-only, like the closures it carries (pooled pointers, span ids,
+ * Rng handles). Invocation is a single indirect call through a static
+ * ops table; relocation (deque/engine-slot moves) goes through the same
+ * table so non-trivially-movable captures stay correct.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dri::sim {
+
+namespace detail {
+
+/** Process-wide count of InlineFn heap fallbacks (relaxed; hot paths
+ *  never take it — only captures bigger than the inline cap do). */
+inline std::atomic<std::uint64_t> &
+inlineFnHeapAllocs()
+{
+    static std::atomic<std::uint64_t> n{0};
+    return n;
+}
+
+} // namespace detail
+
+/** Total heap-fallback constructions since process start. */
+inline std::uint64_t
+inlineFnHeapAllocations()
+{
+    return detail::inlineFnHeapAllocs().load(std::memory_order_relaxed);
+}
+
+template <std::size_t Cap>
+class InlineFn
+{
+  public:
+    InlineFn() = default;
+
+    template <class F,
+              class = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFn>>>
+    InlineFn(F &&f)
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    InlineFn(InlineFn &&o) noexcept { moveFrom(o); }
+
+    InlineFn &
+    operator=(InlineFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn &) = delete;
+    InlineFn &operator=(const InlineFn &) = delete;
+
+    ~InlineFn() { reset(); }
+
+    /**
+     * Install a callable, destroying any current one. Returns true when
+     * the capture fit the inline buffer (false = counted heap fallback).
+     */
+    template <class F>
+    bool
+    emplace(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        reset();
+        if constexpr (sizeof(Fn) <= Cap &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            new (buf_) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>();
+            return true;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) = new Fn(std::forward<F>(f));
+            ops_ = &heapOps<Fn>();
+            detail::inlineFnHeapAllocs().fetch_add(
+                1, std::memory_order_relaxed);
+            return false;
+        }
+    }
+
+    void
+    operator()()
+    {
+        ops_->invoke(buf_);
+    }
+
+    /**
+     * Invoke, then destroy, through a single generated function — one
+     * indirect call instead of two. The event dispatch loop is
+     * megamorphic (a different closure type nearly every event), so each
+     * indirect call here is a likely branch mispredict; fusing the pair
+     * halves that cost on the hottest loop in the simulator.
+     */
+    void
+    invokeAndReset()
+    {
+        const Ops *ops = ops_;
+        ops_ = nullptr;
+        ops->invoke_destroy(buf_);
+    }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*destroy)(void *);
+        void (*relocate)(void *dst, void *src);
+        void (*invoke_destroy)(void *);
+    };
+
+    template <class Fn>
+    static const Ops &
+    inlineOps()
+    {
+        static const Ops ops = {
+            [](void *p) { (*static_cast<Fn *>(p))(); },
+            [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+            [](void *dst, void *src) {
+                Fn *s = static_cast<Fn *>(src);
+                new (dst) Fn(std::move(*s));
+                s->~Fn();
+            },
+            [](void *p) {
+                Fn *f = static_cast<Fn *>(p);
+                (*f)();
+                f->~Fn();
+            },
+        };
+        return ops;
+    }
+
+    template <class Fn>
+    static const Ops &
+    heapOps()
+    {
+        static const Ops ops = {
+            [](void *p) { (**static_cast<Fn **>(p))(); },
+            [](void *p) { delete *static_cast<Fn **>(p); },
+            [](void *dst, void *src) {
+                *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+            },
+            [](void *p) {
+                Fn *f = *static_cast<Fn **>(p);
+                (*f)();
+                delete f;
+            },
+        };
+        return ops;
+    }
+
+    void
+    moveFrom(InlineFn &o) noexcept
+    {
+        ops_ = o.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(buf_, o.buf_);
+            o.ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[Cap];
+};
+
+} // namespace dri::sim

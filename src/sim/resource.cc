@@ -11,53 +11,6 @@ Resource::Resource(Engine &engine, std::size_t capacity, std::string name)
     assert(capacity > 0);
 }
 
-void
-Resource::accountTo(SimTime now) const
-{
-    busy_integral_ += static_cast<double>(in_use_) *
-                      static_cast<double>(now - last_change_);
-    last_change_ = now;
-}
-
-void
-Resource::acquire(Grant cb)
-{
-    if (in_use_ < capacity_) {
-        accountTo(engine_.now());
-        ++in_use_;
-        cb();
-    } else {
-        waiters_.push_back(std::move(cb));
-    }
-}
-
-void
-Resource::acquireFront(Grant cb)
-{
-    if (in_use_ < capacity_) {
-        accountTo(engine_.now());
-        ++in_use_;
-        cb();
-    } else {
-        waiters_.push_front(std::move(cb));
-    }
-}
-
-void
-Resource::release()
-{
-    assert(in_use_ > 0);
-    accountTo(engine_.now());
-    if (waiters_.empty()) {
-        --in_use_;
-        return;
-    }
-    // Hand the unit directly to the oldest waiter; in_use_ stays constant.
-    Grant next = std::move(waiters_.front());
-    waiters_.pop_front();
-    engine_.schedule(0, kEvGrant, std::move(next));
-}
-
 double
 Resource::busyIntegral() const
 {

@@ -7,10 +7,11 @@
  */
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <deque>
-#include <functional>
 #include <string>
+#include <utility>
 
 #include "sim/engine.h"
 
@@ -26,22 +27,61 @@ namespace dri::sim {
 class Resource
 {
   public:
-    using Grant = std::function<void()>;
+    /**
+     * Grant callbacks share the engine's small-buffer event type, so a
+     * queued waiter moves straight into a pooled event slot on release()
+     * instead of being re-wrapped (and possibly re-heap-allocated).
+     */
+    using Grant = EventFn;
 
     Resource(Engine &engine, std::size_t capacity, std::string name = "");
 
     /** Request a unit; cb runs (now or later) once granted. */
-    void acquire(Grant cb);
+    void
+    acquire(Grant cb)
+    {
+        if (in_use_ < capacity_) {
+            accountTo(engine_.now());
+            ++in_use_;
+            cb();
+        } else {
+            waiters_.push_back(std::move(cb));
+        }
+    }
 
     /**
      * Request a unit at the head of the wait queue. Used for continuations
      * (e.g. RPC response processing) that real services run at IO priority
      * rather than behind newly admitted work.
      */
-    void acquireFront(Grant cb);
+    void
+    acquireFront(Grant cb)
+    {
+        if (in_use_ < capacity_) {
+            accountTo(engine_.now());
+            ++in_use_;
+            cb();
+        } else {
+            waiters_.push_front(std::move(cb));
+        }
+    }
 
     /** Return a unit previously granted. */
-    void release();
+    void
+    release()
+    {
+        assert(in_use_ > 0);
+        accountTo(engine_.now());
+        if (waiters_.empty()) {
+            --in_use_;
+            return;
+        }
+        // Hand the unit directly to the oldest waiter; in_use_ stays
+        // constant.
+        Grant next = std::move(waiters_.front());
+        waiters_.pop_front();
+        engine_.schedule(0, kEvGrant, std::move(next));
+    }
 
     std::size_t capacity() const { return capacity_; }
     std::size_t inUse() const { return in_use_; }
@@ -65,7 +105,13 @@ class Resource
     mutable SimTime last_change_ = 0;
     mutable double busy_integral_ = 0.0;
 
-    void accountTo(SimTime now) const;
+    void
+    accountTo(SimTime now) const
+    {
+        busy_integral_ += static_cast<double>(in_use_) *
+                          static_cast<double>(now - last_change_);
+        last_change_ = now;
+    }
 };
 
 } // namespace dri::sim

@@ -12,14 +12,6 @@ LognormalSampler::LognormalSampler(double median, double sigma)
 }
 
 double
-LognormalSampler::sample(Rng &rng) const
-{
-    if (sigma_ == 0.0)
-        return median_;
-    return std::exp(mu_ + sigma_ * rng.gaussian());
-}
-
-double
 LognormalSampler::mean() const
 {
     return std::exp(mu_ + 0.5 * sigma_ * sigma_);

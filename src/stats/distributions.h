@@ -10,6 +10,7 @@
  */
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -27,7 +28,14 @@ class LognormalSampler
   public:
     LognormalSampler(double median, double sigma);
 
-    double sample(Rng &rng) const;
+    /** Inline: every simulated wire hop pays one of these. */
+    double
+    sample(Rng &rng) const
+    {
+        if (sigma_ == 0.0)
+            return median_;
+        return std::exp(mu_ + sigma_ * rng.gaussian());
+    }
 
     /** Analytic mean: exp(mu + sigma^2 / 2). */
     double mean() const;

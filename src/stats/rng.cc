@@ -1,59 +1,15 @@
 #include "stats/rng.h"
 
+#include <random>
+
 namespace dri::stats {
-
-double
-Rng::uniform()
-{
-    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return std::uniform_real_distribution<double>(lo, hi)(engine_);
-}
 
 std::int64_t
 Rng::uniformInt(std::int64_t lo, std::int64_t hi)
 {
+    // Rejection-sampled range scaling; cold path, so the std::
+    // distribution object is fine here.
     return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
-}
-
-double
-Rng::gaussian()
-{
-    return std::normal_distribution<double>(0.0, 1.0)(engine_);
-}
-
-double
-Rng::gaussian(double mean, double stddev)
-{
-    return std::normal_distribution<double>(mean, stddev)(engine_);
-}
-
-double
-Rng::exponential(double rate)
-{
-    return std::exponential_distribution<double>(rate)(engine_);
-}
-
-bool
-Rng::bernoulli(double p)
-{
-    return std::bernoulli_distribution(p)(engine_);
-}
-
-Rng
-Rng::fork(std::uint64_t salt) const
-{
-    // SplitMix64-style mix of (seed, salt) gives well-separated child seeds
-    // without consuming draws from the parent stream.
-    std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * (salt + 1);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    z = z ^ (z >> 31);
-    return Rng(z);
 }
 
 } // namespace dri::stats

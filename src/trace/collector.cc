@@ -4,20 +4,6 @@
 
 namespace dri::trace {
 
-void
-TraceCollector::addSpan(const Span &span)
-{
-    ++span_count_;
-    if (retain_spans_)
-        spans_.push_back(span);
-}
-
-void
-TraceCollector::addRpc(const RpcRecord &record)
-{
-    rpcs_.push_back(record);
-}
-
 std::vector<Span>
 TraceCollector::spansForRequest(std::uint64_t request_id) const
 {

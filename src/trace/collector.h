@@ -25,8 +25,21 @@ class TraceCollector
     {
     }
 
-    void addSpan(const Span &span);
-    void addRpc(const RpcRecord &record);
+    /**
+     * Inline on purpose: the serving engine emits a span per wire hop
+     * and per sparse execution, and with retention off (the default for
+     * figure-level runs) the whole call must fold down to one counter
+     * increment at the call site.
+     */
+    void
+    addSpan(const Span &span)
+    {
+        ++span_count_;
+        if (retain_spans_)
+            spans_.push_back(span);
+    }
+
+    void addRpc(const RpcRecord &record) { rpcs_.push_back(record); }
 
     bool retainsSpans() const { return retain_spans_; }
 

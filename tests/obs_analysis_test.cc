@@ -86,6 +86,35 @@ TEST(RollingWindow, EmptyWindowReturnsTheEmptyValue)
     EXPECT_DOUBLE_EQ(w.quantile(100.0, 0.5, -1.0), -1.0);
 }
 
+// Oracle regression: an out-of-order sample from an *older ring cycle*
+// of the same slot must not wipe the live bucket. Before the fix the
+// recycle test was `s.period != p`, so the stale observe() below reset
+// the slot to the old period — destroying the live sample AND parking
+// the stale one where no query would ever count it (count dropped from
+// 1 to 0, mean from 5 to 0).
+TEST(RollingWindow, StaleObservationDoesNotWipeTheLiveBucket)
+{
+    obs::RollingWindow w({/*horizon_s=*/10.0, /*buckets=*/5});
+    w.observe(21.0, 5.0); // period 10, slot 0 — live as of t=21
+    w.observe(1.0, 100.0); // period 0: same slot, two cycles stale
+    EXPECT_EQ(w.count(21.0), 1u);
+    EXPECT_DOUBLE_EQ(w.mean(21.0), 5.0);
+    EXPECT_EQ(w.droppedStale(), 1u);
+}
+
+// A late sample whose own bucket is still inside the horizon is kept:
+// only over-a-horizon stragglers are dropped.
+TEST(RollingWindow, LateSampleWithinTheHorizonLandsInItsOwnBucket)
+{
+    obs::RollingWindow w({10.0, 5});
+    w.observe(21.0, 5.0); // period 10
+    w.observe(19.0, 7.0); // period 9: late, but its bucket is live
+    w.observe(20.5, 6.0); // period 10 again: same live bucket
+    EXPECT_EQ(w.count(21.0), 3u);
+    EXPECT_DOUBLE_EQ(w.mean(21.0), 6.0);
+    EXPECT_EQ(w.droppedStale(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // RollingHistogram.
 // ---------------------------------------------------------------------------
@@ -107,6 +136,20 @@ TEST(RollingHistogram, WindowedQuantileTracksTheLiveBuckets)
     // Empty window reports the sentinel.
     EXPECT_DOUBLE_EQ(h.valueAtQuantile(1000.0, 0.99, -1.0), -1.0);
     EXPECT_EQ(h.merged(11.5).count(), 100u);
+}
+
+// Same out-of-order oracle as the RollingWindow regression test, for
+// the histogram representation.
+TEST(RollingHistogram, StaleObservationDoesNotWipeTheLiveBucket)
+{
+    obs::RollingHistogram h({10.0, 5}, /*sub_bucket_bits=*/5);
+    h.observe(21.0, 2000); // period 10, slot 0
+    h.observe(1.0, 9999);  // period 0: same slot, two cycles stale
+    EXPECT_EQ(h.count(21.0), 1u);
+    EXPECT_EQ(h.droppedStale(), 1u);
+    h.observe(19.0, 3000); // period 9: late but live — kept
+    EXPECT_EQ(h.count(21.0), 2u);
+    EXPECT_EQ(h.droppedStale(), 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
+
 #include "core/analysis.h"
 #include "core/serving.h"
 #include "core/strategies.h"
@@ -119,6 +122,37 @@ TEST(ResultCache, StaleEpochInsertIsDropped)
     // A post-refresh dispatch inserts normally.
     cache.insert(k, 1000, 7, cache.epoch());
     EXPECT_TRUE(cache.lookup(k, 8));
+}
+
+/**
+ * Regression for the KeyHash shift-packing bug. The old hash was
+ * `signature ^ (net << 40) ^ (group << 20)`: group occupied bits
+ * 20..51 and net bits 40..63 BEFORE any mixing, so whole families of
+ * distinct keys collided algebraically — for every signature. The
+ * replacement chains each field through a full mix64 finalizer; these
+ * are the exact families that used to collide.
+ */
+TEST(ResultCacheKeyHash, OldShiftPackingCollisionFamiliesNowSeparate)
+{
+    const rpc::ResultCache::KeyHash h;
+    const std::uint64_t sig = rpc::resultSignature(64, 128);
+
+    // (net=1, group=0) vs (net=0, group=2^20): 1<<40 == (2^20)<<20.
+    EXPECT_NE(h({1, 0, sig}), h({0, 1 << 20, sig}));
+    // net bit k aliased group bit 20+k in general.
+    EXPECT_NE(h({2, 0, sig}), h({0, 2 << 20, sig}));
+    EXPECT_NE(h({3, 5, sig}), h({0, (3 << 20) | 5, sig}));
+    // Signature bits 40+ aliased net, and bits 20+ aliased group.
+    EXPECT_NE(h({1, 7, sig}), h({0, 7, sig ^ (1ULL << 40)}));
+    EXPECT_NE(h({0, 1, sig}), h({0, 0, sig ^ (1ULL << 20)}));
+
+    // Bulk structure check: a dense (net, group) grid at one signature
+    // hashes all-distinct (the packing made grid diagonals alias).
+    std::set<std::size_t> seen;
+    for (int net = 0; net < 64; ++net)
+        for (int group = 0; group < 64; ++group)
+            seen.insert(h({net, group, sig}));
+    EXPECT_EQ(seen.size(), 64u * 64u);
 }
 
 TEST(ResultCache, SignatureSeparatesShapes)

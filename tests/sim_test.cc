@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "sim/engine.h"
@@ -42,6 +44,81 @@ TEST(Engine, TieBrokenByInsertionOrder)
     e.run();
     for (int i = 0; i < 10; ++i)
         EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+/** One schedule-time record for the dispatch-order oracle. */
+struct SchedRecord
+{
+    SimTime when;
+    int id; //!< insertion number (monotone with the engine's seq)
+};
+
+/**
+ * A randomly self-multiplying event for the order property: each firing
+ * records (now, id) and schedules up to two more events at small random
+ * delays — including zero, so timestamp ties between already-queued
+ * events and events scheduled mid-dispatch are common.
+ */
+struct RandomEvent
+{
+    Engine *e;
+    std::vector<SchedRecord> *records;
+    std::vector<SchedRecord> *dispatched;
+    int id;
+    int *budget;
+    std::uint64_t *rng;
+
+    void
+    operator()() const
+    {
+        dispatched->push_back({e->now(), id});
+        for (int k = 0; k < 2 && *budget > 0; ++k) {
+            --*budget;
+            *rng = *rng * 6364136223846793005ULL + 1442695040888963407ULL;
+            const Duration delay = static_cast<Duration>((*rng >> 33) % 4);
+            const int nid = static_cast<int>(records->size());
+            records->push_back({e->now() + delay, nid});
+            e->schedule(delay, RandomEvent{e, records, dispatched, nid,
+                                           budget, rng});
+        }
+    }
+};
+
+/**
+ * Property: the dispatch sequence is EXACTLY the schedule records
+ * sorted by (when, insertion order) — the strict total order that makes
+ * the queue's internal layout (arity, bucketing, arena) unobservable.
+ * This is the oracle that licensed swapping the std::function-based
+ * priority_queue for the indexed pooled-arena heap.
+ */
+TEST(Engine, DispatchOrderIsTimeThenInsertionUnderRandomSelfScheduling)
+{
+    Engine e;
+    std::vector<SchedRecord> records;
+    std::vector<SchedRecord> dispatched;
+    int budget = 5000;
+    std::uint64_t rng = 0x5eedu;
+
+    for (int i = 0; i < 64; ++i) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        const Duration delay = static_cast<Duration>((rng >> 33) % 4);
+        const int id = static_cast<int>(records.size());
+        records.push_back({delay, id});
+        e.schedule(delay, RandomEvent{&e, &records, &dispatched, id,
+                                      &budget, &rng});
+    }
+    e.run();
+
+    ASSERT_EQ(dispatched.size(), records.size());
+    std::vector<SchedRecord> expected = records;
+    std::sort(expected.begin(), expected.end(),
+              [](const SchedRecord &a, const SchedRecord &b) {
+                  return a.when != b.when ? a.when < b.when : a.id < b.id;
+              });
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(dispatched[i].when, expected[i].when) << i;
+        ASSERT_EQ(dispatched[i].id, expected[i].id) << i;
+    }
 }
 
 TEST(Engine, CallbackMaySchedule)
