@@ -11,7 +11,17 @@
  *                         [--skip-machine-dependent] \
  *                         [--throughput-tolerance 0.75] \
  *                         [--value-tolerance 2e-5] \
- *                         [--check-wall-clock]
+ *                         [--check-wall-clock] \
+ *                         [--explain] [--explain-out <file>]
+ *
+ * `--explain` runs differential critical-path attribution (obs/diff.h)
+ * over every row pair whenever the gate FAILS: if the artifact carries
+ * `path_<bucket>_ns` attribution fields, the report says which stage
+ * (Queue/Compute/Serde/Network/Wait) moved, by how much per request,
+ * and which exemplar request pair to diff — the difference between
+ * "e2e_p99 regressed 8%" and "serde is 78% of the shift; compare
+ * request 236 against request 118". `--explain-out` additionally
+ * writes the report (or a pass note) to a file for CI artifact upload.
  *
  * Exit codes: 0 gate passed, 1 violations found, 2 usage/IO error.
  *
@@ -22,9 +32,12 @@
  * then commit the diff alongside the change that caused it.
  */
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "obs/diff.h"
 #include "obs/regression_gate.h"
 
 namespace {
@@ -37,8 +50,33 @@ usage(const char *argv0)
         << " --baseline <file.jsonl> --current <file.jsonl>\n"
         << "          [--skip-machine-dependent] [--check-wall-clock]\n"
         << "          [--throughput-tolerance <t>] "
-           "[--value-tolerance <t>]\n";
+           "[--value-tolerance <t>]\n"
+        << "          [--explain] [--explain-out <file>]\n";
     return 2;
+}
+
+/** Attribution over every row pair; empty string if no row has any. */
+std::string
+explainFailure(const std::vector<dri::obs::ArtifactRow> &baseline,
+               const std::vector<dri::obs::ArtifactRow> &current)
+{
+    std::ostringstream os;
+    bool any = false;
+    const std::size_t rows = std::min(baseline.size(), current.size());
+    for (std::size_t r = 0; r < rows; ++r) {
+        const auto report =
+            dri::obs::explainArtifacts(baseline[r], current[r]);
+        if (!report.has_attribution)
+            continue;
+        any = true;
+        os << "row " << r << " ";
+        dri::obs::writeAttributionReport(os, report);
+    }
+    if (!any)
+        return "attribution: no path_<bucket>_ns fields in the artifact "
+               "(only benches that trace critical paths can explain "
+               "their regressions)\n";
+    return os.str();
 }
 
 } // namespace
@@ -48,6 +86,8 @@ main(int argc, char **argv)
 {
     std::string baseline_path;
     std::string current_path;
+    std::string explain_out;
+    bool explain = false;
     dri::obs::GateConfig cfg;
 
     for (int i = 1; i < argc; ++i) {
@@ -79,6 +119,14 @@ main(int argc, char **argv)
             if (v == nullptr)
                 return usage(argv[0]);
             cfg.value_tolerance = std::atof(v);
+        } else if (arg == "--explain") {
+            explain = true;
+        } else if (arg == "--explain-out") {
+            const char *v = next();
+            if (v == nullptr)
+                return usage(argv[0]);
+            explain_out = v;
+            explain = true;
         } else {
             std::cerr << "unknown argument: " << arg << "\n";
             return usage(argv[0]);
@@ -95,6 +143,27 @@ main(int argc, char **argv)
             dri::obs::compareArtifacts(baseline, current, cfg);
         dri::obs::writeReport(std::cout, report, baseline_path,
                               current_path);
+
+        std::string attribution;
+        if (explain && !report.pass()) {
+            attribution = explainFailure(baseline, current);
+            std::cout << attribution;
+        }
+        if (!explain_out.empty()) {
+            std::ofstream out(explain_out);
+            if (!out) {
+                std::cerr << "bench_regression_gate: cannot write "
+                          << explain_out << "\n";
+                return 2;
+            }
+            if (report.pass())
+                out << "gate passed: " << current_path << " vs "
+                    << baseline_path << " ("
+                    << report.metrics_compared
+                    << " metrics compared); no attribution needed\n";
+            else
+                out << attribution;
+        }
         return report.pass() ? 0 : 1;
     } catch (const std::exception &e) {
         std::cerr << "bench_regression_gate: " << e.what() << "\n";

@@ -32,7 +32,10 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "obs/critical_path.h"
+#include "obs/sampler.h"
 #include "obs/span_tracer.h"
+#include "obs/timeseries.h"
 #include "sched/capacity_search.h"
 #include "stats/table_printer.h"
 
@@ -86,13 +89,14 @@ fingerprint(const std::vector<core::RequestStats> &stats)
 }
 
 core::ServingConfig
-benchConfig(obs::SpanTracer *tracer)
+benchConfig(obs::SpanTracer *tracer, obs::RollingHistogram *feed = nullptr)
 {
     auto cfg = sched::hedgeStudyConfig(
         rpc::LoadBalancePolicy::LeastOutstanding, 3, /*hedged=*/true);
     cfg.result_cache.enabled = true;
     cfg.result_cache.ttl_ns = 50 * sim::kMillisecond;
     cfg.tracer = tracer;
+    cfg.latency_feed = feed;
     return cfg;
 }
 
@@ -106,9 +110,9 @@ struct RunResult
 RunResult
 runOnce(const model::ModelSpec &spec, const core::ShardingPlan &plan,
         const std::vector<workload::Request> &requests,
-        obs::SpanTracer *tracer)
+        obs::SpanTracer *tracer, obs::RollingHistogram *feed = nullptr)
 {
-    core::ServingSimulation sim(spec, plan, benchConfig(tracer));
+    core::ServingSimulation sim(spec, plan, benchConfig(tracer, feed));
     sim.engine().enableProfiling(true);
     const auto t0 = std::chrono::steady_clock::now();
     const auto stats = sim.replayOpenLoop(requests, 1500.0);
@@ -155,6 +159,31 @@ main(int argc, char **argv)
     obs::SpanTracer tracer;
     const auto traced = runOnce(spec, plan, requests, &tracer);
 
+    // Sampled run: tracer + tail sampler + rolling latency feed. One
+    // huge window bucket makes the tail threshold a running quantile
+    // over the whole replay and keeps every exemplar queryable at the
+    // end. The sampled fingerprint must STILL equal the untraced one —
+    // the observation-purity contract now covers retention too.
+    obs::SpanTracer sampled_tracer;
+    obs::SamplerConfig sampler_cfg;
+    sampler_cfg.reservoir_size = 16;
+    sampler_cfg.retained_byte_budget = 512u << 10;
+    obs::TraceSampler sampler(sampler_cfg);
+    sampled_tracer.setSampler(&sampler);
+    obs::WindowConfig feed_cfg;
+    feed_cfg.horizon_s = 1e6;
+    obs::RollingHistogram feed(feed_cfg);
+    feed.setExemplarCapacity(2);
+    sampler.setLatencyFeed(&feed);
+    const auto sampled =
+        runOnce(spec, plan, requests, &sampled_tracer, &feed);
+
+    // Per-request mean critical-path attribution from the traced run —
+    // the path_<bucket>_ns artifact fields the regression gate's
+    // --explain mode diffs to blame a stage.
+    const auto paths = obs::criticalPaths(tracer.spans());
+    const auto path_profile = obs::profilePaths(paths);
+
     const auto &prof = base.profile;
     const double events_per_sec =
         base.wall_s > 0.0 ? static_cast<double>(prof.executed) / base.wall_s
@@ -172,7 +201,34 @@ main(int argc, char **argv)
         .field("traced_spans",
                static_cast<std::uint64_t>(tracer.spans().size()))
         .field("tracer_allocations", tracer.allocations())
-        .field("disabled_tracer_allocations", disabled.allocations());
+        .field("disabled_tracer_allocations", disabled.allocations())
+        .field("sampled_wall_s", sampled.wall_s)
+        .field("sampler_retained_traces",
+               static_cast<std::uint64_t>(sampler.retained().size()))
+        .field("sampler_retained_bytes",
+               static_cast<std::uint64_t>(sampler.retainedBytes()))
+        .field("sampler_recycled", sampler.stats().recycled)
+        .field("sampler_arena_slots",
+               static_cast<std::uint64_t>(sampler.arenaSlots()));
+    for (std::size_t b = 0; b < obs::kPathBucketCount; ++b) {
+        const auto bucket = static_cast<obs::PathBucket>(b);
+        const double mean_ns =
+            path_profile.requests > 0
+                ? static_cast<double>(path_profile.bucket_ns[b]) /
+                      static_cast<double>(path_profile.requests)
+                : 0.0;
+        row.field(std::string("path_") + obs::pathBucketName(bucket) +
+                      "_ns",
+                  mean_ns);
+    }
+    const obs::Histogram feed_hist = feed.merged(0.0);
+    if (const obs::Exemplar *tail = feed_hist.tailExemplar()) {
+        row.field("tail_exemplar_request", tail->request_id)
+            .field("tail_exemplar_value",
+                   static_cast<std::int64_t>(tail->value))
+            .field("tail_exemplar_retained",
+                   static_cast<std::uint64_t>(tail->retained ? 1 : 0));
+    }
     for (std::size_t t = 0; t < sim::kEvTagCount; ++t) {
         const auto tag = static_cast<sim::EventTag>(t);
         row.field(std::string("events_") + sim::eventTagName(tag),
@@ -230,6 +286,32 @@ main(int argc, char **argv)
     if (base.stats_fingerprint != traced.stats_fingerprint) {
         std::cout << "SELF-CHECK FAIL: tracing perturbed RequestStats "
                      "(fingerprints differ)\n";
+        ok = false;
+    }
+    if (base.stats_fingerprint != sampled.stats_fingerprint) {
+        std::cout << "SELF-CHECK FAIL: trace sampling perturbed "
+                     "RequestStats (fingerprints differ)\n";
+        ok = false;
+    }
+    if (sampler.retained().empty()) {
+        std::cout << "SELF-CHECK FAIL: sampler retained no traces\n";
+        ok = false;
+    }
+    if (sampler.retainedBytes() > sampler_cfg.retained_byte_budget) {
+        std::cout << "SELF-CHECK FAIL: retained bytes "
+                  << sampler.retainedBytes() << " exceed the budget "
+                  << sampler_cfg.retained_byte_budget << "\n";
+        ok = false;
+    }
+    if (sampler.arenaSlots() >= n_requests / 2) {
+        std::cout << "SELF-CHECK FAIL: sampler arena grew to "
+                  << sampler.arenaSlots() << " slots over " << n_requests
+                  << " requests — trees are not being recycled\n";
+        ok = false;
+    }
+    if (path_profile.requests == 0) {
+        std::cout << "SELF-CHECK FAIL: no critical paths extracted from "
+                     "the traced run\n";
         ok = false;
     }
 

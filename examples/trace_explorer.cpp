@@ -31,7 +31,9 @@
 #include "fleet/study.h"
 #include "obs/chrome_trace.h"
 #include "obs/critical_path.h"
+#include "obs/sampler.h"
 #include "obs/span_tracer.h"
+#include "obs/timeseries.h"
 #include "stats/table_printer.h"
 #include "workload/diurnal.h"
 
@@ -169,6 +171,55 @@ main()
               << trace_path
               << "\n(load it at https://ui.perfetto.dev or "
                  "chrome://tracing; rows are pid=shard, tid=request)\n\n";
+
+    // ---- Sampled pass: the same replay with tail-based retention, so
+    // the exported "retained" trace shows what a bounded-memory
+    // production deployment would actually keep (tail + flagged +
+    // reservoir). Purity: the sampled run's stats must match.
+    obs::SpanTracer sampled_tracer;
+    obs::SamplerConfig sampler_cfg;
+    sampler_cfg.reservoir_size = 12;
+    obs::TraceSampler sampler(sampler_cfg);
+    sampled_tracer.setSampler(&sampler);
+    obs::WindowConfig feed_cfg;
+    feed_cfg.horizon_s = 1e6; // whole replay in one rolling window
+    obs::RollingHistogram feed(feed_cfg);
+    sampler.setLatencyFeed(&feed);
+    auto sampled_serving = study.serving;
+    sampled_serving.tracer = &sampled_tracer;
+    sampled_serving.latency_feed = &feed;
+    core::ServingSimulation sampled_sim(study.spec, study.plan,
+                                        sampled_serving);
+    const auto sampled_stats = sampled_sim.replayOpenLoop(requests, qps);
+    bool sampled_identical = sampled_stats.size() == stats.size();
+    for (std::size_t i = 0; sampled_identical && i < stats.size(); ++i)
+        sampled_identical = sampled_stats[i].e2e == stats[i].e2e &&
+                            sampled_stats[i].completion ==
+                                stats[i].completion;
+    check(sampled_identical,
+          "trace sampling leaves the replay byte-identical");
+    check(sampler.retainedBytes() <=
+              sampler.config().retained_byte_budget,
+          "retained trace bytes stay under the sampler budget");
+
+    const std::string retained_path = "trace_explorer.retained.json";
+    const std::string retained_json =
+        obs::chromeTraceJson(sampler.flattenedSpans());
+    {
+        std::ofstream out(retained_path);
+        out << retained_json;
+    }
+    check(!retained_json.empty() && retained_json.front() == '[',
+          "retained trace export is a JSON array");
+    const obs::SamplerStats &ss = sampler.stats();
+    std::cout << "sampled pass: " << ss.roots_closed
+              << " roots closed -> " << sampler.retained().size()
+              << " retained (" << ss.kept_flagged << " flagged, "
+              << ss.kept_tail << " tail, " << ss.kept_reservoir
+              << " reservoir), " << ss.recycled << " recycled through "
+              << sampler.arenaSlots() << " arena slots; wrote "
+              << retained_json.size() << " bytes to " << retained_path
+              << "\n\n";
 
     if (!g_all_pass) {
         std::cout << "FAIL: one or more trace-explorer checks failed.\n";

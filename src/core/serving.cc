@@ -2010,13 +2010,28 @@ struct ServingSimulation::Impl
     finalize(Active *a)
     {
         unregisterLive(a);
-        if (tr)
-            tr->end(a->sp_root, engine.now());
+        // Root end carries the hedge-win flag so the sampler's flag
+        // trigger can keep hedge-win traces; the feed observe comes
+        // AFTER the root end (and thus after the sampler's decision),
+        // so the rolling tail threshold never includes the request
+        // being judged, and the exemplar can record whether that
+        // request's trace was actually retained.
+        if (tr) {
+            tr->end(a->sp_root, engine.now(),
+                    a->st.hedge_wins > 0
+                        ? static_cast<std::uint8_t>(obs::kFlagHedge)
+                        : static_cast<std::uint8_t>(obs::kFlagNone));
+        }
         a->st.completion = engine.now();
         a->st.e2e = a->st.completion - a->st.arrival;
-        if (cfg.latency_feed != nullptr)
+        if (cfg.latency_feed != nullptr) {
+            const bool kept =
+                tr != nullptr && tr->lastRootDecision() ==
+                                     obs::SpanTracer::RootDecision::Kept;
             cfg.latency_feed->observe(
-                static_cast<double>(a->st.completion) * 1e-9, a->st.e2e);
+                static_cast<double>(a->st.completion) * 1e-9, a->st.e2e,
+                a->st.id, kept);
+        }
         const sim::Duration accounted =
             a->st.queue_wait + a->st.lat_serde + a->st.lat_service +
             a->st.lat_net_overhead + a->st.lat_embedded;

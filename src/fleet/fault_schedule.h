@@ -118,6 +118,16 @@ struct ScenarioOutcome
     int recovery_epochs = -1;
     /** Requests shed during the active window. */
     std::int64_t shed_requests = 0;
+    /**
+     * Blast epoch (the active-window epoch with minimum attainment) and
+     * the retained-trace request ids the trace sampler kept there —
+     * the scorecard's link from "this scenario hurt" to concrete span
+     * trees. Populated only when FleetSim trace sampling is enabled;
+     * deliberately EXCLUDED from telemetry fingerprints so enabling
+     * sampling stays observation-pure.
+     */
+    int exemplar_epoch = -1;
+    std::vector<std::uint64_t> exemplar_requests;
 };
 
 /** Deterministic fault script a FleetSim applies per epoch. */

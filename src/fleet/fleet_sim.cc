@@ -295,11 +295,15 @@ FleetSim::runSegment(const std::vector<int> &replicas,
                      bool invalidate_result_cache,
                      const std::vector<int> &prev_replicas,
                      bool degrade_caches, std::uint64_t seed_salt,
-                     const FaultPlan *faults)
+                     const FaultPlan *faults, TraceHooks trace)
 {
     core::ServingConfig cfg = base_;
     cfg.sparse_replicas_per_shard = replicas;
     cfg.seed = stats::mix64(base_.seed ^ seed_salt);
+    // Pure observers: the tracer never draws simulation RNG and the
+    // feed only reads completions, so wiring them cannot change stats.
+    cfg.tracer = trace.tracer;
+    cfg.latency_feed = trace.feed;
 
     if (degrade_caches && !base_.shard_cache_models.empty()) {
         // Cold-replica warmup ramp: a shard that grew from r to r'
@@ -577,6 +581,35 @@ FleetSim::run(Autoscaler &policy)
         const std::uint64_t salt =
             0xe70c0ULL + static_cast<std::uint64_t>(e) * 8;
 
+        // Per-epoch bounded trace retention: fresh tracer + sampler
+        // (epoch-mixed seed) so retained sets are attributable to an
+        // epoch and arena memory never outlives one. The rolling
+        // latency feed is created per SEGMENT (each segment's sim
+        // clock restarts at 0) and re-wired into the sampler.
+        const auto &ts = cfg_.trace_sampling;
+        obs::SpanTracer epoch_tracer(true);
+        std::unique_ptr<obs::TraceSampler> sampler;
+        std::uint64_t epoch_dropped_stale = 0;
+        if (ts.enabled) {
+            obs::SamplerConfig sc;
+            sc.seed = stats::mix64(ts.seed ^
+                                   (static_cast<std::uint64_t>(e) + 1));
+            sc.reservoir_size = ts.reservoir_size;
+            sc.tail_quantile = ts.tail_quantile;
+            sc.retained_byte_budget = ts.per_epoch_byte_budget;
+            sampler = std::make_unique<obs::TraceSampler>(sc);
+            epoch_tracer.setSampler(sampler.get());
+        }
+        const auto segmentHooks = [&](obs::RollingHistogram &feed) {
+            TraceHooks hooks;
+            if (sampler) {
+                sampler->setLatencyFeed(&feed);
+                hooks.tracer = &epoch_tracer;
+                hooks.feed = &feed;
+            }
+            return hooks;
+        };
+
         std::vector<core::RequestStats> all_stats;
         std::vector<core::RequestStats> steady_stats;
         double watt_hours = 0.0;
@@ -634,10 +667,13 @@ FleetSim::run(Autoscaler &policy)
             double booting = 0.0;
             for (std::size_t s = 0; s < shards; ++s)
                 booting += std::max(0, vec[s] - prev[s]);
+            obs::RollingHistogram seg_feed;
             const auto seg =
                 runSegment(prev, slice(0, lag_n), qps, prev_tail,
                            /*invalidate=*/storm, prev,
-                           /*degrade=*/false, salt + 0, plan);
+                           /*degrade=*/false, salt + 0, plan,
+                           segmentHooks(seg_feed));
+            epoch_dropped_stale += seg_feed.droppedStale();
             accountSegment(seg, prev, lag_n, /*steady=*/false, booting);
             last_seg = seg;
         }
@@ -647,10 +683,13 @@ FleetSim::run(Autoscaler &policy)
             // resharding invalidation — so there is nothing to prewarm
             // (replaying carry-over traffic only to invalidate it would
             // be pure wasted simulation).
+            obs::RollingHistogram seg_feed;
             const auto seg = runSegment(
                 vec, slice(lag_n, std::min(n, lag_n + cold_n)), qps,
                 /*prewarm=*/{}, /*invalidate=*/true, prev,
-                /*degrade=*/true, salt + 1, plan);
+                /*degrade=*/true, salt + 1, plan,
+                segmentHooks(seg_feed));
+            epoch_dropped_stale += seg_feed.droppedStale();
             accountSegment(seg, vec,
                            std::min(n, lag_n + cold_n) - lag_n,
                            /*steady=*/false, 0.0);
@@ -670,10 +709,13 @@ FleetSim::run(Autoscaler &policy)
                 prewarm = prev_tail;
             }
             fp.apply_fresh_kills = true; // crash onsets land here
+            obs::RollingHistogram seg_feed;
             const auto seg =
                 runSegment(vec, slice(lo, n), qps, prewarm,
                            /*invalidate=*/storm, prev,
-                           /*degrade=*/false, salt + 2, plan);
+                           /*degrade=*/false, salt + 2, plan,
+                           segmentHooks(seg_feed));
+            epoch_dropped_stale += seg_feed.droppedStale();
             accountSegment(seg, vec, n - lo, /*steady=*/true, 0.0);
             last_seg = seg;
         }
@@ -829,6 +871,47 @@ FleetSim::run(Autoscaler &policy)
             ledger.telemetry.epochs.push_back(trow);
         }
 
+        // Summarize the epoch's trace retention into the telemetry
+        // side-ledger (fingerprint-excluded). Exemplars: the highest
+        // keep class first, slowest first within a class — the traces
+        // an investigation should open first.
+        if (sampler) {
+            EpochTraceSummary tsum;
+            tsum.epoch = e;
+            const obs::SamplerStats &ss = sampler->stats();
+            tsum.roots_closed = ss.roots_closed;
+            tsum.retained = sampler->retained().size();
+            tsum.retained_bytes = sampler->retainedBytes();
+            tsum.kept_flagged = ss.kept_flagged;
+            tsum.kept_tail = ss.kept_tail;
+            tsum.kept_reservoir = ss.kept_reservoir;
+            tsum.recycled = ss.recycled;
+            tsum.dropped_stale = epoch_dropped_stale;
+            std::vector<const obs::RetainedTrace *> ranked;
+            ranked.reserve(sampler->retained().size());
+            for (const obs::RetainedTrace &t : sampler->retained())
+                ranked.push_back(&t);
+            std::sort(ranked.begin(), ranked.end(),
+                      [](const obs::RetainedTrace *a,
+                         const obs::RetainedTrace *b) {
+                          if (a->keep_class != b->keep_class)
+                              return a->keep_class > b->keep_class;
+                          if (a->e2e != b->e2e)
+                              return a->e2e > b->e2e;
+                          return a->request_id < b->request_id;
+                      });
+            for (const obs::RetainedTrace *t : ranked) {
+                if (tsum.exemplars.size() >= ts.scenario_exemplars)
+                    break;
+                EpochTraceSummary::Exemplar ex;
+                ex.request_id = t->request_id;
+                ex.keep_class = t->keep_class;
+                ex.e2e = t->e2e;
+                tsum.exemplars.push_back(ex);
+            }
+            ledger.telemetry.traces.push_back(std::move(tsum));
+        }
+
         // Per-epoch metrics time-series: gauges mirror the ledger row,
         // counters accumulate across epochs, one snapshot per epoch at
         // the epoch's end time. Pure observer of `rec` — nothing here
@@ -888,6 +971,25 @@ FleetSim::run(Autoscaler &policy)
                 alert_transitions_counted =
                     ledger.telemetry.alerts.size();
             }
+            // Trace-retention mirror (sampling runs only — registering
+            // these keys unconditionally would change the snapshot
+            // schema of existing sampling-free runs). dropped_stale
+            // surfaces the rolling windows' silent straggler drops.
+            if (sampler) {
+                const EpochTraceSummary &tsum =
+                    ledger.telemetry.traces.back();
+                m.counter("obs.trace.roots")
+                    .inc(static_cast<std::int64_t>(tsum.roots_closed));
+                m.counter("obs.trace.retained")
+                    .inc(static_cast<std::int64_t>(tsum.retained));
+                m.counter("obs.trace.recycled")
+                    .inc(static_cast<std::int64_t>(tsum.recycled));
+                m.gauge("obs.trace.retained_bytes")
+                    .set(static_cast<double>(tsum.retained_bytes));
+                m.counter("obs.timeseries.dropped_stale")
+                    .inc(static_cast<std::int64_t>(
+                        tsum.dropped_stale));
+            }
             m.takeSnapshot(static_cast<double>(e + 1) *
                            cfg_.epoch_duration_s);
         }
@@ -923,12 +1025,26 @@ FleetSim::run(Autoscaler &policy)
             o.end_epoch = std::min(ev.end_epoch, cfg_.epochs);
             for (int f = ev.start_epoch; f < o.end_epoch; ++f) {
                 const auto fi = static_cast<std::size_t>(f);
-                o.min_attainment =
-                    std::min(o.min_attainment, epoch_attainment[fi]);
+                if (epoch_attainment[fi] <= o.min_attainment) {
+                    o.min_attainment = epoch_attainment[fi];
+                    o.exemplar_epoch = f; // blast epoch: worst epoch
+                }
                 o.blast_radius = std::max(o.blast_radius,
                                           1.0 - epoch_attainment[fi]);
                 o.shed_requests += ledger.epochs[fi].shed_requests;
             }
+            // Attach the blast epoch's retained exemplar traces so the
+            // scorecard links straight to span trees (sampling only;
+            // fingerprint-excluded fields).
+            if (o.exemplar_epoch >= 0 &&
+                static_cast<std::size_t>(o.exemplar_epoch) <
+                    ledger.telemetry.traces.size())
+                for (const auto &ex :
+                     ledger.telemetry
+                         .traces[static_cast<std::size_t>(
+                             o.exemplar_epoch)]
+                         .exemplars)
+                    o.exemplar_requests.push_back(ex.request_id);
             o.within_declared_bound =
                 o.blast_radius <= ev.declared_blast_radius;
             // Recovery: epochs from onset until the burn clock reads

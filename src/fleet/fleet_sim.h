@@ -50,7 +50,9 @@
 #include "model/model_spec.h"
 #include "obs/detect.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/slo_monitor.h"
+#include "obs/span_tracer.h"
 #include "sched/capacity_search.h"
 #include "workload/diurnal.h"
 
@@ -155,6 +157,30 @@ struct FleetConfig
      * timeout paths rather than starting the epoch already dead.
      */
     double crash_at_fraction = 0.25;
+
+    /**
+     * Bounded per-epoch trace retention via obs::TraceSampler. When
+     * enabled, every epoch runs with a fresh span tracer + sampler
+     * (seed mixed with the epoch index) and a per-segment rolling
+     * latency feed driving the tail threshold; the epoch's retained
+     * traces are summarized into TelemetryLedger::traces and blast-
+     * epoch exemplar request ids are attached to chaos scorecards.
+     * Observation-pure by construction: the sampler draws only its
+     * private RNG, so ledger AND telemetry fingerprints are identical
+     * with sampling on or off (asserted by fleet tests).
+     */
+    struct TraceSamplingConfig
+    {
+        bool enabled = false;
+        /** Retained-trace byte budget per epoch. */
+        std::size_t per_epoch_byte_budget = 256u << 10;
+        double tail_quantile = 0.99;
+        std::size_t reservoir_size = 8;
+        std::uint64_t seed = 0x7ace5eed;
+        /** Max exemplar request ids per epoch summary / scorecard. */
+        std::size_t scenario_exemplars = 4;
+    };
+    TraceSamplingConfig trace_sampling;
 };
 
 /** One epoch's ledger row. */
@@ -215,6 +241,30 @@ struct EpochTelemetry
     int alerts_firing = 0;
 };
 
+/** One epoch's trace-retention summary (sampling enabled only). */
+struct EpochTraceSummary
+{
+    int epoch = 0;
+    std::uint64_t roots_closed = 0;
+    std::uint64_t retained = 0;
+    std::uint64_t retained_bytes = 0;
+    std::uint64_t kept_flagged = 0;
+    std::uint64_t kept_tail = 0;
+    std::uint64_t kept_reservoir = 0;
+    std::uint64_t recycled = 0;
+    std::uint64_t dropped_stale = 0; //!< feed samples over a horizon late
+
+    /** One retained trace worth pointing an investigation at. */
+    struct Exemplar
+    {
+        std::uint64_t request_id = 0;
+        obs::KeepClass keep_class = obs::KeepClass::Recycled;
+        sim::Duration e2e = 0;
+    };
+    /** Highest-priority retained traces (class desc, then e2e desc). */
+    std::vector<Exemplar> exemplars;
+};
+
 /** The telemetry side-ledger a monitored fleet run produces. */
 struct TelemetryLedger
 {
@@ -231,6 +281,12 @@ struct TelemetryLedger
      * are unchanged from before the fault layer existed.
      */
     std::vector<ScenarioOutcome> scenarios;
+    /**
+     * Per-epoch trace-retention summaries (one per epoch when
+     * FleetConfig::trace_sampling is enabled, else empty). EXCLUDED
+     * from fingerprint(): sampling must be fingerprint-invisible.
+     */
+    std::vector<EpochTraceSummary> traces;
 
     int alertCount(obs::AlertTransition t) const;
 
@@ -290,13 +346,22 @@ class FleetSim
     struct SegmentResult;
     struct FaultPlan;
 
+    /** Per-segment tracing hooks (null members when sampling is off). */
+    struct TraceHooks
+    {
+        obs::SpanTracer *tracer = nullptr;
+        /** Fresh per segment: each segment's sim clock restarts at 0. */
+        obs::RollingHistogram *feed = nullptr;
+    };
+
     SegmentResult
     runSegment(const std::vector<int> &replicas,
                const std::vector<workload::Request> &slice, double qps,
                const std::vector<workload::Request> &prewarm,
                bool invalidate_result_cache,
                const std::vector<int> &prev_replicas, bool degrade_caches,
-               std::uint64_t seed_salt, const FaultPlan *faults);
+               std::uint64_t seed_salt, const FaultPlan *faults,
+               TraceHooks trace);
 
     model::ModelSpec spec_;
     core::ShardingPlan plan_;

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 namespace dri::obs {
 
@@ -75,6 +76,36 @@ writeChromeTrace(std::ostream &os, const std::vector<SpanRecord> &spans)
            << ",\"net\":" << s.net << ",\"batch\":" << s.batch << ",";
         writeFlags(os, s.flags);
         os << "}}";
+    }
+
+    // Perfetto flow events tying each hedge backup attempt to the
+    // primary attempt it raced: a flow-start ("s") anchored on the
+    // primary and an enclosing flow-finish ("f","bp":"e") anchored on
+    // the backup, with the backup's span id as the flow id. Without
+    // these the race is only reconstructable by eye from flags.
+    std::unordered_map<SpanId, std::size_t> primary_of; // RpcOp id -> idx
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const SpanRecord &s = spans[i];
+        if (s.kind == SpanKind::RpcAttempt && (s.flags & kFlagHedge) == 0)
+            primary_of.emplace(s.parent, i);
+    }
+    for (const SpanRecord &s : spans) {
+        if (s.kind != SpanKind::RpcAttempt || (s.flags & kFlagHedge) == 0 ||
+            s.open())
+            continue;
+        const auto it = primary_of.find(s.parent);
+        if (it == primary_of.end())
+            continue;
+        const SpanRecord &primary = spans[it->second];
+        os << ",\n{\"ph\":\"s\",\"id\":" << s.id
+           << ",\"cat\":\"hedge\",\"name\":\"hedge-race\",\"pid\":"
+           << pidOf(primary) << ",\"tid\":" << primary.request_id
+           << ",\"ts\":" << static_cast<double>(primary.begin) / 1000.0
+           << "}";
+        os << ",\n{\"ph\":\"f\",\"bp\":\"e\",\"id\":" << s.id
+           << ",\"cat\":\"hedge\",\"name\":\"hedge-race\",\"pid\":"
+           << pidOf(s) << ",\"tid\":" << s.request_id
+           << ",\"ts\":" << static_cast<double>(s.begin) / 1000.0 << "}";
     }
     os << "]\n";
 }

@@ -1,0 +1,258 @@
+#include "obs/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace dri::obs {
+
+const StageCell *
+StageTable::find(PathBucket bucket, std::int16_t shard) const
+{
+    for (const StageCell &c : cells)
+        if (c.bucket == bucket && c.shard == shard)
+            return &c;
+    return nullptr;
+}
+
+StageTable
+buildStageTable(const std::vector<CriticalPath> &paths)
+{
+    StageTable table;
+    for (const CriticalPath &p : paths) {
+        ++table.requests;
+        table.total_ns += p.total;
+        for (const PathSegment &seg : p.segments) {
+            StageCell *cell = nullptr;
+            for (StageCell &c : table.cells)
+                if (c.bucket == seg.bucket && c.shard == seg.shard) {
+                    cell = &c;
+                    break;
+                }
+            if (cell == nullptr) {
+                StageCell fresh;
+                fresh.bucket = seg.bucket;
+                fresh.shard = seg.shard;
+                table.cells.push_back(fresh);
+                cell = &table.cells.back();
+            }
+            cell->total_ns += seg.duration();
+            ++cell->segments;
+        }
+    }
+    std::sort(table.cells.begin(), table.cells.end(),
+              [](const StageCell &a, const StageCell &b) {
+                  if (a.bucket != b.bucket)
+                      return a.bucket < b.bucket;
+                  return a.shard < b.shard;
+              });
+    return table;
+}
+
+namespace {
+
+double
+perRequest(sim::Duration total, std::uint64_t requests)
+{
+    return requests > 0 ? static_cast<double>(total) /
+                              static_cast<double>(requests)
+                        : 0.0;
+}
+
+/** Finalize rows -> sorted table + blamed stage + share. */
+void
+finishReport(AttributionReport &report)
+{
+    std::sort(report.rows.begin(), report.rows.end(),
+              [](const StageDelta &a, const StageDelta &b) {
+                  const double da = std::abs(a.delta());
+                  const double db = std::abs(b.delta());
+                  if (da != db)
+                      return da > db;
+                  if (a.bucket != b.bucket)
+                      return a.bucket < b.bucket;
+                  return a.shard < b.shard;
+              });
+    // Blame by aggregate per-bucket delta so a stage spread thin over
+    // many shards still beats a single noisy cell.
+    double bucket_delta[kPathBucketCount] = {};
+    for (const StageDelta &row : report.rows)
+        bucket_delta[static_cast<std::size_t>(row.bucket)] += row.delta();
+    double worst = 0.0;
+    double positive_total = 0.0;
+    for (std::size_t b = 0; b < kPathBucketCount; ++b) {
+        if (bucket_delta[b] > 0.0)
+            positive_total += bucket_delta[b];
+        if (bucket_delta[b] > worst) {
+            worst = bucket_delta[b];
+            report.blamed = static_cast<PathBucket>(b);
+        }
+    }
+    report.blamed_share =
+        positive_total > 0.0 ? worst / positive_total : 0.0;
+}
+
+std::string
+formatNs(double ns)
+{
+    char buf[64];
+    const double a = std::abs(ns);
+    if (a >= 1e6)
+        std::snprintf(buf, sizeof buf, "%+.2fms", ns * 1e-6);
+    else if (a >= 1e3)
+        std::snprintf(buf, sizeof buf, "%+.1fus", ns * 1e-3);
+    else
+        std::snprintf(buf, sizeof buf, "%+.0fns", ns);
+    return buf;
+}
+
+} // namespace
+
+std::string
+AttributionReport::headline() const
+{
+    if (!has_attribution)
+        return "no attribution data in inputs";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s %s/req (%d%% of %s e2e shift)",
+                  pathBucketName(blamed),
+                  formatNs([&] {
+                      double d = 0.0;
+                      for (const StageDelta &row : rows)
+                          if (row.bucket == blamed)
+                              d += row.delta();
+                      return d;
+                  }())
+                      .c_str(),
+                  static_cast<int>(blamed_share * 100.0 + 0.5),
+                  formatNs(cur_e2e_ns - base_e2e_ns).c_str());
+    return buf;
+}
+
+AttributionReport
+diffAttribution(const RunAttribution &base, const RunAttribution &current)
+{
+    AttributionReport report;
+    if (base.paths == nullptr || current.paths == nullptr)
+        return report;
+    const StageTable bt = buildStageTable(*base.paths);
+    const StageTable ct = buildStageTable(*current.paths);
+    if (bt.requests == 0 || ct.requests == 0)
+        return report;
+    report.has_attribution = true;
+    report.base_e2e_ns = perRequest(bt.total_ns, bt.requests);
+    report.cur_e2e_ns = perRequest(ct.total_ns, ct.requests);
+
+    // Union of (bucket, shard) cells from both runs.
+    for (const StageCell &c : bt.cells) {
+        StageDelta row;
+        row.bucket = c.bucket;
+        row.shard = c.shard;
+        row.base_ns = perRequest(c.total_ns, bt.requests);
+        if (const StageCell *cc = ct.find(c.bucket, c.shard))
+            row.cur_ns = perRequest(cc->total_ns, ct.requests);
+        report.rows.push_back(row);
+    }
+    for (const StageCell &c : ct.cells) {
+        if (bt.find(c.bucket, c.shard) != nullptr)
+            continue;
+        StageDelta row;
+        row.bucket = c.bucket;
+        row.shard = c.shard;
+        row.cur_ns = perRequest(c.total_ns, ct.requests);
+        report.rows.push_back(row);
+    }
+    finishReport(report);
+
+    if (base.profile != nullptr && current.profile != nullptr) {
+        for (std::size_t t = 0; t < sim::kEvTagCount; ++t) {
+            ProfileDelta pd;
+            pd.tag = sim::eventTagName(static_cast<sim::EventTag>(t));
+            pd.base_events =
+                static_cast<double>(base.profile->tag_events[t]);
+            pd.cur_events =
+                static_cast<double>(current.profile->tag_events[t]);
+            if (pd.base_events != 0.0 || pd.cur_events != 0.0)
+                report.profile_rows.push_back(std::move(pd));
+        }
+    }
+    report.base_exemplar_request = base.tail_exemplar_request;
+    report.cur_exemplar_request = current.tail_exemplar_request;
+    return report;
+}
+
+AttributionReport
+explainArtifacts(const ArtifactRow &base, const ArtifactRow &current)
+{
+    AttributionReport report;
+    bool any = false;
+    for (std::size_t b = 0; b < kPathBucketCount; ++b) {
+        const auto bucket = static_cast<PathBucket>(b);
+        const std::string key =
+            std::string("path_") + pathBucketName(bucket) + "_ns";
+        const std::string *bv = base.find(key);
+        const std::string *cv = current.find(key);
+        if (bv == nullptr && cv == nullptr)
+            continue;
+        any = true;
+        StageDelta row;
+        row.bucket = bucket;
+        row.shard = kAllShards;
+        row.base_ns = bv != nullptr ? std::atof(bv->c_str()) : 0.0;
+        row.cur_ns = cv != nullptr ? std::atof(cv->c_str()) : 0.0;
+        report.rows.push_back(row);
+    }
+    if (!any)
+        return report;
+    report.has_attribution = true;
+    for (const StageDelta &row : report.rows) {
+        report.base_e2e_ns += row.base_ns;
+        report.cur_e2e_ns += row.cur_ns;
+    }
+    finishReport(report);
+    if (const std::string *v = base.find("tail_exemplar_request"))
+        report.base_exemplar_request =
+            static_cast<std::uint64_t>(std::atof(v->c_str()));
+    if (const std::string *v = current.find("tail_exemplar_request"))
+        report.cur_exemplar_request =
+            static_cast<std::uint64_t>(std::atof(v->c_str()));
+    return report;
+}
+
+void
+writeAttributionReport(std::ostream &os, const AttributionReport &report)
+{
+    os << "attribution: " << report.headline() << "\n";
+    if (!report.has_attribution)
+        return;
+    os << "  e2e/req: " << report.base_e2e_ns * 1e-3 << "us -> "
+       << report.cur_e2e_ns * 1e-3 << "us\n";
+    os << "  stage x shard deltas (largest movers first):\n";
+    for (const StageDelta &row : report.rows) {
+        os << "    " << pathBucketName(row.bucket);
+        if (row.shard == kAllShards)
+            os << " [all]";
+        else if (row.shard == kMainShard)
+            os << " [main]";
+        else
+            os << " [shard " << row.shard << "]";
+        os << ": " << row.base_ns * 1e-3 << "us -> " << row.cur_ns * 1e-3
+           << "us (" << formatNs(row.delta()) << "/req)\n";
+    }
+    if (!report.profile_rows.empty()) {
+        os << "  simulator event-tag secondaries:\n";
+        for (const ProfileDelta &pd : report.profile_rows)
+            os << "    " << pd.tag << ": " << pd.base_events << " -> "
+               << pd.cur_events << " events\n";
+    }
+    if (report.base_exemplar_request != 0 ||
+        report.cur_exemplar_request != 0)
+        os << "  exemplar trace pair: baseline request "
+           << report.base_exemplar_request << " vs current request "
+           << report.cur_exemplar_request << "\n";
+}
+
+} // namespace dri::obs

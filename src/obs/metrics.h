@@ -56,6 +56,19 @@ class Gauge
     double value_ = 0.0;
 };
 
+/**
+ * One exemplar: a concrete observation pinned to the bucket it landed
+ * in, linking the histogram back to a request — and, when the trace
+ * sampler kept that request, to a retained span tree.
+ */
+struct Exemplar
+{
+    std::int64_t value = 0;
+    std::uint64_t request_id = 0;
+    /** True when the request's span tree is retained by the sampler. */
+    bool retained = false;
+};
+
 /** Log-linear histogram over non-negative integer values. */
 class Histogram
 {
@@ -63,6 +76,34 @@ class Histogram
     explicit Histogram(unsigned sub_bucket_bits = 5);
 
     void observe(std::int64_t value);
+
+    /**
+     * Observe with exemplar metadata. When exemplar capacity is 0 (the
+     * default) this is identical to plain observe(); otherwise each
+     * bucket keeps up to K exemplars, preferring retained ones (a
+     * retained exemplar may replace a non-retained occupant so tail
+     * buckets point at traces that actually exist).
+     */
+    void observe(std::int64_t value, std::uint64_t request_id,
+                 bool retained);
+
+    /**
+     * Enable per-bucket exemplars, at most @p k per bucket (0 turns
+     * them off and drops existing ones). Off by default so plain
+     * histogram users pay nothing and snapshots stay unchanged.
+     */
+    void setExemplarCapacity(std::size_t k);
+    std::size_t exemplarCapacity() const { return exemplar_capacity_; }
+
+    /** Exemplars of the bucket holding @p value (empty when off). */
+    const std::vector<Exemplar> &exemplarsFor(std::int64_t value) const;
+
+    /**
+     * An exemplar from the highest non-empty bucket that has one — the
+     * concrete request behind the histogram's tail. Prefers retained
+     * exemplars within the bucket. Null when exemplars are off/empty.
+     */
+    const Exemplar *tailExemplar() const;
 
     std::uint64_t count() const { return count_; }
     std::int64_t min() const { return count_ > 0 ? min_ : 0; }
@@ -99,10 +140,15 @@ class Histogram
     /** Smallest value mapping to bucket @p idx (inverse of bucketIndex). */
     std::int64_t bucketLowerBound(std::size_t idx) const;
 
-    /** Merge another histogram (same sub_bucket_bits) into this one. */
+    /**
+     * Merge another histogram (same sub_bucket_bits) into this one.
+     * Exemplars merge too (capacity rules apply on the receiving side).
+     */
     void merge(const Histogram &other);
 
   private:
+    void admitExemplar(std::size_t bucket, const Exemplar &ex);
+
     unsigned sub_bucket_bits_;
     std::int64_t sub_;                 //!< 1 << sub_bucket_bits_
     std::vector<std::uint64_t> buckets_;
@@ -110,6 +156,9 @@ class Histogram
     std::int64_t sum_ = 0;
     std::int64_t min_ = 0;
     std::int64_t max_ = 0;
+    std::size_t exemplar_capacity_ = 0;
+    /** bucket index -> up to K exemplars (sparse: only when enabled). */
+    std::vector<std::pair<std::size_t, std::vector<Exemplar>>> exemplars_;
 };
 
 enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };

@@ -22,8 +22,15 @@
 
 namespace dri::obs {
 
-/** Span handle: index + 1 into the tracer's span store; 0 = none. */
-using SpanId = std::uint32_t;
+/**
+ * Span handle; 0 = none. In the tracer's default (flat) mode a handle
+ * is index + 1 into the tracer's span store. With a TraceSampler
+ * attached the handle additionally packs the sampler arena slot and a
+ * recycling generation (see obs/sampler.h), which is what lets late
+ * debris end()/addFlags() calls against an already-recycled tree
+ * resolve to a safe no-op instead of corrupting the slot's new tenant.
+ */
+using SpanId = std::uint64_t;
 constexpr SpanId kNoSpan = 0;
 
 /** Shard id used for main-shard spans (matches trace::kMainShard). */

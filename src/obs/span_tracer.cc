@@ -10,6 +10,89 @@ SpanTracer::get(SpanId id)
     return &spans_[id - 1];
 }
 
+SpanRecord *
+SpanTracer::resolveSampled(SpanId id, TraceSampler::Tree **tree_out)
+{
+    *tree_out = nullptr;
+    if (id == kNoSpan)
+        return nullptr;
+    const auto slot =
+        static_cast<std::uint32_t>((id >> kLocalBits) & kSlotMask);
+    const auto generation =
+        static_cast<std::uint32_t>(id >> (kLocalBits + kSlotBits));
+    TraceSampler::Tree *tree = sampler_->treeAt(slot);
+    if (tree == nullptr || tree->generation != generation) {
+        // The tree this handle pointed into was sealed and its slot
+        // recycled — this is the late hedge/cancel debris path.
+        sampler_->noteStaleSpan();
+        return nullptr;
+    }
+    const std::size_t local = static_cast<std::size_t>(id & kLocalMask);
+    if (local == 0 || local > tree->spans.size())
+        return nullptr;
+    *tree_out = tree;
+    return &tree->spans[local - 1];
+}
+
+SpanId
+SpanTracer::beginSampled(std::uint64_t request_id, SpanKind kind,
+                         SpanId parent, sim::SimTime at, int shard, int net,
+                         int batch, std::uint8_t flags)
+{
+    TraceSampler::Tree *tree;
+    SpanId local_parent = kNoSpan;
+    if (parent == kNoSpan) {
+        // Root span: open a fresh tree for this request.
+        tree = sampler_->acquireTree(request_id);
+    } else {
+        SpanRecord *parent_rec = resolveSampled(parent, &tree);
+        if (parent_rec == nullptr)
+            return kNoSpan; // stale tree: drop the whole debris subtree
+        local_parent = parent_rec->id;
+    }
+    if (tree->spans.size() >= kLocalMask)
+        return kNoSpan; // 1M spans in one request tree: never in practice
+
+    SpanRecord rec;
+    rec.request_id = request_id;
+    rec.id = static_cast<SpanId>(tree->spans.size() + 1);
+    rec.parent = local_parent;
+    rec.kind = kind;
+    rec.flags = flags;
+    rec.shard = static_cast<std::int16_t>(shard);
+    rec.net = static_cast<std::int16_t>(net);
+    rec.batch = static_cast<std::int16_t>(batch);
+    rec.begin = at;
+    tree->spans.push_back(rec);
+    ++tree->open;
+    ++allocations_;
+    ++open_;
+    return encode(tree->generation, tree->slot, rec.id);
+}
+
+void
+SpanTracer::endSampled(SpanId id, sim::SimTime at, std::uint8_t add_flags)
+{
+    TraceSampler::Tree *tree;
+    SpanRecord *rec = resolveSampled(id, &tree);
+    if (rec == nullptr || !rec->open())
+        return;
+    rec->end = at;
+    rec->flags |= add_flags;
+    --tree->open;
+    --open_;
+    if (rec->kind == SpanKind::Request && rec->parent == kNoSpan) {
+        sampler_->decide(tree, at);
+        last_root_ = tree->keep_class == KeepClass::Recycled
+                         ? RootDecision::Dropped
+                         : RootDecision::Kept;
+    }
+    // Seal once decided AND the last span (possibly post-root debris)
+    // has closed; until then the tree keeps accepting closes.
+    if (tree->decided && tree->open == 0)
+        sampler_->seal(tree);
+}
+
 SpanId
 SpanTracer::begin(std::uint64_t request_id, SpanKind kind, SpanId parent,
                   sim::SimTime at, int shard, int net, int batch,
@@ -17,6 +100,9 @@ SpanTracer::begin(std::uint64_t request_id, SpanKind kind, SpanId parent,
 {
     if (!enabled_)
         return kNoSpan;
+    if (sampler_ != nullptr)
+        return beginSampled(request_id, kind, parent, at, shard, net, batch,
+                            flags);
     SpanRecord rec;
     rec.request_id = request_id;
     rec.id = static_cast<SpanId>(spans_.size() + 1);
@@ -36,12 +122,18 @@ SpanTracer::begin(std::uint64_t request_id, SpanKind kind, SpanId parent,
 void
 SpanTracer::end(SpanId id, sim::SimTime at, std::uint8_t add_flags)
 {
+    if (sampler_ != nullptr) {
+        endSampled(id, at, add_flags);
+        return;
+    }
     SpanRecord *rec = get(id);
     if (rec == nullptr || !rec->open())
         return;
     rec->end = at;
     rec->flags |= add_flags;
     --open_;
+    if (rec->kind == SpanKind::Request && rec->parent == kNoSpan)
+        last_root_ = RootDecision::Kept; // flat mode retains everything
 }
 
 SpanId
@@ -58,6 +150,13 @@ SpanTracer::record(std::uint64_t request_id, SpanKind kind, SpanId parent,
 void
 SpanTracer::addFlags(SpanId id, std::uint8_t flags)
 {
+    if (sampler_ != nullptr) {
+        TraceSampler::Tree *tree;
+        SpanRecord *rec = resolveSampled(id, &tree);
+        if (rec != nullptr)
+            rec->flags |= flags;
+        return;
+    }
     SpanRecord *rec = get(id);
     if (rec != nullptr)
         rec->flags |= flags;
@@ -69,6 +168,7 @@ SpanTracer::clear()
     spans_.clear();
     open_ = 0;
     allocations_ = 0;
+    last_root_ = RootDecision::None;
 }
 
 } // namespace dri::obs

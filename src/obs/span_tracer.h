@@ -17,12 +17,32 @@
  *    never schedules events, so attaching it cannot perturb the
  *    simulation: RequestStats are byte-identical with tracing on/off
  *    (enforced by serving_stress_test).
+ *
+ * The tracer has two storage modes:
+ *
+ *  - **Flat (default).** Every span appends to one growing vector;
+ *    SpanId is index + 1. Complete, but memory grows with the replay —
+ *    right for explorers and short studies.
+ *
+ *  - **Sampling** (a TraceSampler attached via setSampler() BEFORE any
+ *    span is recorded). Spans route into per-request trees drawn from
+ *    the sampler's pooled arena; the sampler makes a deterministic
+ *    keep/recycle decision at root-span close (see obs/sampler.h for
+ *    the retention contract), and a tree is sealed once its last span
+ *    — including post-root hedge/cancel debris — closes. In this mode
+ *    spans() stays empty; retained trees live on the sampler. Handles
+ *    pack (generation, arena slot, tree-local index), so debris
+ *    end()/addFlags() calls that arrive after their tree was recycled
+ *    are detected by generation mismatch and dropped (counted by the
+ *    sampler). The sampler's private RNG is the only randomness
+ *    involved, so the pure-observation contract holds bit-for-bit.
  */
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "obs/sampler.h"
 #include "obs/span.h"
 
 namespace dri::obs {
@@ -34,6 +54,29 @@ class SpanTracer
 
     bool enabled() const { return enabled_; }
     void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    /**
+     * Attach a retention sampler (sampling mode). Must happen before
+     * any span is recorded; pass nullptr to return to flat mode. Not
+     * owned; must outlive the tracer's use.
+     */
+    void setSampler(TraceSampler *sampler) { sampler_ = sampler; }
+    TraceSampler *sampler() const { return sampler_; }
+
+    /** Root keep/recycle outcome of the most recent root-span close. */
+    enum class RootDecision : std::uint8_t
+    {
+        None,    //!< no root closed yet (or flat mode: always retained)
+        Dropped, //!< sampler chose recycle
+        Kept,    //!< sampler chose keep
+    };
+
+    /**
+     * Decision for the most recently closed root span. Flat mode
+     * reports Kept (every span is retained); the serving engine reads
+     * this right after ending a root to stamp exemplar retention.
+     */
+    RootDecision lastRootDecision() const { return last_root_; }
 
     /**
      * Open a span at @p at. Returns kNoSpan when disabled; all other
@@ -56,27 +99,53 @@ class SpanTracer
     /** OR flags into an existing span without closing it. */
     void addFlags(SpanId id, std::uint8_t flags);
 
+    /** Flat-mode span store (empty in sampling mode). */
     const std::vector<SpanRecord> &spans() const { return spans_; }
 
     /** Spans currently open (begun, not yet ended). */
     std::uint64_t openCount() const { return open_; }
 
     /**
-     * Heap appends performed since construction/clear. Exactly 0 for a
+     * Span appends performed since construction/clear. Exactly 0 for a
      * disabled tracer — the zero-overhead contract, testable without
-     * timing.
+     * timing. (Sampling mode counts appends into recycled arena
+     * capacity too; the *heap* bound there is the sampler's budget.)
      */
     std::uint64_t allocations() const { return allocations_; }
 
     void clear();
 
   private:
+    // Sampling-mode handle layout: bits 0..19 tree-local index + 1,
+    // bits 20..35 arena slot, bits 36..63 recycle generation.
+    static constexpr unsigned kLocalBits = 20;
+    static constexpr unsigned kSlotBits = 16;
+    static constexpr SpanId kLocalMask = (SpanId{1} << kLocalBits) - 1;
+    static constexpr SpanId kSlotMask = (SpanId{1} << kSlotBits) - 1;
+
+    static SpanId encode(std::uint32_t generation, std::uint32_t slot,
+                         std::size_t local_plus_one)
+    {
+        return (static_cast<SpanId>(generation)
+                << (kLocalBits + kSlotBits)) |
+               (static_cast<SpanId>(slot & kSlotMask) << kLocalBits) |
+               (static_cast<SpanId>(local_plus_one) & kLocalMask);
+    }
+
     SpanRecord *get(SpanId id);
+    /** Sampling mode: resolve a handle to its live tree + record. */
+    SpanRecord *resolveSampled(SpanId id, TraceSampler::Tree **tree_out);
+    SpanId beginSampled(std::uint64_t request_id, SpanKind kind,
+                        SpanId parent, sim::SimTime at, int shard, int net,
+                        int batch, std::uint8_t flags);
+    void endSampled(SpanId id, sim::SimTime at, std::uint8_t add_flags);
 
     bool enabled_;
+    TraceSampler *sampler_ = nullptr;
     std::vector<SpanRecord> spans_;
     std::uint64_t open_ = 0;
     std::uint64_t allocations_ = 0;
+    RootDecision last_root_ = RootDecision::None;
 };
 
 } // namespace dri::obs

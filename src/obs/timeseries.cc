@@ -136,21 +136,46 @@ RollingHistogram::periodOf(double t_s) const
     return periodAt(t_s, bucket_width_s_);
 }
 
-void
-RollingHistogram::observe(double t_s, std::int64_t value)
+RollingHistogram::Slot *
+RollingHistogram::slotFor(std::int64_t p)
 {
-    const std::int64_t p = periodOf(t_s);
     Slot &s = slots_[static_cast<std::size_t>(p % cfg_.buckets)];
     if (p > s.period) {
         s.hist = Histogram(sub_bucket_bits_);
+        s.hist.setExemplarCapacity(exemplar_capacity_);
         s.period = p;
     } else if (p < s.period) {
         // Same out-of-order hazard as RollingWindow::observe: an older-
         // cycle sample must not wipe the live bucket sharing its slot.
         ++dropped_stale_;
-        return;
+        return nullptr;
     }
-    s.hist.observe(value);
+    return &s;
+}
+
+void
+RollingHistogram::observe(double t_s, std::int64_t value)
+{
+    Slot *s = slotFor(periodOf(t_s));
+    if (s != nullptr)
+        s->hist.observe(value);
+}
+
+void
+RollingHistogram::observe(double t_s, std::int64_t value,
+                          std::uint64_t request_id, bool retained)
+{
+    Slot *s = slotFor(periodOf(t_s));
+    if (s != nullptr)
+        s->hist.observe(value, request_id, retained);
+}
+
+void
+RollingHistogram::setExemplarCapacity(std::size_t k)
+{
+    exemplar_capacity_ = k;
+    for (Slot &s : slots_)
+        s.hist.setExemplarCapacity(k);
 }
 
 std::uint64_t
@@ -169,6 +194,7 @@ RollingHistogram::merged(double t_s) const
 {
     const std::int64_t now = periodOf(t_s);
     Histogram out(sub_bucket_bits_);
+    out.setExemplarCapacity(exemplar_capacity_);
     for (const Slot &s : slots_)
         if (inWindow(s.period, now, cfg_.buckets))
             out.merge(s.hist);

@@ -112,9 +112,25 @@ class RollingHistogram
 
     void observe(double t_s, std::int64_t value);
 
+    /**
+     * Observe with exemplar metadata (forwarded to the slot histogram;
+     * a no-op extension unless setExemplarCapacity() enabled them).
+     */
+    void observe(double t_s, std::int64_t value, std::uint64_t request_id,
+                 bool retained);
+
+    /**
+     * Enable per-bucket exemplars on every slot histogram (and future
+     * recycles). 0 (the default) keeps the window exemplar-free.
+     */
+    void setExemplarCapacity(std::size_t k);
+
     std::uint64_t count(double t_s) const;
 
-    /** Merged histogram of the live buckets as of t_s. */
+    /**
+     * Merged histogram of the live buckets as of t_s. Carries merged
+     * exemplars when exemplar capacity is enabled.
+     */
     Histogram merged(double t_s) const;
 
     /**
@@ -140,9 +156,13 @@ class RollingHistogram
 
     std::int64_t periodOf(double t_s) const;
 
+    /** Slot for an observe at period @p p, or nullptr (stale sample). */
+    Slot *slotFor(std::int64_t p);
+
     WindowConfig cfg_;
     double bucket_width_s_;
     unsigned sub_bucket_bits_;
+    std::size_t exemplar_capacity_ = 0;
     std::vector<Slot> slots_;
     std::uint64_t dropped_stale_ = 0;
 };

@@ -292,4 +292,66 @@ TEST_F(ServingStressTest, LatencyFeedLeavesStatsByteIdentical)
                 }
 }
 
+/**
+ * Tail-based trace sampling inherits the pure-observer contract on the
+ * full grid: a tracer with an attached TraceSampler (plus the rolling
+ * latency feed that drives its tail threshold) leaves every
+ * RequestStats byte-identical to the untraced run. The sampler draws
+ * only from its private RNG, so the retained set is itself
+ * deterministic across reruns, and retained bytes never exceed the
+ * configured budget.
+ */
+TEST_F(ServingStressTest, TraceSamplingLeavesStatsByteIdentical)
+{
+    const auto sampledRun = [this](const GridPoint &p,
+                                   obs::TraceSampler &sampler) {
+        obs::SpanTracer tracer;
+        tracer.setSampler(&sampler);
+        obs::RollingHistogram feed(obs::WindowConfig{1e6, 8});
+        sampler.setLatencyFeed(&feed);
+        return run(p, &tracer, &feed);
+    };
+    for (const bool hedged : {false, true})
+        for (const bool batched : {false, true})
+            for (const bool admission : {false, true})
+                for (const bool rcache : {false, true}) {
+                    const GridPoint p{hedged, batched, admission, rcache};
+                    const auto baseline = run(p);
+
+                    obs::SamplerConfig sc;
+                    sc.reservoir_size = 8;
+                    sc.retained_byte_budget = 256u << 10;
+                    obs::TraceSampler sampler(sc);
+                    const auto sampled = sampledRun(p, sampler);
+                    ASSERT_EQ(baseline.size(), sampled.size())
+                        << p.label();
+                    for (std::size_t i = 0; i < baseline.size(); ++i)
+                        expectIdentical(baseline[i], sampled[i],
+                                        p.label() + " sampled req " +
+                                            std::to_string(i));
+
+                    EXPECT_GT(sampler.stats().roots_closed, 0u)
+                        << p.label();
+                    EXPECT_LE(sampler.retainedBytes(),
+                              sc.retained_byte_budget)
+                        << p.label();
+
+                    // Same seed, same replay -> same retained set.
+                    obs::TraceSampler rerun_sampler(sc);
+                    sampledRun(p, rerun_sampler);
+                    ASSERT_EQ(rerun_sampler.retained().size(),
+                              sampler.retained().size())
+                        << p.label();
+                    for (std::size_t i = 0;
+                         i < sampler.retained().size(); ++i) {
+                        EXPECT_EQ(sampler.retained()[i].request_id,
+                                  rerun_sampler.retained()[i].request_id)
+                            << p.label();
+                        EXPECT_EQ(sampler.retained()[i].keep_class,
+                                  rerun_sampler.retained()[i].keep_class)
+                            << p.label();
+                    }
+                }
+}
+
 } // namespace

@@ -1,0 +1,576 @@
+/**
+ * @file
+ * Tail-based trace sampling, histogram exemplars, and differential
+ * attribution tests:
+ *
+ *  - TraceSampler keep/recycle semantics driven through a SpanTracer:
+ *    flagged and tail keeps, deterministic reservoir across reruns,
+ *    budget eviction ordered by keep class, bounded arena recycling.
+ *  - Histogram exemplar storage: capacity-0 no-op, retained
+ *    displacement, tail exemplar selection, merge propagation, and
+ *    the RollingHistogram dropped_stale counter.
+ *  - Differential attribution: a synthetic 1.5x serde regression in a
+ *    real serving replay is blamed on the Serde stage, both in-memory
+ *    (diffAttribution over criticalPaths) and at the artifact layer
+ *    (explainArtifacts over path_<bucket>_ns rows) — the acceptance
+ *    path behind `bench_regression_gate --explain`.
+ *  - Perfetto flow events: a hedged replay's chrome trace links each
+ *    hedge attempt back to its primary with s/f flow events.
+ *  - FleetSim trace sampling: ledger AND telemetry fingerprints are
+ *    byte-identical with sampling on/off, per-epoch summaries respect
+ *    the byte budget, the metrics mirror carries the
+ *    obs.timeseries.dropped_stale counter, and chaos scorecards pick
+ *    up blast-epoch exemplar request ids.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/serving.h"
+#include "core/strategies.h"
+#include "fleet/fleet_sim.h"
+#include "model/generators.h"
+#include "obs/chrome_trace.h"
+#include "obs/critical_path.h"
+#include "obs/diff.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/span_tracer.h"
+#include "obs/timeseries.h"
+#include "sched/capacity_search.h"
+#include "workload/diurnal.h"
+#include "workload/request_generator.h"
+
+namespace {
+
+using namespace dri;
+
+/** Close one synthetic root span of duration @p e2e_ns. */
+void
+closeRoot(obs::SpanTracer &tracer, std::uint64_t request_id,
+          sim::Duration e2e_ns, std::uint8_t root_flags = obs::kFlagNone)
+{
+    const sim::SimTime t0 = static_cast<sim::SimTime>(request_id) * 1000000;
+    const auto root = tracer.begin(request_id, obs::SpanKind::Request,
+                                   obs::kNoSpan, t0);
+    const auto child = tracer.begin(request_id, obs::SpanKind::QueueWait,
+                                    root, t0);
+    tracer.end(child, t0 + e2e_ns / 2);
+    tracer.end(root, t0 + e2e_ns, root_flags);
+}
+
+// ---------------------------------------------------------------------------
+// TraceSampler.
+// ---------------------------------------------------------------------------
+
+TEST(TraceSampler, FlaggedRootsAlwaysKept)
+{
+    obs::SamplerConfig cfg;
+    cfg.reservoir_size = 0; // isolate the flag trigger
+    obs::TraceSampler sampler(cfg);
+    obs::SpanTracer tracer;
+    tracer.setSampler(&sampler);
+
+    closeRoot(tracer, 1, 1000, obs::kFlagShed);
+    closeRoot(tracer, 2, 1000, obs::kFlagHedge);
+    closeRoot(tracer, 3, 1000); // unflagged -> recycled
+
+    EXPECT_TRUE(sampler.isRetained(1));
+    EXPECT_TRUE(sampler.isRetained(2));
+    EXPECT_FALSE(sampler.isRetained(3));
+    EXPECT_EQ(sampler.stats().kept_flagged, 2u);
+    EXPECT_EQ(sampler.stats().recycled, 1u);
+    EXPECT_EQ(tracer.lastRootDecision(),
+              obs::SpanTracer::RootDecision::Dropped);
+    for (const auto &rt : sampler.retained())
+        EXPECT_EQ(rt.keep_class, obs::KeepClass::Flagged);
+}
+
+TEST(TraceSampler, StaticTailThresholdKeepsSlowRoots)
+{
+    obs::SamplerConfig cfg;
+    cfg.reservoir_size = 0;
+    cfg.tail_threshold_ns = 5000;
+    obs::TraceSampler sampler(cfg);
+    obs::SpanTracer tracer;
+    tracer.setSampler(&sampler);
+
+    closeRoot(tracer, 10, 4999);
+    closeRoot(tracer, 11, 5000);
+    closeRoot(tracer, 12, 9000);
+
+    EXPECT_FALSE(sampler.isRetained(10));
+    EXPECT_TRUE(sampler.isRetained(11));
+    EXPECT_TRUE(sampler.isRetained(12));
+    EXPECT_EQ(sampler.stats().kept_tail, 2u);
+    EXPECT_EQ(tracer.lastRootDecision(),
+              obs::SpanTracer::RootDecision::Kept);
+}
+
+TEST(TraceSampler, RollingQuantileFeedDrivesTheTailThreshold)
+{
+    // A latency feed whose observed distribution puts the q=0.5
+    // threshold between the two span populations: only the slow half
+    // is tail-kept.
+    obs::WindowConfig wc;
+    wc.horizon_s = 1e6;
+    obs::RollingHistogram feed(wc);
+    for (int i = 0; i < 200; ++i)
+        feed.observe(1.0, i < 100 ? 1000.0 : 100000.0);
+
+    obs::SamplerConfig cfg;
+    cfg.reservoir_size = 0;
+    cfg.tail_quantile = 0.5;
+    obs::TraceSampler sampler(cfg);
+    sampler.setLatencyFeed(&feed);
+    obs::SpanTracer tracer;
+    tracer.setSampler(&sampler);
+
+    closeRoot(tracer, 20, 1000);
+    closeRoot(tracer, 21, 100000);
+    EXPECT_FALSE(sampler.isRetained(20));
+    EXPECT_TRUE(sampler.isRetained(21));
+}
+
+TEST(TraceSampler, ReservoirIsDeterministicAcrossReruns)
+{
+    const auto run = [](std::uint64_t seed) {
+        obs::SamplerConfig cfg;
+        cfg.seed = seed;
+        cfg.reservoir_size = 8;
+        obs::TraceSampler sampler(cfg);
+        obs::SpanTracer tracer;
+        tracer.setSampler(&sampler);
+        for (std::uint64_t id = 0; id < 200; ++id)
+            closeRoot(tracer, id, 1000);
+        std::set<std::uint64_t> kept;
+        for (const auto &rt : sampler.retained())
+            kept.insert(rt.request_id);
+        return kept;
+    };
+    const auto a = run(0x5eed);
+    const auto b = run(0x5eed);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 8u);
+    // A different seed picks a different reservoir (overwhelmingly
+    // likely for 8-of-200; equality would indicate a dead seed path).
+    EXPECT_NE(a, run(0xf00d));
+}
+
+TEST(TraceSampler, BudgetEvictsLowerClassesFirstAndNeverHigher)
+{
+    obs::SamplerConfig cfg;
+    cfg.reservoir_size = 64;
+    cfg.tail_threshold_ns = 50000;
+    // Room for only a handful of two-span trees.
+    cfg.retained_byte_budget = 6 * sizeof(obs::SpanRecord);
+    obs::TraceSampler sampler(cfg);
+    obs::SpanTracer tracer;
+    tracer.setSampler(&sampler);
+
+    // Fill the budget with reservoir keeps...
+    for (std::uint64_t id = 0; id < 3; ++id)
+        closeRoot(tracer, id, 1000);
+    ASSERT_EQ(sampler.retained().size(), 3u);
+    // ...then flagged arrivals evict them.
+    closeRoot(tracer, 100, 1000, obs::kFlagShed);
+    closeRoot(tracer, 101, 1000, obs::kFlagShed);
+    closeRoot(tracer, 102, 1000, obs::kFlagShed);
+    EXPECT_TRUE(sampler.isRetained(100));
+    EXPECT_TRUE(sampler.isRetained(101));
+    EXPECT_TRUE(sampler.isRetained(102));
+    EXPECT_GE(sampler.stats().budget_evictions, 3u);
+
+    // A tail keep cannot evict the flagged occupants: rejected.
+    const auto rejected_before = sampler.stats().budget_rejected;
+    closeRoot(tracer, 200, 90000);
+    EXPECT_FALSE(sampler.isRetained(200));
+    EXPECT_GT(sampler.stats().budget_rejected, rejected_before);
+    for (const auto &rt : sampler.retained())
+        EXPECT_EQ(rt.keep_class, obs::KeepClass::Flagged);
+    EXPECT_LE(sampler.retainedBytes(), cfg.retained_byte_budget);
+}
+
+TEST(TraceSampler, ArenaRecyclesSlotsInsteadOfGrowing)
+{
+    obs::SamplerConfig cfg;
+    cfg.reservoir_size = 4;
+    obs::TraceSampler sampler(cfg);
+    obs::SpanTracer tracer;
+    tracer.setSampler(&sampler);
+
+    // Sequential roots: at most one tree in flight, so the arena
+    // stays O(1) no matter how many roots close.
+    for (std::uint64_t id = 0; id < 500; ++id)
+        closeRoot(tracer, id, 1000);
+    EXPECT_EQ(sampler.stats().roots_closed, 500u);
+    EXPECT_LE(sampler.arenaSlots(), 4u);
+    // Flat-mode store stays empty in sampling mode.
+    EXPECT_TRUE(tracer.spans().empty());
+    // Flattened retained spans rebase ids into one consistent vector.
+    const auto flat = sampler.flattenedSpans();
+    EXPECT_EQ(flat.size(), sampler.retained().size() * 2);
+    const auto rep = obs::checkConservation(flat);
+    EXPECT_EQ(rep.open_spans, 0u);
+    EXPECT_EQ(rep.nesting_violations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram exemplars.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramExemplars, CapacityZeroStoresNothing)
+{
+    obs::Histogram h;
+    h.observe(1000.0, /*request_id=*/7, /*retained=*/true);
+    EXPECT_EQ(h.exemplarCapacity(), 0u);
+    EXPECT_TRUE(h.exemplarsFor(1000.0).empty());
+    EXPECT_EQ(h.tailExemplar(), nullptr);
+    EXPECT_EQ(h.count(), 1u); // the observation itself still lands
+}
+
+TEST(HistogramExemplars, RetainedDisplacesUnretainedWhenFull)
+{
+    obs::Histogram h;
+    h.setExemplarCapacity(1);
+    h.observe(1000.0, 1, false);
+    ASSERT_EQ(h.exemplarsFor(1000.0).size(), 1u);
+    EXPECT_EQ(h.exemplarsFor(1000.0)[0].request_id, 1u);
+
+    // Unretained does not displace an occupant...
+    h.observe(1000.0, 2, false);
+    EXPECT_EQ(h.exemplarsFor(1000.0)[0].request_id, 1u);
+    // ...but a retained exemplar does.
+    h.observe(1000.0, 3, true);
+    ASSERT_EQ(h.exemplarsFor(1000.0).size(), 1u);
+    EXPECT_EQ(h.exemplarsFor(1000.0)[0].request_id, 3u);
+    EXPECT_TRUE(h.exemplarsFor(1000.0)[0].retained);
+}
+
+TEST(HistogramExemplars, TailExemplarComesFromTheHighestBucket)
+{
+    obs::Histogram h;
+    h.setExemplarCapacity(2);
+    h.observe(10.0, 1, false);
+    h.observe(1e6, 2, false);
+    h.observe(1e6, 3, true);
+    const obs::Exemplar *tail = h.tailExemplar();
+    ASSERT_NE(tail, nullptr);
+    // Highest non-empty bucket, preferring the retained occupant.
+    EXPECT_EQ(tail->request_id, 3u);
+    EXPECT_TRUE(tail->retained);
+    EXPECT_DOUBLE_EQ(tail->value, 1e6);
+}
+
+TEST(HistogramExemplars, MergePropagatesExemplars)
+{
+    obs::Histogram a;
+    a.setExemplarCapacity(2);
+    obs::Histogram b;
+    b.setExemplarCapacity(2);
+    b.observe(5e5, 42, true);
+    a.merge(b);
+    const obs::Exemplar *tail = a.tailExemplar();
+    ASSERT_NE(tail, nullptr);
+    EXPECT_EQ(tail->request_id, 42u);
+
+    // Merging into a capacity-0 receiver stays a pure histogram merge.
+    obs::Histogram c;
+    c.merge(b);
+    EXPECT_EQ(c.tailExemplar(), nullptr);
+    EXPECT_EQ(c.count(), b.count());
+}
+
+TEST(RollingHistogram, CountsDroppedStaleSamples)
+{
+    obs::WindowConfig wc;
+    wc.horizon_s = 10.0;
+    wc.buckets = 5;
+    obs::RollingHistogram h(wc);
+    h.observe(100.0, 1.0);
+    EXPECT_EQ(h.droppedStale(), 0u);
+    // Same ring position, more than a full horizon older: dropped and
+    // counted, not silently folded into the live bucket.
+    h.observe(100.0 - wc.horizon_s, 2.0);
+    EXPECT_EQ(h.droppedStale(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential attribution.
+// ---------------------------------------------------------------------------
+
+class SerdeRegressionTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        spec_ = model::makeDrm2();
+        plan_ = core::makeCapacityBalanced(spec_, 4);
+        workload::RequestGenerator gen(spec_,
+                                       workload::GeneratorConfig{0xd1ff});
+        requests_ = gen.generate(120);
+    }
+
+    std::vector<obs::CriticalPath>
+    tracedPaths(double serde_scale) const
+    {
+        auto cfg = sched::hedgeStudyConfig(
+            rpc::LoadBalancePolicy::LeastOutstanding, 3, /*hedged=*/false);
+        cfg.service.serde_ns_per_byte *= serde_scale;
+        obs::SpanTracer tracer;
+        cfg.tracer = &tracer;
+        core::ServingSimulation sim(spec_, plan_, cfg);
+        sim.replayOpenLoop(requests_, 1200.0);
+        return obs::criticalPaths(tracer.spans());
+    }
+
+    model::ModelSpec spec_;
+    core::ShardingPlan plan_;
+    std::vector<workload::Request> requests_;
+};
+
+TEST_F(SerdeRegressionTest, DiffAttributionBlamesSerde)
+{
+    const auto base_paths = tracedPaths(1.0);
+    const auto cur_paths = tracedPaths(1.5);
+    ASSERT_FALSE(base_paths.empty());
+    ASSERT_EQ(base_paths.size(), cur_paths.size());
+
+    obs::RunAttribution base;
+    base.paths = &base_paths;
+    obs::RunAttribution cur;
+    cur.paths = &cur_paths;
+    const auto report = obs::diffAttribution(base, cur);
+
+    ASSERT_TRUE(report.has_attribution);
+    EXPECT_EQ(report.blamed, obs::PathBucket::Serde);
+    // Serde leads the blame table; knock-on queueing shifts keep its
+    // share below 1.0 but it must stay the single largest mover.
+    EXPECT_GT(report.blamed_share, 0.3);
+    EXPECT_GT(report.cur_e2e_ns, report.base_e2e_ns);
+    EXPECT_NE(report.headline().find("serde"), std::string::npos);
+    // The serde row itself moved up.
+    ASSERT_FALSE(report.rows.empty());
+    double serde_delta = 0.0;
+    for (const auto &row : report.rows)
+        if (row.bucket == obs::PathBucket::Serde)
+            serde_delta += row.delta();
+    EXPECT_GT(serde_delta, 0.0);
+}
+
+TEST(ExplainArtifacts, BlamesTheInflatedBucketFromArtifactRows)
+{
+    obs::ArtifactRow base;
+    base.fields = {{"path_queue_ns", "1000"},
+                   {"path_compute_ns", "5000"},
+                   {"path_serde_ns", "2000"},
+                   {"path_network_ns", "800"},
+                   {"path_wait_ns", "300"},
+                   {"tail_exemplar_request", "17"}};
+    obs::ArtifactRow cur = base;
+    cur.fields[2].second = "3600"; // serde +1600ns/req
+    cur.fields[5].second = "93";
+
+    const auto report = obs::explainArtifacts(base, cur);
+    ASSERT_TRUE(report.has_attribution);
+    EXPECT_EQ(report.blamed, obs::PathBucket::Serde);
+    EXPECT_GT(report.blamed_share, 0.9);
+    EXPECT_EQ(report.base_exemplar_request, 17u);
+    EXPECT_EQ(report.cur_exemplar_request, 93u);
+    ASSERT_FALSE(report.rows.empty());
+    EXPECT_EQ(report.rows[0].bucket, obs::PathBucket::Serde);
+    EXPECT_EQ(report.rows[0].shard, obs::kAllShards);
+    EXPECT_DOUBLE_EQ(report.rows[0].delta(), 1600.0);
+
+    // No attribution fields -> explicitly no attribution, not garbage.
+    const auto empty = obs::explainArtifacts(obs::ArtifactRow{},
+                                             obs::ArtifactRow{});
+    EXPECT_FALSE(empty.has_attribution);
+}
+
+// ---------------------------------------------------------------------------
+// Perfetto flow events (hedge race linking).
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, HedgeFlowEventsLinkPrimaryToBackup)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    auto cfg = sched::hedgeStudyConfig(
+        rpc::LoadBalancePolicy::LeastOutstanding, 3, /*hedged=*/true);
+    obs::SpanTracer tracer;
+    cfg.tracer = &tracer;
+    workload::RequestGenerator gen(spec, workload::GeneratorConfig{0xbeef});
+    core::ServingSimulation sim(spec, plan, cfg);
+    const auto stats = sim.replayOpenLoop(gen.generate(200), 1500.0);
+
+    std::int64_t hedges = 0;
+    for (const auto &s : stats)
+        hedges += s.hedges;
+    ASSERT_GT(hedges, 0) << "workload must actually hedge";
+
+    std::size_t hedge_attempts = 0;
+    for (const auto &s : tracer.spans())
+        if (s.kind == obs::SpanKind::RpcAttempt &&
+            (s.flags & obs::kFlagHedge) != 0 && s.end != obs::kOpenEnd)
+            ++hedge_attempts;
+    ASSERT_GT(hedge_attempts, 0u);
+
+    const std::string json = obs::chromeTraceJson(tracer.spans());
+    const auto occurrences = [&json](const std::string &needle) {
+        std::size_t n = 0;
+        for (std::size_t pos = json.find(needle);
+             pos != std::string::npos; pos = json.find(needle, pos + 1))
+            ++n;
+        return n;
+    };
+    // One s/f flow pair per closed hedge attempt, named hedge-race.
+    EXPECT_EQ(occurrences("\"hedge-race\""), 2 * hedge_attempts);
+    EXPECT_EQ(occurrences("\"ph\":\"s\""), hedge_attempts);
+    EXPECT_EQ(occurrences("\"ph\":\"f\""), hedge_attempts);
+}
+
+// ---------------------------------------------------------------------------
+// FleetSim trace sampling.
+// ---------------------------------------------------------------------------
+
+namespace fleetcfg {
+
+core::ServingConfig
+serving()
+{
+    auto cfg = sched::sparseBoundStudyConfig(
+        rpc::LoadBalancePolicy::LeastOutstanding, 2);
+    cfg.result_cache.enabled = true;
+    return cfg;
+}
+
+workload::DiurnalLoadConfig
+load()
+{
+    workload::DiurnalLoadConfig dl;
+    dl.base_qps = 300.0;
+    dl.amplitude = 0.4;
+    dl.epochs_per_day = 12;
+    return dl;
+}
+
+fleet::FleetConfig
+fleet(int epochs)
+{
+    fleet::FleetConfig fc;
+    fc.slo.p99_ms = 60.0;
+    fc.epochs = epochs;
+    fc.requests_per_epoch = 140;
+    return fc;
+}
+
+} // namespace fleetcfg
+
+TEST(FleetTraceSampling, SamplingIsFingerprintInvisible)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    const workload::DiurnalLoadModel load(spec, fleetcfg::load());
+
+    fleet::ReactiveConfig rc;
+    rc.slo.p99_ms = 60.0;
+
+    fleet::FleetSim blind_sim(spec, plan, fleetcfg::serving(), load,
+                              fleetcfg::fleet(6));
+    fleet::ReactiveAutoscaler a({4, 4, 4, 4}, rc);
+    const auto blind = blind_sim.run(a);
+    EXPECT_TRUE(blind.telemetry.traces.empty());
+
+    auto fc = fleetcfg::fleet(6);
+    fc.trace_sampling.enabled = true;
+    obs::MetricsRegistry metrics;
+    fc.metrics = &metrics;
+    fleet::FleetSim sampled_sim(spec, plan, fleetcfg::serving(), load, fc);
+    fleet::ReactiveAutoscaler b({4, 4, 4, 4}, rc);
+    const auto sampled = sampled_sim.run(b);
+
+    // Observation purity at both ledgers.
+    EXPECT_EQ(blind.fingerprint(), sampled.fingerprint());
+    EXPECT_EQ(blind.telemetry.fingerprint(),
+              sampled.telemetry.fingerprint());
+
+    // One summary per epoch, each within the per-epoch byte budget.
+    ASSERT_EQ(sampled.telemetry.traces.size(), sampled.epochs.size());
+    std::uint64_t retained_total = 0;
+    for (const auto &ts : sampled.telemetry.traces) {
+        EXPECT_GT(ts.roots_closed, 0u);
+        EXPECT_LE(ts.retained_bytes,
+                  fc.trace_sampling.per_epoch_byte_budget);
+        EXPECT_LE(ts.exemplars.size(),
+                  fc.trace_sampling.scenario_exemplars);
+        retained_total += ts.retained;
+        for (const auto &ex : ts.exemplars)
+            EXPECT_NE(ex.keep_class, obs::KeepClass::Recycled);
+    }
+    EXPECT_GT(retained_total, 0u);
+
+    // The metrics mirror carries the sampler counters, including the
+    // dropped_stale satellite.
+    ASSERT_EQ(metrics.snapshots().size(), sampled.epochs.size());
+    const auto has = [&](const std::string &name) {
+        for (const auto &[n, v] : metrics.snapshots().back().values)
+            if (n == name)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("obs.timeseries.dropped_stale"));
+    EXPECT_TRUE(has("obs.trace.retained"));
+    EXPECT_TRUE(has("obs.trace.retained_bytes"));
+
+    // Deterministic: rerun produces identical trace summaries.
+    fleet::FleetSim rerun_sim(spec, plan, fleetcfg::serving(), load, fc);
+    fleet::ReactiveAutoscaler c({4, 4, 4, 4}, rc);
+    const auto rerun = rerun_sim.run(c);
+    ASSERT_EQ(rerun.telemetry.traces.size(),
+              sampled.telemetry.traces.size());
+    for (std::size_t e = 0; e < rerun.telemetry.traces.size(); ++e) {
+        const auto &x = sampled.telemetry.traces[e];
+        const auto &y = rerun.telemetry.traces[e];
+        EXPECT_EQ(x.retained, y.retained);
+        EXPECT_EQ(x.retained_bytes, y.retained_bytes);
+        ASSERT_EQ(x.exemplars.size(), y.exemplars.size());
+        for (std::size_t i = 0; i < x.exemplars.size(); ++i)
+            EXPECT_EQ(x.exemplars[i].request_id,
+                      y.exemplars[i].request_id);
+    }
+}
+
+TEST(FleetTraceSampling, ChaosScorecardsCarryBlastEpochExemplars)
+{
+    const auto spec = model::makeDrm2();
+    const auto plan = core::makeCapacityBalanced(spec, 4);
+    const workload::DiurnalLoadModel load(spec, fleetcfg::load());
+
+    auto fc = fleetcfg::fleet(6);
+    fc.trace_sampling.enabled = true;
+    fc.faults.crashReplica(/*shard=*/0, /*replica=*/0,
+                           /*start_epoch=*/2, /*end_epoch=*/4);
+
+    fleet::ReactiveConfig rc;
+    rc.slo.p99_ms = 60.0;
+    fleet::FleetSim sim(spec, plan, fleetcfg::serving(), load, fc);
+    fleet::ReactiveAutoscaler a({4, 4, 4, 4}, rc);
+    const auto stats = sim.run(a);
+
+    ASSERT_EQ(stats.telemetry.scenarios.size(), 1u);
+    const auto &outcome = stats.telemetry.scenarios[0];
+    // The blast epoch was identified inside the active window and its
+    // retained exemplar request ids attached for investigation.
+    ASSERT_GE(outcome.exemplar_epoch, 2);
+    EXPECT_LT(outcome.exemplar_epoch, 4);
+    EXPECT_FALSE(outcome.exemplar_requests.empty());
+    EXPECT_LE(outcome.exemplar_requests.size(),
+              fc.trace_sampling.scenario_exemplars);
+}
+
+} // namespace
